@@ -1,0 +1,83 @@
+package corgipile
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates the corresponding artifact through the
+// internal/bench harness at a reduced dataset scale so the full suite runs
+// in minutes:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-scale reports, run the CLI instead:
+//
+//	go run ./cmd/corgibench all
+
+import (
+	"io"
+	"testing"
+
+	"corgipile/internal/bench"
+)
+
+// benchScale keeps testing.B iterations affordable; cmd/corgibench runs at
+// 1.0.
+const benchScale = 0.1
+
+func runBench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(io.Discard, id, benchScale); err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)   { runBench(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { runBench(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { runBench(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { runBench(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { runBench(b, "fig5") }
+func BenchmarkFig7(b *testing.B)   { runBench(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runBench(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runBench(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runBench(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runBench(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runBench(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runBench(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runBench(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { runBench(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { runBench(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { runBench(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { runBench(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { runBench(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { runBench(b, "fig20") }
+func BenchmarkTable1(b *testing.B) { runBench(b, "table1") }
+func BenchmarkTable3(b *testing.B) { runBench(b, "table3") }
+
+// Micro-benchmarks for the hot paths underneath the experiments.
+
+func BenchmarkCorgiPileEpoch(b *testing.B) {
+	ds := Synthetic("higgs", 0.5, OrderClustered)
+	cds, err := NewCorgiPileDataset(ds, 0.1, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next := cds.Epoch(i)
+		for {
+			if _, ok := next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkSVMTrainEpoch(b *testing.B) {
+	ds := Synthetic("higgs", 0.5, OrderClustered)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(ds, TrainConfig{Model: "svm", Epochs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

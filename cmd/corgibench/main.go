@@ -1,0 +1,46 @@
+// Command corgibench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	corgibench [-scale 1.0] [-list] [experiment ...]
+//
+// With no experiment arguments (or "all") it runs the full suite. Each
+// experiment prints the rows/series of the corresponding paper artifact;
+// EXPERIMENTS.md maps ids to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"corgipile/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full synthetic size)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %-10s %s\n", e.ID, "("+e.Paper+")", e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		if err := bench.RunAll(os.Stdout, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "corgibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range ids {
+		if err := bench.Run(os.Stdout, id, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "corgibench:", err)
+			os.Exit(1)
+		}
+	}
+}

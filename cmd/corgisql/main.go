@@ -1,0 +1,104 @@
+// Command corgisql is an interactive shell for the in-DB ML stack: the
+// paper's SELECT ... TRAIN BY interface over the simulated storage engine.
+//
+// Usage:
+//
+//	corgisql              # interactive REPL
+//	corgisql -c "SQL..."  # run a script and exit
+//
+// Example session:
+//
+//	> CREATE TABLE higgs AS SYNTHETIC(workload='higgs', scale=0.5,
+//	      order='clustered') WITH device='hdd', block_size=256KB;
+//	> SELECT * FROM higgs TRAIN BY svm MODEL m1
+//	      WITH learning_rate=0.05, max_epoch_num=10, shuffle='corgipile';
+//	> SELECT * FROM higgs PREDICT BY m1 LIMIT 5;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"corgipile/internal/db"
+)
+
+func main() {
+	script := flag.String("c", "", "execute the given SQL script and exit")
+	flag.Parse()
+
+	session := db.NewSession()
+	if *script != "" {
+		results, err := session.ExecScript(*script)
+		for _, r := range results {
+			printResult(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corgisql:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("corgisql — in-DB ML with CorgiPile (simulated storage).")
+	fmt.Println(`Try: CREATE TABLE t AS SYNTHETIC(workload='higgs', scale=0.2, order='clustered');`)
+	fmt.Println(`     SELECT * FROM t TRAIN BY svm MODEL m1 WITH max_epoch_num=10;`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := sc.Text()
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			fmt.Print("… ")
+			continue
+		}
+		sql := pending.String()
+		pending.Reset()
+		switch strings.ToLower(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))) {
+		case "quit", "exit", `\q`:
+			return
+		}
+		results, err := session.ExecScript(sql)
+		for _, r := range results {
+			printResult(r)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+		fmt.Printf("[%s]\n> ", session.Clock())
+	}
+}
+
+func printResult(r *db.Result) {
+	if len(r.Columns) > 0 && len(r.Rows) > 0 {
+		widths := make([]int, len(r.Columns))
+		for i, c := range r.Columns {
+			widths[i] = len(c)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		printRow := func(cells []string) {
+			for i, cell := range cells {
+				fmt.Printf("%-*s  ", widths[i], cell)
+			}
+			fmt.Println()
+		}
+		printRow(r.Columns)
+		for _, row := range r.Rows {
+			printRow(row)
+		}
+	}
+	if r.Message != "" {
+		fmt.Println(r.Message)
+	}
+}

@@ -1,0 +1,106 @@
+// Package corgipile is a from-scratch Go implementation of CorgiPile
+// (SIGMOD 2022): stochastic gradient descent over block-addressable
+// secondary storage without a full data shuffle.
+//
+// CorgiPile replaces the expensive full shuffle that SGD normally needs
+// with a two-level hierarchical shuffle: each epoch it (1) shuffles the
+// order of storage *blocks*, (2) pulls a buffer's worth of blocks into
+// memory, and (3) shuffles the buffered *tuples* before feeding them to
+// SGD. Random access at block granularity costs nearly the same as a
+// sequential scan, while the two-level shuffle delivers convergence
+// comparable to a fully shuffled pass.
+//
+// The package exposes three levels of API:
+//
+//   - Dataset-level: CorgiPileDataset streams shuffled tuples from any
+//     in-memory dataset, the analogue of the paper's PyTorch
+//     CorgiPileDataSet (see also internal/dist for the multi-worker mode).
+//   - Trainer-level: Train runs a model/optimizer/strategy combination and
+//     returns the convergence trace with simulated wall-clock times.
+//   - SQL-level: NewSession opens an in-DB ML session supporting
+//     CREATE TABLE ... / SELECT * FROM t TRAIN BY svm ... / PREDICT BY.
+//
+// All randomness is seeded and all performance numbers come from a
+// deterministic storage simulation, so results reproduce exactly.
+package corgipile
+
+import (
+	"corgipile/internal/core"
+	"corgipile/internal/data"
+	"corgipile/internal/db"
+	"corgipile/internal/iosim"
+	"corgipile/internal/ml"
+	"corgipile/internal/shuffle"
+	"corgipile/internal/storage"
+)
+
+// Re-exported core types. These aliases are the library's public surface;
+// the internal packages carry the implementations.
+type (
+	// Tuple is one training example.
+	Tuple = data.Tuple
+	// Dataset is an in-memory tuple collection with metadata.
+	Dataset = data.Dataset
+	// Order is the physical tuple order (clustered / shuffled / by
+	// feature).
+	Order = data.Order
+	// Model is a trainable per-example loss.
+	Model = ml.Model
+	// Optimizer applies gradient updates.
+	Optimizer = ml.Optimizer
+	// Strategy streams per-epoch tuple orders.
+	Strategy = shuffle.Strategy
+	// StrategyKind names a shuffling strategy.
+	StrategyKind = shuffle.Kind
+	// Clock is the simulated clock.
+	Clock = iosim.Clock
+	// Device is a simulated storage device.
+	Device = iosim.Device
+	// Table is an on-device heap table.
+	Table = storage.Table
+	// Result is a training run's convergence trace.
+	Result = core.Result
+	// EpochPoint is one epoch of a convergence trace.
+	EpochPoint = core.EpochPoint
+	// Session is an in-DB ML session.
+	Session = db.Session
+)
+
+// Tuple orders.
+const (
+	OrderShuffled  = data.OrderShuffled
+	OrderClustered = data.OrderClustered
+	OrderFeature   = data.OrderFeature
+)
+
+// Shuffling strategies.
+const (
+	NoShuffle     = shuffle.KindNoShuffle
+	ShuffleOnce   = shuffle.KindShuffleOnce
+	EpochShuffle  = shuffle.KindEpochShuffle
+	SlidingWindow = shuffle.KindSlidingWindow
+	MRSShuffle    = shuffle.KindMRS
+	BlockOnly     = shuffle.KindBlockOnly
+	CorgiPile     = shuffle.KindCorgiPile
+)
+
+// NewSession opens an in-DB ML session with simulated HDD/SSD/RAM devices.
+func NewSession() *Session { return db.NewSession() }
+
+// NewModel constructs a model by name: "lr", "svm", "linreg", "softmax",
+// "mlp". classes is used by the multi-class models.
+func NewModel(name string, classes int) (Model, error) { return ml.New(name, classes) }
+
+// NewSGD returns an SGD optimizer with the paper's default 0.95 per-epoch
+// learning-rate decay.
+func NewSGD(lr float64) Optimizer { return ml.NewSGD(lr) }
+
+// NewAdam returns an Adam optimizer.
+func NewAdam(lr float64) Optimizer { return ml.NewAdam(lr) }
+
+// Synthetic generates a named synthetic workload ("higgs", "susy",
+// "epsilon", "criteo", "yfcc", "cifar10", "imagenet", "yelp", "yearpred",
+// "mini8m") at the given scale and order.
+func Synthetic(workload string, scale float64, order Order) *Dataset {
+	return data.Generate(workload, scale, order)
+}

@@ -1,0 +1,77 @@
+// Distributed training: multi-process CorgiPile, the paper's PyTorch DDP
+// integration (Section 5).
+//
+// Eight data-parallel workers train an MLP on a clustered 100-class
+// dataset. Each epoch the workers derive the same block permutation from a
+// shared seed, take disjoint slices of it, shuffle tuples inside private
+// buffers, and average gradients after every global batch. The example
+// compares the distributed No Shuffle baseline against multi-process
+// CorgiPile and verifies the merged data order is as well mixed as a
+// single process's.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"corgipile/internal/data"
+	"corgipile/internal/dist"
+	"corgipile/internal/ml"
+	"corgipile/internal/stats"
+)
+
+func main() {
+	ds := data.SyntheticMulticlass(data.SyntheticConfig{
+		Name: "imagenet-mini", Tuples: 8000, Features: 64, Classes: 20,
+		Separation: 2.0, Noise: 1.0, Order: data.OrderClustered, Seed: 1,
+	})
+	fmt.Printf("dataset: %s, %d tuples, %d classes, clustered by class\n\n",
+		ds.Name, ds.Len(), ds.Classes)
+
+	model := ml.MLP{Classes: ds.Classes, Hidden: 32}
+	train := func(name string, noShuffle bool) {
+		cfg := dist.Config{
+			Workers:        8,
+			Epochs:         10,
+			GlobalBatch:    256,
+			BufferFraction: 0.1,
+			BlockTuples:    50,
+			Seed:           1,
+			NoBlockShuffle: noShuffle,
+			NoTupleShuffle: noShuffle,
+			Model:          model,
+			Opt:            ml.NewSGD(0.1),
+			Features:       ds.Features,
+			InitWeights: func(w []float64) {
+				model.InitWeights(w, ds.Features, rand.New(rand.NewSource(1)))
+			},
+			Eval: ds,
+		}
+		res, err := dist.Train(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s final top-1 accuracy %.3f\n", name, res.Final().TrainAcc)
+	}
+	train("8-worker No Shuffle", true)
+	train("8-worker CorgiPile", false)
+
+	// Figure 5's argument: the multi-process consumption order is as well
+	// mixed as the single-process one.
+	fmt.Println("\ndata-order quality (0 = perfectly mixed, 1 = unshuffled):")
+	for _, workers := range []int{1, 8} {
+		order, err := dist.EffectiveOrder(ds, dist.Config{
+			Workers: workers, GlobalBatch: 256, BlockTuples: 50,
+			BufferFraction: 0.1, Seed: 1,
+			Model: model, Opt: ml.NewSGD(0.1), Features: ds.Features,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d worker(s): order correlation %+.3f over %d tuples\n",
+			workers, stats.OrderCorrelation(order), len(order))
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: train an SVM on label-clustered data with CorgiPile and see
+// why the shuffle strategy matters.
+//
+// The program generates a higgs-like binary dataset in the paper's
+// worst-case order (all negative tuples before all positive ones), then
+// trains the same model under three strategies. No Shuffle gets stuck at
+// coin-flip accuracy; CorgiPile matches the fully shuffled baseline without
+// ever shuffling the dataset.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corgipile"
+)
+
+func main() {
+	// A 20k-tuple binary classification dataset, clustered by label — the
+	// order a table with a clustered index on the label would have.
+	ds := corgipile.Synthetic("higgs", 1.0, corgipile.OrderClustered)
+	fmt.Printf("dataset: %s, %d tuples, %d features, %s order\n\n",
+		ds.Name, ds.Len(), ds.Features, corgipile.OrderClustered)
+
+	for _, strategy := range []corgipile.StrategyKind{
+		corgipile.NoShuffle,
+		corgipile.ShuffleOnce,
+		corgipile.CorgiPile,
+	} {
+		res, err := corgipile.Train(ds, corgipile.TrainConfig{
+			Model:        "svm",
+			LearningRate: 0.02,
+			Epochs:       8,
+			Strategy:     strategy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s final train accuracy %.3f  (per-epoch accuracies:", strategy, res.Final().TrainAcc)
+		for _, p := range res.Points {
+			fmt.Printf(" %.2f", p.TrainAcc)
+		}
+		fmt.Println(")")
+	}
+
+	fmt.Println("\nCorgiPile reaches Shuffle Once accuracy with a 10% in-memory")
+	fmt.Println("buffer and zero shuffle preprocessing.")
+}

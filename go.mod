@@ -1,0 +1,3 @@
+module corgipile
+
+go 1.22

@@ -1,0 +1,93 @@
+// Package bench is the reproduction harness: one runner per table and
+// figure of the paper's evaluation (plus the motivating figures and the
+// Appendix A I/O study). Each experiment prints, as plain text, the same
+// rows or series the paper plots; EXPERIMENTS.md records paper-vs-measured
+// for each.
+//
+// Dataset sizes are scaled-down synthetic stand-ins (see DESIGN.md), so
+// absolute numbers differ from the paper; the comparisons — who wins, by
+// roughly what factor, where crossovers fall — are the reproduced result.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig11" or "table3".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper cites the artifact's location in the paper.
+	Paper string
+	// Run executes the experiment at the given scale, writing its report.
+	Run func(w io.Writer, scale float64) error
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment to the registry at init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id (figures first, then tables).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i].ID, out[j].ID) })
+	return out
+}
+
+// less orders experiment ids naturally: fig1 < fig2 < ... < fig20 < table1.
+func less(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitID(s string) (prefix string, num int) {
+	i := 0
+	for i < len(s) && (s[i] < '0' || s[i] > '9') {
+		i++
+	}
+	fmt.Sscanf(s[i:], "%d", &num)
+	return s[:i], num
+}
+
+// Run executes the experiment with the given id at the given scale.
+func Run(w io.Writer, id string, scale float64) error {
+	e, ok := Get(id)
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	fmt.Fprintf(w, "=== %s — %s (%s) ===\n\n", e.ID, e.Title, e.Paper)
+	return e.Run(w, scale)
+}
+
+// RunAll executes every experiment in registry order.
+func RunAll(w io.Writer, scale float64) error {
+	for _, e := range All() {
+		if err := Run(w, e.ID, scale); err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

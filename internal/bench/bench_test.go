@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"corgipile/internal/stats"
+)
+
+// smallScale keeps unit tests quick; the cmd/corgibench tool runs at 1.0.
+const smallScale = 0.05
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(&buf, id, smallScale); err != nil {
+		t.Fatalf("experiment %s: %v", id, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== "+id) {
+		t.Fatalf("experiment %s output missing header:\n%s", id, out)
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "table1", "table2", "table3", "ablation", "theory", "drift",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestRegistryOrdering(t *testing.T) {
+	ids := []string{}
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	// Within a prefix, numeric order: fig10 must follow fig9 (not fig1).
+	for i, id := range ids {
+		if id == "fig10" && ids[i-1] != "fig9" {
+			t.Fatalf("fig10 should follow fig9, got %v", ids)
+		}
+		if id == "fig2" && ids[i-1] != "fig1" {
+			t.Fatalf("fig2 should follow fig1, got %v", ids)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "fig99", 1); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFig1ShapesHold(t *testing.T) {
+	out := runExperiment(t, "fig1")
+	for _, needle := range []string{"MADlib", "Bismarck", "CorgiPile", "Convergence", "End-to-end"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("fig1 output missing %q", needle)
+		}
+	}
+}
+
+func TestFig3DistributionShapes(t *testing.T) {
+	out := runExperiment(t, "fig3")
+	// Every baseline section appears with its metrics.
+	for _, needle := range []string{"No Shuffle", "Sliding-Window", "MRS", "Full Shuffle", "order correlation", "negatives per 20-tuple window"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("fig3 missing %q", needle)
+		}
+	}
+}
+
+func TestFig4CorgiOrderNearIdeal(t *testing.T) {
+	// Quantitative check of the Figure 3/4 claim: CorgiPile's order
+	// correlation is far below the sliding window's.
+	swIDs, _, err := emitOrder("sliding_window", 1000, 20, 0.10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpIDs, cpLabels, err := emitOrder("corgipile", 1000, 20, 0.20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swCorr := orderCorr(swIDs)
+	cpCorr := orderCorr(cpIDs)
+	if cpCorr > 0.5*swCorr {
+		t.Fatalf("corgipile correlation %.3f should be far below sliding window %.3f", cpCorr, swCorr)
+	}
+	_ = cpLabels
+	runExperiment(t, "fig4")
+}
+
+func TestFig20ThroughputTable(t *testing.T) {
+	out := runExperiment(t, "fig20")
+	if !strings.Contains(out, "sequential") || !strings.Contains(out, "64KB") {
+		t.Fatalf("fig20 output malformed:\n%s", out)
+	}
+}
+
+func TestTable1AndTable3(t *testing.T) {
+	out := runExperiment(t, "table1")
+	if !strings.Contains(out, "2x data size") {
+		t.Error("table1 missing disk-overhead column")
+	}
+	out = runExperiment(t, "table3")
+	if !strings.Contains(out, "gap(train)") {
+		t.Error("table3 missing gap column")
+	}
+}
+
+func TestQuickExperimentsRun(t *testing.T) {
+	// The remaining experiments at tiny scale: they must complete and emit
+	// their tables. (fig7/fig11/fig16 are heavier; they run in the
+	// benchmark suite.)
+	for _, id := range []string{"fig2", "fig5", "fig13", "fig19"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			runExperiment(t, id)
+		})
+	}
+}
+
+func orderCorr(ids []int64) float64 {
+	return stats.OrderCorrelation(ids)
+}
+
+// TestAllExperimentsRunTiny executes every registered experiment at a tiny
+// scale, exercising each runner end to end. Skipped under -short: the full
+// sweep takes tens of seconds.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment sweep; run without -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, smallScale); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAllTinyOnSubset(t *testing.T) {
+	// RunAll's wiring (header + error propagation), on the cheap end only:
+	// replicate its loop over two light experiments.
+	var buf bytes.Buffer
+	for _, id := range []string{"fig20", "table2"} {
+		if err := Run(&buf, id, smallScale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each header line is "=== id — title (paper) ===" (two markers).
+	if got := strings.Count(buf.String(), "==="); got != 4 {
+		t.Fatalf("header markers = %d, want 4", got)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import "math/rand"
+
+// BlockSampler draws blocks without replacement — step (Sample) of
+// Algorithm 1. Each epoch is a fresh permutation of the N block ids,
+// consumed n at a time.
+type BlockSampler struct {
+	n    int
+	rng  *rand.Rand
+	perm []int
+	next int
+}
+
+// NewBlockSampler returns a sampler over n blocks.
+func NewBlockSampler(n int, rng *rand.Rand) *BlockSampler {
+	return &BlockSampler{n: n, rng: rng}
+}
+
+// StartEpoch draws a fresh permutation of the block ids.
+func (s *BlockSampler) StartEpoch() {
+	s.perm = s.rng.Perm(s.n)
+	s.next = 0
+}
+
+// Draw returns the next k block ids without replacement within the current
+// epoch. Fewer than k are returned at the permutation's tail; nil means the
+// epoch is exhausted.
+func (s *BlockSampler) Draw(k int) []int {
+	if s.perm == nil {
+		s.StartEpoch()
+	}
+	if s.next >= len(s.perm) {
+		return nil
+	}
+	hi := s.next + k
+	if hi > len(s.perm) {
+		hi = len(s.perm)
+	}
+	out := s.perm[s.next:hi]
+	s.next = hi
+	return out
+}
+
+// Remaining reports how many block ids are left in the current epoch.
+func (s *BlockSampler) Remaining() int {
+	if s.perm == nil {
+		return s.n
+	}
+	return len(s.perm) - s.next
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"corgipile/internal/data"
+	"corgipile/internal/ml"
+)
+
+func TestHDFactorClusteredExceedsShuffled(t *testing.T) {
+	cfg := data.SyntheticConfig{Tuples: 1000, Features: 8, Separation: 3, Seed: 51}
+	cfg.Order = data.OrderClustered
+	clustered := data.SyntheticBinary(cfg)
+	cfg.Order = data.OrderShuffled
+	shuffled := data.SyntheticBinary(cfg)
+
+	m := ml.LogisticRegression{}
+	w := make([]float64, m.Dim(8)) // at w=0 gradients depend strongly on label
+	hClustered := HDFactor(m, w, clustered, 50)
+	hShuffled := HDFactor(m, w, shuffled, 50)
+
+	t.Logf("h_D clustered=%.2f shuffled=%.2f", hClustered, hShuffled)
+	if hClustered < 5*hShuffled {
+		t.Fatalf("clustered h_D (%.2f) should dwarf shuffled h_D (%.2f)", hClustered, hShuffled)
+	}
+	// Shuffled blocks are near-i.i.d. samples: h_D ≈ 1 (allow slack).
+	if hShuffled > 3 {
+		t.Fatalf("shuffled h_D = %.2f, want ~1", hShuffled)
+	}
+	// h_D is bounded by ~b for fully clustered identical-ish blocks.
+	if hClustered > 50*1.5 {
+		t.Fatalf("clustered h_D = %.2f exceeds block size bound", hClustered)
+	}
+}
+
+func TestHDFactorIdenticalTuples(t *testing.T) {
+	// All tuples identical → every block mean equals every tuple gradient →
+	// σ² = 0 and block variance 0 → defined as 1.
+	ds := &data.Dataset{Task: data.TaskBinary, Features: 2, Classes: 2}
+	for i := 0; i < 100; i++ {
+		ds.Tuples = append(ds.Tuples, data.Tuple{ID: int64(i), Label: 1, Dense: []float64{1, 2}})
+	}
+	m := ml.LogisticRegression{}
+	w := make([]float64, m.Dim(2))
+	if h := HDFactor(m, w, ds, 10); h != 1 {
+		t.Fatalf("identical-tuple h_D = %v, want 1", h)
+	}
+}
+
+func TestHDFactorEmpty(t *testing.T) {
+	if HDFactor(ml.SVM{}, nil, &data.Dataset{}, 10) != 0 {
+		t.Fatal("empty dataset h_D must be 0")
+	}
+}
+
+func TestTheorem1BoundFullBufferRemovesLeadingTerm(t *testing.T) {
+	// α = 1 (n = N): the 1/T term vanishes — full-shuffle SGD rate. For
+	// large T the higher-order terms are negligible and the full buffer
+	// wins.
+	full := Theorem1Bound(BoundParams{N: 100, Nbuf: 100, B: 50, M: 5000, HD: 10, Sigma2: 1, T: 5e6})
+	tiny := Theorem1Bound(BoundParams{N: 100, Nbuf: 1, B: 50, M: 5000, HD: 10, Sigma2: 1, T: 5e6})
+	if full >= tiny {
+		t.Fatalf("full-buffer bound %v should beat single-block bound %v", full, tiny)
+	}
+}
+
+func TestTheorem1BoundMonotoneInBuffer(t *testing.T) {
+	prev := math.Inf(1)
+	for _, nbuf := range []int{1, 10, 25, 50, 100} {
+		b := Theorem1Bound(BoundParams{N: 100, Nbuf: nbuf, B: 100, M: 10000, HD: 50, Sigma2: 1, T: 1e6})
+		if b > prev {
+			t.Fatalf("bound increased at n=%d: %v > %v", nbuf, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestTheorem1BoundMonotoneInHD(t *testing.T) {
+	lo := Theorem1Bound(BoundParams{N: 100, Nbuf: 10, B: 100, M: 10000, HD: 1, Sigma2: 1, T: 1e6})
+	hi := Theorem1Bound(BoundParams{N: 100, Nbuf: 10, B: 100, M: 10000, HD: 100, Sigma2: 1, T: 1e6})
+	if hi <= lo {
+		t.Fatal("bound must grow with h_D")
+	}
+}
+
+func TestTheorem1BoundDecaysWithT(t *testing.T) {
+	p := BoundParams{N: 100, Nbuf: 10, B: 100, M: 10000, HD: 10, Sigma2: 1}
+	p.T = 10000
+	early := Theorem1Bound(p)
+	p.T = 1000000
+	late := Theorem1Bound(p)
+	if late >= early {
+		t.Fatal("bound must decay with more updates")
+	}
+}
+
+func TestTheorem1BoundDegenerate(t *testing.T) {
+	if !math.IsInf(Theorem1Bound(BoundParams{N: 1, Nbuf: 1, T: 100}), 1) {
+		t.Fatal("N<=1 should be infinite")
+	}
+	if !math.IsInf(Theorem1Bound(BoundParams{N: 10, Nbuf: 1, T: 0}), 1) {
+		t.Fatal("T<=0 should be infinite")
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	if Alpha(1, 100) != 0 {
+		t.Fatal("α(1, N) must be 0")
+	}
+	if Alpha(100, 100) != 1 {
+		t.Fatal("α(N, N) must be 1")
+	}
+	if Alpha(5, 1) != 1 {
+		t.Fatal("degenerate N=1 should clamp to 1")
+	}
+}
+
+func TestTheorem2BoundShapes(t *testing.T) {
+	base := BoundParams{N: 100, Nbuf: 10, B: 100, M: 10000, HD: 10, Sigma2: 1, T: 1e6}
+	// Decays with T.
+	early, late := base, base
+	early.T, late.T = 1e4, 1e8
+	if Theorem2Bound(late) >= Theorem2Bound(early) {
+		t.Fatal("Theorem 2 bound must decay with T")
+	}
+	// Grows with h_D.
+	hi := base
+	hi.HD = 100
+	if Theorem2Bound(hi) <= Theorem2Bound(base) {
+		t.Fatal("Theorem 2 bound must grow with h_D")
+	}
+	// α = 1 takes the dedicated full-shuffle branch: 1/T^{2/3} + γ'm³/T.
+	full := base
+	full.Nbuf = 100
+	want := math.Pow(float64(full.T), -2.0/3.0) + float64(full.M)*float64(full.M)*float64(full.M)/float64(full.T)
+	if got := Theorem2Bound(full); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("α=1 branch = %v, want %v", got, want)
+	}
+}
+
+func TestTheorem2BoundDegenerate(t *testing.T) {
+	if !math.IsInf(Theorem2Bound(BoundParams{N: 1, Nbuf: 1, T: 10}), 1) {
+		t.Fatal("N<=1 must be infinite")
+	}
+	if !math.IsInf(Theorem2Bound(BoundParams{N: 10, Nbuf: 2, T: 0}), 1) {
+		t.Fatal("T<=0 must be infinite")
+	}
+	if !math.IsInf(Theorem2Bound(BoundParams{N: 10, Nbuf: 2, B: 5, M: 50, HD: 0, Sigma2: 0, T: 100}), 1) {
+		t.Fatal("zero variance with partial buffer must be infinite")
+	}
+}
+
+func TestRecommendBuffer(t *testing.T) {
+	p := BoundParams{N: 256, B: 100, M: 25600, HD: 80, Sigma2: 1, T: 256000}
+	n, bound, full := RecommendBuffer(p, 1.10)
+	if n < 1 || n > 256 {
+		t.Fatalf("recommended %d blocks", n)
+	}
+	if bound > full*1.10 {
+		t.Fatalf("recommended bound %v exceeds tolerance of full %v", bound, full)
+	}
+	// A near-zero tolerance forces (close to) the full buffer.
+	nStrict, _, _ := RecommendBuffer(p, 1.0000001)
+	if nStrict < n {
+		t.Fatal("stricter tolerance cannot recommend a smaller buffer")
+	}
+	// Default tolerance on zero input.
+	if nDef, _, _ := RecommendBuffer(p, 0); nDef < 1 {
+		t.Fatal("default tolerance broken")
+	}
+}

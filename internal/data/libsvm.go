@@ -1,0 +1,126 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReadLIBSVM parses a dataset in LIBSVM text format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based in the file and converted to 0-based. features, when
+// positive, fixes the dimensionality; otherwise it is inferred as the
+// maximum index seen. Lines that are empty or start with '#' are skipped.
+func ReadLIBSVM(r io.Reader, name string, features int) (*Dataset, error) {
+	ds := &Dataset{Name: name, Task: TaskBinary, Features: features, Classes: 2}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	maxIdx := -1
+	labels := make(map[float64]bool)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("libsvm: line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		t := Tuple{ID: int64(len(ds.Tuples)), Label: label}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("libsvm: line %d: bad feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("libsvm: line %d: bad index %q", lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("libsvm: line %d: bad value %q: %w", lineNo, f[colon+1:], err)
+			}
+			t.SparseIdx = append(t.SparseIdx, int32(idx-1))
+			t.SparseVal = append(t.SparseVal, val)
+			if idx-1 > maxIdx {
+				maxIdx = idx - 1
+			}
+		}
+		if t.SparseIdx == nil {
+			t.SparseIdx = []int32{}
+			t.SparseVal = []float64{}
+		}
+		sortSparse(&t)
+		labels[label] = true
+		ds.Tuples = append(ds.Tuples, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("libsvm: %w", err)
+	}
+	if ds.Features <= 0 {
+		ds.Features = maxIdx + 1
+	}
+	if len(labels) > 2 {
+		ds.Task = TaskMulticlass
+		ds.Classes = len(labels)
+	}
+	return ds, nil
+}
+
+// WriteLIBSVM writes the dataset in LIBSVM text format with 1-based indices.
+// Dense tuples are written as fully dense sparse rows.
+func WriteLIBSVM(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := range ds.Tuples {
+		t := &ds.Tuples[i]
+		if _, err := fmt.Fprintf(bw, "%g", t.Label); err != nil {
+			return err
+		}
+		if t.IsSparse() {
+			for j, idx := range t.SparseIdx {
+				if _, err := fmt.Fprintf(bw, " %d:%g", idx+1, t.SparseVal[j]); err != nil {
+					return err
+				}
+			}
+		} else {
+			for j, v := range t.Dense {
+				if v == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(bw, " %d:%g", j+1, v); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sortSparse(t *Tuple) {
+	if sort.SliceIsSorted(t.SparseIdx, func(i, j int) bool { return t.SparseIdx[i] < t.SparseIdx[j] }) {
+		return
+	}
+	type pair struct {
+		i int32
+		v float64
+	}
+	ps := make([]pair, len(t.SparseIdx))
+	for i := range ps {
+		ps[i] = pair{t.SparseIdx[i], t.SparseVal[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].i < ps[b].i })
+	for i := range ps {
+		t.SparseIdx[i], t.SparseVal[i] = ps[i].i, ps[i].v
+	}
+}

@@ -1,0 +1,128 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadLIBSVMBasic(t *testing.T) {
+	in := strings.NewReader("+1 1:0.5 3:2\n-1 2:1\n")
+	ds, err := ReadLIBSVM(in, "tiny", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("len = %d, want 2", ds.Len())
+	}
+	if ds.Features != 3 {
+		t.Fatalf("inferred features = %d, want 3", ds.Features)
+	}
+	t0 := ds.At(0)
+	if t0.Label != 1 || len(t0.SparseIdx) != 2 || t0.SparseIdx[0] != 0 || t0.SparseIdx[1] != 2 {
+		t.Fatalf("tuple 0 parsed wrong: %+v", t0)
+	}
+	if t0.SparseVal[0] != 0.5 || t0.SparseVal[1] != 2 {
+		t.Fatalf("tuple 0 values wrong: %v", t0.SparseVal)
+	}
+}
+
+func TestReadLIBSVMSkipsCommentsAndBlank(t *testing.T) {
+	in := strings.NewReader("# header\n\n+1 1:1\n")
+	ds, err := ReadLIBSVM(in, "c", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1 {
+		t.Fatalf("len = %d, want 1", ds.Len())
+	}
+}
+
+func TestReadLIBSVMFixedFeatures(t *testing.T) {
+	ds, err := ReadLIBSVM(strings.NewReader("+1 1:1\n"), "f", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Features != 100 {
+		t.Fatalf("features = %d, want 100", ds.Features)
+	}
+}
+
+func TestReadLIBSVMUnsortedIndices(t *testing.T) {
+	ds, err := ReadLIBSVM(strings.NewReader("-1 5:5 2:2 9:9\n"), "u", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := ds.At(0).SparseIdx
+	if idx[0] != 1 || idx[1] != 4 || idx[2] != 8 {
+		t.Fatalf("indices not sorted: %v", idx)
+	}
+	val := ds.At(0).SparseVal
+	if val[0] != 2 || val[1] != 5 || val[2] != 9 {
+		t.Fatalf("values not reordered with indices: %v", val)
+	}
+}
+
+func TestReadLIBSVMMulticlassDetected(t *testing.T) {
+	ds, err := ReadLIBSVM(strings.NewReader("0 1:1\n1 1:1\n2 1:1\n"), "mc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Task != TaskMulticlass || ds.Classes != 3 {
+		t.Fatalf("task=%v classes=%d, want multiclass/3", ds.Task, ds.Classes)
+	}
+}
+
+func TestReadLIBSVMErrors(t *testing.T) {
+	cases := []string{
+		"abc 1:1\n",  // bad label
+		"+1 x:1\n",   // bad index
+		"+1 0:1\n",   // index < 1
+		"+1 1:abc\n", // bad value
+		"+1 11\n",    // missing colon
+	}
+	for _, c := range cases {
+		if _, err := ReadLIBSVM(strings.NewReader(c), "bad", 0); err == nil {
+			t.Errorf("input %q: expected error", c)
+		}
+	}
+}
+
+func TestLIBSVMRoundTripSparse(t *testing.T) {
+	orig := SyntheticBinary(SyntheticConfig{
+		Tuples: 50, Features: 100, Sparse: true, NNZ: 8, Order: OrderClustered, Seed: 9})
+	var buf bytes.Buffer
+	if err := WriteLIBSVM(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLIBSVM(&buf, "rt", orig.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round trip len = %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Tuples {
+		a, b := orig.At(i), got.At(i)
+		if a.Label != b.Label || a.NNZ() != b.NNZ() {
+			t.Fatalf("tuple %d mismatch: %v vs %v", i, a, b)
+		}
+		for j := range a.SparseIdx {
+			if a.SparseIdx[j] != b.SparseIdx[j] || a.SparseVal[j] != b.SparseVal[j] {
+				t.Fatalf("tuple %d feature %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteLIBSVMDenseSkipsZeros(t *testing.T) {
+	ds := &Dataset{Features: 3}
+	ds.Tuples = []Tuple{{Label: 1, Dense: []float64{1, 0, 3}}}
+	var buf bytes.Buffer
+	if err := WriteLIBSVM(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimSpace(buf.String()), "1 1:1 3:3"; got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,154 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func denseTuple(vals ...float64) Tuple {
+	return Tuple{Dense: vals}
+}
+
+func sparseTuple(idx []int32, val []float64) Tuple {
+	return Tuple{SparseIdx: idx, SparseVal: val}
+}
+
+func TestTupleIsSparse(t *testing.T) {
+	d := denseTuple(1, 2)
+	s := sparseTuple([]int32{0}, []float64{1})
+	if d.IsSparse() {
+		t.Fatal("dense tuple reported sparse")
+	}
+	if !s.IsSparse() {
+		t.Fatal("sparse tuple reported dense")
+	}
+}
+
+func TestDotDense(t *testing.T) {
+	tp := denseTuple(1, 2, 3)
+	w := []float64{4, 5, 6}
+	if got := tp.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotSparse(t *testing.T) {
+	tp := sparseTuple([]int32{1, 3}, []float64{2, 4})
+	w := []float64{10, 20, 30, 40}
+	if got := tp.Dot(w); got != 2*20+4*40 {
+		t.Fatalf("Dot = %v, want %v", got, 2*20+4*40)
+	}
+}
+
+func TestDotOutOfRangeIgnored(t *testing.T) {
+	tp := sparseTuple([]int32{0, 100}, []float64{1, 99})
+	w := []float64{5}
+	if got := tp.Dot(w); got != 5 {
+		t.Fatalf("Dot = %v, want 5 (index 100 ignored)", got)
+	}
+	d := denseTuple(1, 2, 3)
+	if got := d.Dot([]float64{1}); got != 1 {
+		t.Fatalf("short-w dense Dot = %v, want 1", got)
+	}
+}
+
+func TestAxpyIntoDense(t *testing.T) {
+	tp := denseTuple(1, 2)
+	v := []float64{10, 10}
+	tp.AxpyInto(v, 3)
+	if v[0] != 13 || v[1] != 16 {
+		t.Fatalf("AxpyInto = %v, want [13 16]", v)
+	}
+}
+
+func TestAxpyIntoSparse(t *testing.T) {
+	tp := sparseTuple([]int32{1}, []float64{5})
+	v := []float64{0, 0, 0}
+	tp.AxpyInto(v, 2)
+	if v[0] != 0 || v[1] != 10 || v[2] != 0 {
+		t.Fatalf("AxpyInto = %v, want [0 10 0]", v)
+	}
+}
+
+// Property: Dot(w) after AxpyInto(w, a) equals Dot(w) + a*‖x‖².
+func TestAxpyDotConsistency(t *testing.T) {
+	f := func(vals []float64, a float64) bool {
+		if len(vals) == 0 || len(vals) > 20 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		tp := denseTuple(vals...)
+		w := make([]float64, len(vals))
+		before := tp.Dot(w)
+		tp.AxpyInto(w, a)
+		after := tp.Dot(w)
+		want := before + a*tp.FeatureNorm2()
+		return math.Abs(after-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureNorm2(t *testing.T) {
+	d := denseTuple(3, 4)
+	if d.FeatureNorm2() != 25 {
+		t.Fatalf("dense norm² = %v, want 25", d.FeatureNorm2())
+	}
+	s := sparseTuple([]int32{7, 9}, []float64{3, 4})
+	if s.FeatureNorm2() != 25 {
+		t.Fatalf("sparse norm² = %v, want 25", s.FeatureNorm2())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := Tuple{ID: 7, Label: 1, Dense: []float64{1, 2}}
+	c := orig.Clone()
+	c.Dense[0] = 99
+	if orig.Dense[0] != 1 {
+		t.Fatal("Clone shares dense storage")
+	}
+	s := sparseTuple([]int32{1}, []float64{2})
+	cs := s.Clone()
+	cs.SparseVal[0] = 99
+	if s.SparseVal[0] != 2 {
+		t.Fatal("Clone shares sparse storage")
+	}
+}
+
+func TestNNZ(t *testing.T) {
+	d := denseTuple(1, 2, 3)
+	if got := d.NNZ(); got != 3 {
+		t.Fatalf("dense NNZ = %d, want 3", got)
+	}
+	s := sparseTuple([]int32{5}, []float64{1})
+	if got := s.NNZ(); got != 1 {
+		t.Fatalf("sparse NNZ = %d, want 1", got)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	d := denseTuple(1, 2)
+	if got, want := d.EncodedSize(), 21+16; got != want {
+		t.Fatalf("dense EncodedSize = %d, want %d", got, want)
+	}
+	s := sparseTuple([]int32{1, 2}, []float64{1, 2})
+	if got, want := s.EncodedSize(), 21+24; got != want {
+		t.Fatalf("sparse EncodedSize = %d, want %d", got, want)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := Tuple{ID: 3, Label: -1, Dense: []float64{1}}
+	if got := tp.String(); got != "tuple{id=3 label=-1 dense nnz=1}" {
+		t.Fatalf("String = %q", got)
+	}
+}

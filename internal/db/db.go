@@ -1,0 +1,558 @@
+// Package db glues the SQL front end to the storage engine and the
+// executor: a catalog of tables and trained models, and a session that
+// executes parsed statements. It is the top of the in-DB ML stack — the
+// analogue of the paper's modified PostgreSQL.
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"corgipile/internal/core"
+	"corgipile/internal/data"
+	"corgipile/internal/executor"
+	"corgipile/internal/iosim"
+	"corgipile/internal/ml"
+	"corgipile/internal/shuffle"
+	"corgipile/internal/sqlparse"
+	"corgipile/internal/storage"
+)
+
+// TableEntry is a catalog entry for a stored table.
+type TableEntry struct {
+	Name  string
+	Table *storage.Table
+	// Device names the device class the table lives on.
+	Device string
+}
+
+// ModelEntry is a catalog entry for a trained model.
+type ModelEntry struct {
+	Name string
+	// Kind is the model type ("svm", "lr", ...).
+	Kind  string
+	Model ml.Model
+	W     []float64
+	// Features and Classes describe the training table's schema.
+	Features int
+	Classes  int
+	// Epochs holds the per-epoch training metrics.
+	Epochs []executor.EpochRow
+}
+
+// Result is the tabular output of a statement.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	// Message carries non-tabular feedback ("CREATE TABLE", row counts).
+	Message string
+}
+
+// Session executes statements against a private catalog, simulated devices,
+// and one shared simulated clock.
+type Session struct {
+	clock   *iosim.Clock
+	devices map[string]*iosim.Device
+	tables  map[string]*TableEntry
+	models  map[string]*ModelEntry
+	nextID  int
+}
+
+// NewSession returns an empty session with HDD, SSD and RAM devices sharing
+// one clock. Each device carries a 16 GiB simulated OS cache.
+func NewSession() *Session {
+	clock := iosim.NewClock()
+	devs := map[string]*iosim.Device{
+		"hdd": iosim.NewDevice(iosim.HDD, clock).WithCache(16 << 30),
+		"ssd": iosim.NewDevice(iosim.SSD, clock).WithCache(16 << 30),
+		"ram": iosim.NewDevice(iosim.RAM, clock).WithCache(16 << 30),
+	}
+	return &Session{
+		clock:   clock,
+		devices: devs,
+		tables:  make(map[string]*TableEntry),
+		models:  make(map[string]*ModelEntry),
+	}
+}
+
+// Clock returns the session's simulated clock.
+func (s *Session) Clock() *iosim.Clock { return s.clock }
+
+// Table returns the named table entry.
+func (s *Session) Table(name string) (*TableEntry, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Model returns the named model entry.
+func (s *Session) Model(name string) (*ModelEntry, bool) {
+	m, ok := s.models[strings.ToLower(name)]
+	return m, ok
+}
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStatement(st)
+}
+
+// ExecScript executes a semicolon-separated script, returning the result of
+// each statement.
+func (s *Session) ExecScript(sql string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var results []*Result
+	for _, st := range stmts {
+		r, err := s.ExecStatement(st)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// ExecStatement executes a parsed statement.
+func (s *Session) ExecStatement(st sqlparse.Statement) (*Result, error) {
+	switch st := st.(type) {
+	case *sqlparse.CreateTable:
+		return s.execCreate(st)
+	case *sqlparse.Train:
+		return s.execTrain(st)
+	case *sqlparse.Predict:
+		return s.execPredict(st)
+	case *sqlparse.Show:
+		return s.execShow(st)
+	case *sqlparse.Drop:
+		return s.execDrop(st)
+	case *sqlparse.Explain:
+		return s.execExplain(st)
+	case *sqlparse.Analyze:
+		return s.execAnalyze(st)
+	case *sqlparse.SaveModel:
+		return s.execSave(st)
+	case *sqlparse.LoadModel:
+		return s.execLoad(st)
+	}
+	return nil, fmt.Errorf("db: unsupported statement %T", st)
+}
+
+func (s *Session) execCreate(st *sqlparse.CreateTable) (*Result, error) {
+	name := strings.ToLower(st.Name)
+	if _, exists := s.tables[name]; exists {
+		return nil, fmt.Errorf("db: table %q already exists", st.Name)
+	}
+
+	var ds *data.Dataset
+	switch {
+	case st.Synthetic != nil:
+		workload := st.Synthetic.Str("workload", "")
+		if workload == "" {
+			return nil, fmt.Errorf("db: SYNTHETIC requires workload=...")
+		}
+		scale := st.Synthetic.Num("scale", 1)
+		order, err := parseOrder(st.Synthetic.Str("order", "clustered"))
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := data.Workloads[workload]; !ok {
+			return nil, fmt.Errorf("db: unknown workload %q", workload)
+		}
+		ds = data.Generate(workload, scale, order)
+	case st.SourceFile != "":
+		f, err := os.Open(st.SourceFile)
+		if err != nil {
+			return nil, fmt.Errorf("db: %w", err)
+		}
+		defer f.Close()
+		ds, err = data.ReadLIBSVM(f, name, 0)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("db: CREATE TABLE needs AS SYNTHETIC or FROM 'file'")
+	}
+
+	devName := strings.ToLower(st.With.Str("device", "hdd"))
+	dev, ok := s.devices[devName]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown device %q (hdd, ssd, ram)", devName)
+	}
+	opts := storage.Options{
+		BlockSize: int64(st.With.Num("block_size", 10<<20)),
+		Compress:  st.With.Bool("compress", false),
+	}
+	tab, err := storage.Build(dev, ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[name] = &TableEntry{Name: name, Table: tab, Device: devName}
+	return &Result{Message: fmt.Sprintf("CREATE TABLE: %d tuples, %d blocks, %d bytes on %s",
+		tab.NumTuples(), tab.NumBlocks(), tab.SizeBytes(), devName)}, nil
+}
+
+func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
+	entry, ok := s.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("db: unknown table %q", st.Table)
+	}
+	tab := entry.Table
+
+	model, err := ml.New(st.ModelType, tab.Classes())
+	if err != nil {
+		return nil, err
+	}
+	lr := st.Params.Num("learning_rate", 0.05)
+	opt, err := ml.NewOptimizer(st.Params.Str("optimizer", "sgd"), lr)
+	if err != nil {
+		return nil, err
+	}
+	if sgd, ok := opt.(*ml.SGD); ok {
+		sgd.Decay = st.Params.Num("decay", 0.95)
+	}
+	kind := shuffle.Kind(st.Params.Str("shuffle", string(shuffle.KindCorgiPile)))
+
+	// Evaluation set: the table contents, decoded out-of-band, restricted
+	// to the WHERE predicate when one is given.
+	eval, err := tab.DecodeAll()
+	if err != nil {
+		return nil, err
+	}
+	filter := predicateFunc(st.Where)
+	if filter != nil {
+		kept := eval[:0]
+		for i := range eval {
+			if filter(&eval[i]) {
+				kept = append(kept, eval[i])
+			}
+		}
+		eval = kept
+	}
+	evalDS := &data.Dataset{
+		Name: entry.Name, Task: tab.Task(),
+		Features: tab.Features(), Classes: tab.Classes(), Tuples: eval,
+	}
+
+	seed := int64(st.Params.Num("seed", 1))
+	cfg := executor.PlanConfig{
+		Shuffle:        kind,
+		BufferFraction: st.Params.Num("buffer_fraction", 0.1),
+		DoubleBuffer:   st.Params.Bool("double_buffer", true),
+		Seed:           seed,
+		Filter:         filter,
+		SGD: executor.SGDConfig{
+			Model:     model,
+			Opt:       opt,
+			Features:  tab.Features(),
+			Epochs:    int(st.Params.Num("max_epoch_num", 20)),
+			BatchSize: int(st.Params.Num("batch_size", 1)),
+			Clock:     s.clock,
+			Eval:      evalDS,
+		},
+	}
+	if mlp, ok := model.(ml.MLP); ok {
+		feats := tab.Features()
+		cfg.SGD.InitWeights = func(w []float64) {
+			mlp.InitWeights(w, feats, rand.New(rand.NewSource(seed)))
+		}
+	}
+	if fm, ok := model.(ml.FactorizationMachine); ok {
+		feats := tab.Features()
+		cfg.SGD.InitWeights = func(w []float64) {
+			fm.InitWeights(w, feats, 0.01, rand.New(rand.NewSource(seed)))
+		}
+	}
+
+	op, err := executor.BuildSGDPlan(shuffle.TableSource(tab), cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := op.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	modelName := strings.ToLower(st.ModelName)
+	if modelName == "" {
+		s.nextID++
+		modelName = fmt.Sprintf("model%d", s.nextID)
+	}
+	s.models[modelName] = &ModelEntry{
+		Name: modelName, Kind: st.ModelType, Model: model, W: op.W,
+		Features: tab.Features(), Classes: tab.Classes(), Epochs: rows,
+	}
+
+	res := &Result{
+		Columns: []string{"epoch", "loss", "accuracy", "seconds", "tuples"},
+		Message: fmt.Sprintf("TRAIN: model %q stored", modelName),
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(r.Epoch),
+			fmt.Sprintf("%.6f", r.Loss),
+			fmt.Sprintf("%.4f", r.Accuracy),
+			fmt.Sprintf("%.3f", r.Seconds),
+			strconv.Itoa(r.Tuples),
+		})
+	}
+	return res, nil
+}
+
+// predicateFunc compiles a parsed WHERE predicate to a tuple filter.
+func predicateFunc(p *sqlparse.Predicate) func(*data.Tuple) bool {
+	if p == nil {
+		return nil
+	}
+	field := func(t *data.Tuple) float64 {
+		if p.Column == "id" {
+			return float64(t.ID)
+		}
+		return t.Label
+	}
+	switch p.Op {
+	case "=":
+		return func(t *data.Tuple) bool { return field(t) == p.Value }
+	case "!=":
+		return func(t *data.Tuple) bool { return field(t) != p.Value }
+	case "<":
+		return func(t *data.Tuple) bool { return field(t) < p.Value }
+	case "<=":
+		return func(t *data.Tuple) bool { return field(t) <= p.Value }
+	case ">":
+		return func(t *data.Tuple) bool { return field(t) > p.Value }
+	case ">=":
+		return func(t *data.Tuple) bool { return field(t) >= p.Value }
+	}
+	return func(*data.Tuple) bool { return true }
+}
+
+func (s *Session) execPredict(st *sqlparse.Predict) (*Result, error) {
+	entry, ok := s.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("db: unknown table %q", st.Table)
+	}
+	m, ok := s.Model(st.Model)
+	if !ok {
+		return nil, fmt.Errorf("db: unknown model %q", st.Model)
+	}
+	var scan executor.Operator = executor.NewScan(shuffle.TableSource(entry.Table))
+	if f := predicateFunc(st.Where); f != nil {
+		scan = executor.NewFilter(scan, f)
+	}
+	pred := executor.NewPredict(scan, m.Model, m.W)
+	if err := pred.Init(); err != nil {
+		return nil, err
+	}
+	defer pred.Close()
+
+	res := &Result{Columns: []string{"id", "label", "prediction"}}
+	correct, n := 0, 0
+	for {
+		p, ok, err := pred.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		n++
+		if entry.Table.Task() != data.TaskRegression && (p.Pred >= 0) == (p.Label >= 0) &&
+			(entry.Table.Task() != data.TaskMulticlass || p.Pred == p.Label) {
+			correct++
+		}
+		if st.Limit == 0 || len(res.Rows) < st.Limit {
+			res.Rows = append(res.Rows, []string{
+				strconv.FormatInt(p.ID, 10),
+				fmt.Sprintf("%g", p.Label),
+				fmt.Sprintf("%g", p.Pred),
+			})
+		}
+	}
+	if entry.Table.Task() != data.TaskRegression && n > 0 {
+		res.Message = fmt.Sprintf("PREDICT: %d rows, accuracy %.4f", n, float64(correct)/float64(n))
+	} else {
+		res.Message = fmt.Sprintf("PREDICT: %d rows", n)
+	}
+	return res, nil
+}
+
+// trainPlanConfig builds the executor plan configuration a TRAIN statement
+// describes, without running it. Shared by execTrain and execExplain.
+func (s *Session) trainPlanConfig(st *sqlparse.Train, tab *storage.Table) (executor.PlanConfig, error) {
+	model, err := ml.New(st.ModelType, tab.Classes())
+	if err != nil {
+		return executor.PlanConfig{}, err
+	}
+	lr := st.Params.Num("learning_rate", 0.05)
+	opt, err := ml.NewOptimizer(st.Params.Str("optimizer", "sgd"), lr)
+	if err != nil {
+		return executor.PlanConfig{}, err
+	}
+	if sgd, ok := opt.(*ml.SGD); ok {
+		sgd.Decay = st.Params.Num("decay", 0.95)
+	}
+	return executor.PlanConfig{
+		Shuffle:        shuffle.Kind(st.Params.Str("shuffle", string(shuffle.KindCorgiPile))),
+		BufferFraction: st.Params.Num("buffer_fraction", 0.1),
+		DoubleBuffer:   st.Params.Bool("double_buffer", true),
+		Seed:           int64(st.Params.Num("seed", 1)),
+		SGD: executor.SGDConfig{
+			Model:     model,
+			Opt:       opt,
+			Features:  tab.Features(),
+			Epochs:    int(st.Params.Num("max_epoch_num", 20)),
+			BatchSize: int(st.Params.Num("batch_size", 1)),
+			Clock:     s.clock,
+		},
+	}, nil
+}
+
+// execExplain renders the physical plan of a TRAIN query.
+func (s *Session) execExplain(st *sqlparse.Explain) (*Result, error) {
+	entry, ok := s.Table(st.Train.Table)
+	if !ok {
+		return nil, fmt.Errorf("db: unknown table %q", st.Train.Table)
+	}
+	cfg, err := s.trainPlanConfig(st.Train, entry.Table)
+	if err != nil {
+		return nil, err
+	}
+	plan := executor.DescribePlan(shuffle.TableSource(entry.Table), cfg)
+	res := &Result{Columns: []string{"physical plan"}}
+	for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+		res.Rows = append(res.Rows, []string{line})
+	}
+	return res, nil
+}
+
+// execAnalyze estimates the table's cluster factor h_D and gradient
+// variance at the named model's initial weights, and recommends a buffer
+// size from the Theorem 1 bound.
+func (s *Session) execAnalyze(st *sqlparse.Analyze) (*Result, error) {
+	entry, ok := s.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("db: unknown table %q", st.Table)
+	}
+	tab := entry.Table
+	model, err := ml.New(st.Params.Str("model", "svm"), tab.Classes())
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := tab.DecodeAll()
+	if err != nil {
+		return nil, err
+	}
+	ds := &data.Dataset{
+		Name: entry.Name, Task: tab.Task(),
+		Features: tab.Features(), Classes: tab.Classes(), Tuples: tuples,
+	}
+	blockTuples := tab.NumTuples() / tab.NumBlocks()
+	if blockTuples < 1 {
+		blockTuples = 1
+	}
+	w := make([]float64, model.Dim(tab.Features()))
+	hd := core.HDFactor(model, w, ds, blockTuples)
+
+	epochs := int(st.Params.Num("max_epoch_num", 20))
+	params := core.BoundParams{
+		N: tab.NumBlocks(), B: blockTuples, M: tab.NumTuples(),
+		HD: hd, Sigma2: 1, // σ² scales both bounds identically; h_D carries the order information
+		T: epochs * tab.NumTuples(),
+	}
+	nbuf, bound, full := core.RecommendBuffer(params, st.Params.Num("tolerance", 1.10))
+	frac := float64(nbuf) / float64(tab.NumBlocks())
+
+	res := &Result{Columns: []string{"metric", "value"}}
+	add := func(k, v string) { res.Rows = append(res.Rows, []string{k, v}) }
+	add("tuples", strconv.Itoa(tab.NumTuples()))
+	add("blocks (N)", strconv.Itoa(tab.NumBlocks()))
+	add("tuples per block (b)", strconv.Itoa(blockTuples))
+	add("cluster factor h_D", fmt.Sprintf("%.2f (1 = shuffled, %d = fully clustered)", hd, blockTuples))
+	add("recommended buffer", fmt.Sprintf("%d blocks (%.1f%% of table)", nbuf, frac*100))
+	add("theorem-1 bound at recommendation", fmt.Sprintf("%.3g", bound))
+	add("theorem-1 bound at full buffer", fmt.Sprintf("%.3g", full))
+	res.Message = fmt.Sprintf("ANALYZE: buffer_fraction=%.3f recommended", frac)
+	return res, nil
+}
+
+func (s *Session) execShow(st *sqlparse.Show) (*Result, error) {
+	res := &Result{}
+	switch st.What {
+	case "tables":
+		res.Columns = []string{"table", "tuples", "blocks", "bytes", "device"}
+		names := sortedKeys(s.tables)
+		for _, name := range names {
+			t := s.tables[name]
+			res.Rows = append(res.Rows, []string{
+				name,
+				strconv.Itoa(t.Table.NumTuples()),
+				strconv.Itoa(t.Table.NumBlocks()),
+				strconv.FormatInt(t.Table.SizeBytes(), 10),
+				t.Device,
+			})
+		}
+	case "models":
+		res.Columns = []string{"model", "kind", "features", "epochs", "final_accuracy"}
+		names := sortedKeys(s.models)
+		for _, name := range names {
+			m := s.models[name]
+			acc := ""
+			if len(m.Epochs) > 0 {
+				acc = fmt.Sprintf("%.4f", m.Epochs[len(m.Epochs)-1].Accuracy)
+			}
+			res.Rows = append(res.Rows, []string{
+				name, m.Kind, strconv.Itoa(m.Features), strconv.Itoa(len(m.Epochs)), acc,
+			})
+		}
+	}
+	return res, nil
+}
+
+func (s *Session) execDrop(st *sqlparse.Drop) (*Result, error) {
+	name := strings.ToLower(st.Name)
+	switch st.What {
+	case "table":
+		if _, ok := s.tables[name]; !ok {
+			return nil, fmt.Errorf("db: unknown table %q", st.Name)
+		}
+		delete(s.tables, name)
+		return &Result{Message: "DROP TABLE"}, nil
+	case "model":
+		if _, ok := s.models[name]; !ok {
+			return nil, fmt.Errorf("db: unknown model %q", st.Name)
+		}
+		delete(s.models, name)
+		return &Result{Message: "DROP MODEL"}, nil
+	}
+	return nil, fmt.Errorf("db: unsupported DROP %q", st.What)
+}
+
+func parseOrder(s string) (data.Order, error) {
+	switch strings.ToLower(s) {
+	case "clustered":
+		return data.OrderClustered, nil
+	case "shuffled":
+		return data.OrderShuffled, nil
+	case "feature", "feature_ordered", "feature-ordered":
+		return data.OrderFeature, nil
+	}
+	return 0, fmt.Errorf("db: unknown order %q (clustered, shuffled, feature)", s)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,116 @@
+package db
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"corgipile/internal/executor"
+	"corgipile/internal/ml"
+	"corgipile/internal/sqlparse"
+)
+
+// modelFile is the on-disk JSON representation of a trained model.
+type modelFile struct {
+	// Format versions the file layout.
+	Format int `json:"format"`
+	// Kind is the model type ("svm", "lr", "linreg", "softmax", "mlp").
+	Kind     string    `json:"kind"`
+	Features int       `json:"features"`
+	Classes  int       `json:"classes"`
+	Hidden   int       `json:"hidden,omitempty"` // MLP hidden width
+	W        []float64 `json:"weights"`
+}
+
+const modelFileFormat = 1
+
+// SaveModelFile writes a trained model's weights and metadata to the JSON
+// model-file format that LOAD MODEL (and LoadModelFile) reads. hidden is
+// the MLP hidden width and ignored for other kinds.
+func SaveModelFile(path, kind string, features, classes, hidden int, w []float64) error {
+	mf := modelFile{
+		Format:   modelFileFormat,
+		Kind:     kind,
+		Features: features,
+		Classes:  classes,
+		Hidden:   hidden,
+		W:        w,
+	}
+	buf, err := json.Marshal(mf)
+	if err != nil {
+		return fmt.Errorf("db: encode model: %w", err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("db: %w", err)
+	}
+	return nil
+}
+
+// LoadModelFile reads a model file and reconstructs the model and weights.
+func LoadModelFile(path string) (ml.Model, *modelFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("db: %w", err)
+	}
+	var mf modelFile
+	if err := json.Unmarshal(buf, &mf); err != nil {
+		return nil, nil, fmt.Errorf("db: decode model: %w", err)
+	}
+	if mf.Format != modelFileFormat {
+		return nil, nil, fmt.Errorf("db: unsupported model file format %d", mf.Format)
+	}
+	model, err := ml.New(mf.Kind, maxInt(mf.Classes, 2))
+	if err != nil {
+		return nil, nil, fmt.Errorf("db: model file: %w", err)
+	}
+	if mlp, ok := model.(ml.MLP); ok && mf.Hidden > 0 {
+		mlp.Hidden = mf.Hidden
+		model = mlp
+	}
+	if want := model.Dim(mf.Features); want != len(mf.W) {
+		return nil, nil, fmt.Errorf("db: model file weights have %d values, want %d", len(mf.W), want)
+	}
+	return model, &mf, nil
+}
+
+// execSave serializes a catalog model to a JSON file.
+func (s *Session) execSave(st *sqlparse.SaveModel) (*Result, error) {
+	m, ok := s.Model(st.Name)
+	if !ok {
+		return nil, fmt.Errorf("db: unknown model %q", st.Name)
+	}
+	hidden := 0
+	if mlp, ok := m.Model.(ml.MLP); ok {
+		hidden = mlp.Hidden
+	}
+	if err := SaveModelFile(st.Path, m.Kind, m.Features, m.Classes, hidden, m.W); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("SAVE MODEL: %q → %s", m.Name, st.Path)}, nil
+}
+
+// execLoad restores a saved model into the catalog.
+func (s *Session) execLoad(st *sqlparse.LoadModel) (*Result, error) {
+	name := strings.ToLower(st.Name)
+	if _, exists := s.models[name]; exists {
+		return nil, fmt.Errorf("db: model %q already exists", st.Name)
+	}
+	model, mf, err := LoadModelFile(st.Path)
+	if err != nil {
+		return nil, err
+	}
+	s.models[name] = &ModelEntry{
+		Name: name, Kind: mf.Kind, Model: model, W: mf.W,
+		Features: mf.Features, Classes: mf.Classes,
+		Epochs: []executor.EpochRow{},
+	}
+	return &Result{Message: fmt.Sprintf("LOAD MODEL: %q ← %s", name, st.Path)}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

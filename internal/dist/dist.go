@@ -1,0 +1,380 @@
+// Package dist implements multi-process CorgiPile (Section 5): data-parallel
+// mini-batch SGD across PN workers, each holding a private tuple-shuffle
+// buffer over its share of a common per-epoch block permutation, with
+// gradients averaged across workers after every batch (the AllReduce step
+// of PyTorch's DistributedDataParallel mode).
+//
+// Workers compute gradients concurrently on real goroutines; the reduction
+// is performed in worker order so training is bit-for-bit deterministic.
+// Simulated time models the parallel hardware: each worker accrues its own
+// I/O and compute time, and an epoch advances the shared clock by the
+// slowest worker plus the per-batch synchronization cost.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"corgipile/internal/core"
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+	"corgipile/internal/ml"
+)
+
+// Config configures a distributed training run.
+type Config struct {
+	// Workers is the number of data-parallel processes (the paper's PN).
+	Workers int
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// GlobalBatch is the total mini-batch size; each worker contributes
+	// GlobalBatch/Workers tuples per step (the paper's bs/PN).
+	GlobalBatch int
+	// BufferFraction is the *total* shuffle-buffer budget as a fraction of
+	// the dataset; each worker gets BufferFraction/Workers (Section 5.1
+	// step 3).
+	BufferFraction float64
+	// BlockTuples is the number of tuples per storage block.
+	BlockTuples int
+	// NoBlockShuffle disables the per-epoch block permutation, giving the
+	// distributed No Shuffle baseline (workers scan contiguous partitions).
+	NoBlockShuffle bool
+	// NoTupleShuffle disables the per-buffer tuple shuffle (Block-Only).
+	NoTupleShuffle bool
+	// Seed drives all randomness. As in the paper, every worker derives
+	// the same block permutation from the shared seed.
+	Seed int64
+
+	// Model, Opt, Features and InitWeights define the learner.
+	Model       ml.Model
+	Opt         ml.Optimizer
+	Features    int
+	InitWeights func(w []float64)
+
+	// Clock, when non-nil, receives the simulated epoch times.
+	Clock *iosim.Clock
+	// BlockReadCost is the simulated time for one worker to fetch one
+	// block from the parallel file system.
+	BlockReadCost time.Duration
+	// SyncCost is a fixed simulated AllReduce cost per batch. When
+	// NetBandwidth is set, a ring-AllReduce model is used instead:
+	// 2·(PN−1)/PN · modelBytes / NetBandwidth + 2·(PN−1)·NetLatency,
+	// the standard bandwidth-optimal ring schedule.
+	SyncCost time.Duration
+	// NetBandwidth is the per-link bandwidth in bytes/second for the ring
+	// AllReduce model (0 disables it, falling back to SyncCost).
+	NetBandwidth float64
+	// NetLatency is the per-hop latency for the ring AllReduce model.
+	NetLatency time.Duration
+	// ComputeScale multiplies the per-tuple gradient compute cost, for
+	// modelling heavier learners (a ResNet forward+backward costs ~500x an
+	// MLP gradient). Zero means 1.
+	ComputeScale float64
+
+	// Eval, when non-nil, is evaluated after each epoch.
+	Eval *data.Dataset
+}
+
+// syncCostPerBatch returns the simulated gradient-synchronization time per
+// batch for a model of dim float64 weights.
+func (c Config) syncCostPerBatch(dim int) time.Duration {
+	if c.NetBandwidth <= 0 {
+		return c.SyncCost
+	}
+	pn := float64(c.Workers)
+	modelBytes := float64(dim * 8)
+	transfer := 2 * (pn - 1) / pn * modelBytes / c.NetBandwidth
+	return time.Duration(transfer*float64(time.Second)) + time.Duration(2*(c.Workers-1))*c.NetLatency
+}
+
+func (c Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("dist: Workers must be >= 1")
+	}
+	if c.Model == nil || c.Opt == nil {
+		return fmt.Errorf("dist: Model and Opt are required")
+	}
+	if c.BlockTuples < 1 {
+		return fmt.Errorf("dist: BlockTuples must be >= 1")
+	}
+	return nil
+}
+
+// Train runs distributed data-parallel training over ds and returns the
+// convergence trace.
+func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.GlobalBatch < cfg.Workers {
+		cfg.GlobalBatch = cfg.Workers
+	}
+	if cfg.BufferFraction <= 0 {
+		cfg.BufferFraction = 0.1
+	}
+
+	dim := cfg.Model.Dim(cfg.Features)
+	w := make([]float64, dim)
+	if cfg.InitWeights != nil {
+		cfg.InitWeights(w)
+	}
+	cfg.Opt.Reset(dim)
+
+	res := &core.Result{W: w}
+	perWorkerBatch := cfg.GlobalBatch / cfg.Workers
+
+	acc := make([]float64, dim)
+	mark := make([]bool, dim)
+	var touched []int32
+	syncPerBatch := cfg.syncCostPerBatch(dim)
+
+	var start time.Duration
+	if cfg.Clock != nil {
+		start = cfg.Clock.Now()
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		workers := makeWorkers(ds, cfg, epoch)
+		var lossSum float64
+		var tuples int
+		var epochWall time.Duration // max over worker clocks
+		var syncTotal time.Duration
+
+		for {
+			// Each worker pulls its share of the batch and computes
+			// gradients concurrently at the shared weights.
+			var wg sync.WaitGroup
+			for _, wk := range workers {
+				wk.pull(perWorkerBatch)
+			}
+			for _, wk := range workers {
+				wg.Add(1)
+				go func(wk *worker) {
+					defer wg.Done()
+					wk.grads(w)
+				}(wk)
+			}
+			wg.Wait()
+
+			// Deterministic reduce in worker order.
+			count := 0
+			for _, wk := range workers {
+				count += len(wk.batch)
+				lossSum += wk.loss
+				for i, idx := range wk.gi {
+					if !mark[idx] {
+						mark[idx] = true
+						touched = append(touched, idx)
+					}
+					acc[idx] += wk.gv[i]
+				}
+			}
+			if count == 0 {
+				break
+			}
+			tuples += count
+			gv := make([]float64, len(touched))
+			inv := 1 / float64(count)
+			for i, idx := range touched {
+				gv[i] = acc[idx] * inv
+				acc[idx] = 0
+				mark[idx] = false
+			}
+			cfg.Opt.Step(w, touched, gv)
+			touched = touched[:0]
+			syncTotal += syncPerBatch
+		}
+		cfg.Opt.EndEpoch()
+
+		for _, wk := range workers {
+			if wk.clock > epochWall {
+				epochWall = wk.clock
+			}
+		}
+		p := core.EpochPoint{Epoch: epoch + 1, Tuples: tuples}
+		if tuples > 0 {
+			p.AvgLoss = lossSum / float64(tuples)
+		}
+		if cfg.Clock != nil {
+			cfg.Clock.Advance(epochWall + syncTotal)
+			p.Seconds = (cfg.Clock.Now() - start).Seconds()
+		}
+		if cfg.Eval != nil {
+			p.TrainAcc = ml.Accuracy(cfg.Model, w, cfg.Eval)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// worker is one data-parallel process: a private iterator over its block
+// share plus gradient scratch space.
+type worker struct {
+	it           *workerIter
+	batch        []data.Tuple
+	gi           []int32
+	gv           []float64
+	loss         float64
+	model        ml.Model
+	clock        time.Duration // private simulated time this epoch
+	computeScale float64
+}
+
+// pull fills the worker's batch with up to n tuples. Tuples are copied by
+// value: the iterator's buffer is recycled across refills, so retaining
+// pointers into it would alias stale storage.
+func (wk *worker) pull(n int) {
+	wk.batch = wk.batch[:0]
+	for len(wk.batch) < n {
+		t, ok := wk.it.next(&wk.clock)
+		if !ok {
+			break
+		}
+		wk.batch = append(wk.batch, *t)
+	}
+}
+
+// grads computes the summed gradient of the worker's batch at w.
+func (wk *worker) grads(w []float64) {
+	wk.gi = wk.gi[:0]
+	wk.gv = wk.gv[:0]
+	wk.loss = 0
+	for i := range wk.batch {
+		t := &wk.batch[i]
+		var loss float64
+		loss, wk.gi, wk.gv = wk.model.Grad(w, t, wk.gi, wk.gv)
+		wk.loss += loss
+		wk.clock += time.Duration(float64(ml.GradCost(t.NNZ())) * wk.computeScale)
+	}
+}
+
+// makeWorkers builds the per-epoch worker set: a shared block permutation
+// split PN ways, exactly the Section 5.1 block-shuffle step.
+func makeWorkers(ds *data.Dataset, cfg Config, epoch int) []*worker {
+	numBlocks := (ds.Len() + cfg.BlockTuples - 1) / cfg.BlockTuples
+	perm := make([]int, numBlocks)
+	for i := range perm {
+		perm[i] = i
+	}
+	if !cfg.NoBlockShuffle {
+		// All workers share the seed, so they derive the same permutation.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*7919))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+
+	bufTotal := int(cfg.BufferFraction * float64(ds.Len()))
+	bufPerWorker := bufTotal / cfg.Workers
+	if bufPerWorker < cfg.BlockTuples {
+		bufPerWorker = cfg.BlockTuples
+	}
+	nBlocks := bufPerWorker / cfg.BlockTuples
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+
+	computeScale := cfg.ComputeScale
+	if computeScale == 0 {
+		computeScale = 1
+	}
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		lo := i * numBlocks / cfg.Workers
+		hi := (i + 1) * numBlocks / cfg.Workers
+		workers[i] = &worker{
+			it: &workerIter{
+				ds:     ds,
+				blocks: perm[lo:hi],
+				per:    cfg.BlockTuples,
+				nBuf:   nBlocks,
+				shuf:   !cfg.NoTupleShuffle,
+				rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(epoch*131+i))),
+				read:   cfg.BlockReadCost,
+			},
+			model:        cfg.Model,
+			computeScale: computeScale,
+		}
+	}
+	return workers
+}
+
+// workerIter is the per-worker CorgiPile iterator: local buffer of nBuf
+// blocks, tuple-shuffled.
+type workerIter struct {
+	ds     *data.Dataset
+	blocks []int
+	per    int
+	nBuf   int
+	shuf   bool
+	rng    *rand.Rand
+	read   time.Duration
+
+	idx int
+	buf []data.Tuple
+	pos int
+}
+
+// next returns the next tuple, charging I/O time to the worker clock.
+func (it *workerIter) next(clock *time.Duration) (*data.Tuple, bool) {
+	for it.pos >= len(it.buf) {
+		if it.idx >= len(it.blocks) {
+			return nil, false
+		}
+		it.buf = it.buf[:0]
+		it.pos = 0
+		for count := 0; count < it.nBuf && it.idx < len(it.blocks); count++ {
+			b := it.blocks[it.idx]
+			it.idx++
+			lo := b * it.per
+			hi := lo + it.per
+			if hi > it.ds.Len() {
+				hi = it.ds.Len()
+			}
+			it.buf = append(it.buf, it.ds.Tuples[lo:hi]...)
+			*clock += it.read
+		}
+		if it.shuf {
+			it.rng.Shuffle(len(it.buf), func(i, j int) {
+				it.buf[i], it.buf[j] = it.buf[j], it.buf[i]
+			})
+		}
+	}
+	t := &it.buf[it.pos]
+	it.pos++
+	return t, true
+}
+
+// EffectiveOrder returns the sequence of tuple IDs the distributed run
+// consumes, merged in global batch order — the quantity Figure 5 compares
+// against single-process CorgiPile.
+func EffectiveOrder(ds *data.Dataset, cfg Config) ([]int64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.GlobalBatch < cfg.Workers {
+		cfg.GlobalBatch = cfg.Workers
+	}
+	if cfg.BufferFraction <= 0 {
+		cfg.BufferFraction = 0.1
+	}
+	workers := makeWorkers(ds, cfg, 0)
+	per := cfg.GlobalBatch / cfg.Workers
+	var order []int64
+	for {
+		emitted := false
+		for _, wk := range workers {
+			wk.pull(per)
+			for i := range wk.batch {
+				order = append(order, wk.batch[i].ID)
+				emitted = true
+			}
+		}
+		if !emitted {
+			return order, nil
+		}
+	}
+}

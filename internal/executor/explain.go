@@ -1,0 +1,56 @@
+package executor
+
+import (
+	"fmt"
+	"strings"
+
+	"corgipile/internal/shuffle"
+)
+
+// DescribePlan renders the physical operator tree a PlanConfig would build
+// over src, in EXPLAIN style. The CorgiPile plan is the paper's
+// SGD → TupleShuffle → BlockShuffle pipeline; other strategies show their
+// access path.
+func DescribePlan(src shuffle.Source, cfg PlanConfig) string {
+	if cfg.BufferFraction <= 0 {
+		cfg.BufferFraction = 0.1
+	}
+	var b strings.Builder
+	model := "?"
+	if cfg.SGD.Model != nil {
+		model = cfg.SGD.Model.Name()
+	}
+	opt := "?"
+	if cfg.SGD.Opt != nil {
+		opt = cfg.SGD.Opt.Name()
+	}
+	batch := cfg.SGD.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	fmt.Fprintf(&b, "SGD (model=%s optimizer=%s epochs=%d batch=%d)\n",
+		model, opt, cfg.SGD.Epochs, batch)
+
+	switch cfg.Shuffle {
+	case shuffle.KindNoShuffle:
+		fmt.Fprintf(&b, "└─ Scan (blocks=%d, sequential)\n", src.NumBlocks())
+	case shuffle.KindBlockOnly:
+		fmt.Fprintf(&b, "└─ BlockShuffle (blocks=%d, reshuffled per epoch)\n", src.NumBlocks())
+	case shuffle.KindCorgiPile, "":
+		capTuples := int(cfg.BufferFraction * float64(src.NumTuples()))
+		if capTuples < 1 {
+			capTuples = 1
+		}
+		mode := "single-buffer"
+		if cfg.DoubleBuffer {
+			mode = "double-buffer"
+		}
+		fmt.Fprintf(&b, "└─ TupleShuffle (buffer=%d tuples ≈ %.0f%%, %s)\n",
+			capTuples, cfg.BufferFraction*100, mode)
+		fmt.Fprintf(&b, "   └─ BlockShuffle (blocks=%d, reshuffled per epoch)\n", src.NumBlocks())
+	default:
+		fmt.Fprintf(&b, "└─ Strategy[%s] (buffer=%.0f%% of %d tuples)\n",
+			cfg.Shuffle, cfg.BufferFraction*100, src.NumTuples())
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package executor
+
+import "corgipile/internal/data"
+
+// FilterOp passes through only tuples matching a predicate — the physical
+// operator behind the SQL WHERE clause.
+type FilterOp struct {
+	child Operator
+	pred  func(*data.Tuple) bool
+}
+
+// NewFilter wraps child with the predicate.
+func NewFilter(child Operator, pred func(*data.Tuple) bool) *FilterOp {
+	return &FilterOp{child: child, pred: pred}
+}
+
+// Init implements Operator.
+func (op *FilterOp) Init() error { return op.child.Init() }
+
+// Next implements Operator.
+func (op *FilterOp) Next() (*data.Tuple, bool, error) {
+	for {
+		t, ok, err := op.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if op.pred(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// ReScan implements Operator.
+func (op *FilterOp) ReScan() error { return op.child.ReScan() }
+
+// Close implements Operator.
+func (op *FilterOp) Close() error { return op.child.Close() }

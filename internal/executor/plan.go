@@ -1,0 +1,112 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/shuffle"
+)
+
+// PlanConfig describes a training query's physical plan.
+type PlanConfig struct {
+	// Shuffle selects the access-path strategy. The CorgiPile plan is
+	// BlockShuffle → TupleShuffle → SGD; No Shuffle is Scan → SGD;
+	// Block-Only omits TupleShuffle; Once/Epoch/Window/MRS plans fall back
+	// to the strategy implementations in internal/shuffle wrapped as an
+	// operator.
+	Shuffle shuffle.Kind
+	// BufferFraction sizes the TupleShuffle buffer (default 0.1).
+	BufferFraction float64
+	// DoubleBuffer enables the Section 6.3 optimization.
+	DoubleBuffer bool
+	// Seed seeds the plan's randomness.
+	Seed int64
+	// Filter, when non-nil, drops tuples failing the predicate (the WHERE
+	// clause), applied above the access path and below SGD.
+	Filter func(*data.Tuple) bool
+	// SGD carries the learner configuration.
+	SGD SGDConfig
+}
+
+// BuildSGDPlan assembles the physical plan for a TRAIN BY query over src
+// and returns its SGD root operator.
+func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
+	if cfg.BufferFraction <= 0 {
+		cfg.BufferFraction = 0.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var child Operator
+	switch cfg.Shuffle {
+	case shuffle.KindNoShuffle:
+		child = NewScan(src)
+	case shuffle.KindBlockOnly:
+		child = NewBlockShuffle(src, rng)
+	case shuffle.KindCorgiPile, "":
+		capTuples := int(cfg.BufferFraction * float64(src.NumTuples()))
+		if capTuples < 1 {
+			capTuples = 1
+		}
+		ts := NewTupleShuffle(NewBlockShuffle(src, rng), capTuples, rng)
+		ts.DoubleBuffer = cfg.DoubleBuffer
+		ts.Clock = src.Clock()
+		ts.CopyCost = 60 * time.Nanosecond
+		child = ts
+	default:
+		st, err := shuffle.New(cfg.Shuffle, src, shuffle.Options{
+			BufferFraction: cfg.BufferFraction,
+			Seed:           cfg.Seed,
+			DoubleBuffer:   cfg.DoubleBuffer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		child = &strategyOp{st: st}
+	}
+	if cfg.Filter != nil {
+		child = NewFilter(child, cfg.Filter)
+	}
+	return NewSGD(child, cfg.SGD)
+}
+
+// strategyOp adapts a shuffle.Strategy to the Operator interface so that
+// baseline strategies run under the same SGD operator.
+type strategyOp struct {
+	st    shuffle.Strategy
+	epoch int
+	it    shuffle.Iterator
+}
+
+// Init implements Operator.
+func (op *strategyOp) Init() error {
+	op.epoch = 0
+	return op.start()
+}
+
+func (op *strategyOp) start() error {
+	it, err := op.st.StartEpoch(op.epoch)
+	if err != nil {
+		return fmt.Errorf("executor: strategy %s epoch %d: %w", op.st.Name(), op.epoch, err)
+	}
+	op.it = it
+	return nil
+}
+
+// Next implements Operator.
+func (op *strategyOp) Next() (*data.Tuple, bool, error) {
+	t, ok := op.it.Next()
+	if !ok {
+		return nil, false, op.it.Err()
+	}
+	return t, true, nil
+}
+
+// ReScan implements Operator.
+func (op *strategyOp) ReScan() error {
+	op.epoch++
+	return op.start()
+}
+
+// Close implements Operator.
+func (op *strategyOp) Close() error { return nil }

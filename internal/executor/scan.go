@@ -1,0 +1,99 @@
+package executor
+
+import (
+	"math/rand"
+
+	"corgipile/internal/data"
+	"corgipile/internal/shuffle"
+)
+
+// ScanOp reads blocks sequentially in storage order — PostgreSQL's heap
+// scan, and the access path of the No Shuffle strategy.
+type ScanOp struct {
+	src   shuffle.Source
+	block int
+	buf   []data.Tuple
+	pos   int
+}
+
+// NewScan returns a sequential scan over src.
+func NewScan(src shuffle.Source) *ScanOp { return &ScanOp{src: src} }
+
+// Init implements Operator.
+func (op *ScanOp) Init() error { return op.ReScan() }
+
+// Next implements Operator.
+func (op *ScanOp) Next() (*data.Tuple, bool, error) {
+	for op.pos >= len(op.buf) {
+		if op.block >= op.src.NumBlocks() {
+			return nil, false, nil
+		}
+		buf, err := op.src.ReadBlock(op.block)
+		if err != nil {
+			return nil, false, err
+		}
+		op.block++
+		op.buf, op.pos = buf, 0
+	}
+	t := &op.buf[op.pos]
+	op.pos++
+	return t, true, nil
+}
+
+// ReScan implements Operator.
+func (op *ScanOp) ReScan() error {
+	op.block, op.buf, op.pos = 0, nil, 0
+	return nil
+}
+
+// Close implements Operator.
+func (op *ScanOp) Close() error { return nil }
+
+// BlockShuffleOp reads blocks in a random order, reshuffled on every
+// ReScan — the paper's first new physical operator. Tuples within a block
+// stay in storage order; pairing it with TupleShuffleOp yields CorgiPile.
+type BlockShuffleOp struct {
+	src   shuffle.Source
+	rng   *rand.Rand
+	order []int
+	next  int
+	buf   []data.Tuple
+	pos   int
+}
+
+// NewBlockShuffle returns a block-shuffling scan over src seeded by rng.
+func NewBlockShuffle(src shuffle.Source, rng *rand.Rand) *BlockShuffleOp {
+	return &BlockShuffleOp{src: src, rng: rng}
+}
+
+// Init implements Operator.
+func (op *BlockShuffleOp) Init() error { return op.ReScan() }
+
+// Next implements Operator.
+func (op *BlockShuffleOp) Next() (*data.Tuple, bool, error) {
+	for op.pos >= len(op.buf) {
+		if op.next >= len(op.order) {
+			return nil, false, nil
+		}
+		buf, err := op.src.ReadBlock(op.order[op.next])
+		if err != nil {
+			return nil, false, err
+		}
+		op.next++
+		op.buf, op.pos = buf, 0
+	}
+	t := &op.buf[op.pos]
+	op.pos++
+	return t, true, nil
+}
+
+// ReScan implements Operator: it reshuffles the block ids, the per-epoch
+// block-level shuffle of Algorithm 1.
+func (op *BlockShuffleOp) ReScan() error {
+	op.order = op.rng.Perm(op.src.NumBlocks())
+	op.next, op.buf, op.pos = 0, nil, 0
+	return nil
+}
+
+// Close implements Operator.
+func (op *BlockShuffleOp) Close() error { return nil }

@@ -1,0 +1,203 @@
+package executor
+
+import (
+	"fmt"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+	"corgipile/internal/ml"
+)
+
+// EpochRow is the SGD operator's output: one row of training metrics per
+// epoch, matching the paper's "CorgiPile outputs various metrics after each
+// epoch, such as training loss, accuracy, and execution time".
+type EpochRow struct {
+	// Epoch is 1-based.
+	Epoch int
+	// Loss is the mean streaming loss of the epoch.
+	Loss float64
+	// Accuracy is train-set accuracy (or R² for regression) if an
+	// evaluation set was attached; otherwise 0.
+	Accuracy float64
+	// Seconds is simulated elapsed time since SGD started, inclusive of
+	// the epoch.
+	Seconds float64
+	// Tuples is the number of tuples consumed this epoch.
+	Tuples int
+}
+
+// SGDOp drives multi-epoch SGD over its child pipeline — the paper's third
+// new physical operator. Each call to NextEpoch consumes one full pass from
+// the child, updates the model, and re-scans the child for the next epoch
+// via the ReScan mechanism.
+type SGDOp struct {
+	child   Operator
+	trainer *ml.Trainer
+	// W is the model weight vector, exposed for the catalog to store.
+	W []float64
+	// Epochs is the configured number of passes.
+	Epochs int
+	// Clock, when non-nil, is charged per-tuple gradient compute.
+	Clock *iosim.Clock
+	// Eval, when non-nil, is evaluated after each epoch.
+	Eval *data.Dataset
+
+	epoch int
+	start time.Duration
+}
+
+// SGDConfig configures an SGD operator.
+type SGDConfig struct {
+	Model       ml.Model
+	Opt         ml.Optimizer
+	Features    int
+	Epochs      int
+	BatchSize   int
+	Clock       *iosim.Clock
+	Eval        *data.Dataset
+	InitWeights func(w []float64)
+}
+
+// NewSGD returns an SGD operator over the child pipeline.
+func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
+	if cfg.Model == nil || cfg.Opt == nil {
+		return nil, fmt.Errorf("executor: SGD needs Model and Opt")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	dim := cfg.Model.Dim(cfg.Features)
+	w := make([]float64, dim)
+	if cfg.InitWeights != nil {
+		cfg.InitWeights(w)
+	}
+	cfg.Opt.Reset(dim)
+	op := &SGDOp{
+		child:   child,
+		trainer: ml.NewTrainer(cfg.Model, cfg.Opt, cfg.BatchSize),
+		W:       w,
+		Epochs:  cfg.Epochs,
+		Clock:   cfg.Clock,
+		Eval:    cfg.Eval,
+	}
+	if cfg.Clock != nil {
+		op.trainer.OnTuple = func(t *data.Tuple) {
+			cfg.Clock.Advance(time.Duration(ml.GradCost(t.NNZ())))
+		}
+	}
+	return op, nil
+}
+
+// Init implements the operator contract for the training pipeline.
+func (op *SGDOp) Init() error {
+	if err := op.child.Init(); err != nil {
+		return err
+	}
+	if op.Clock != nil {
+		op.start = op.Clock.Now()
+	}
+	op.epoch = 0
+	return nil
+}
+
+// NextEpoch runs one epoch and returns its metrics row; ok=false when the
+// configured number of epochs has completed.
+func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
+	if op.epoch >= op.Epochs {
+		return EpochRow{}, false, nil
+	}
+	if op.epoch > 0 {
+		// Reshuffle and reread via the re-scan mechanism.
+		if err := op.child.ReScan(); err != nil {
+			return EpochRow{}, false, err
+		}
+	}
+	var streamErr error
+	stats := op.trainer.RunEpoch(op.W, func() (*data.Tuple, bool) {
+		t, ok, err := op.child.Next()
+		if err != nil {
+			streamErr = err
+			return nil, false
+		}
+		return t, ok
+	})
+	if streamErr != nil {
+		return EpochRow{}, false, streamErr
+	}
+	op.epoch++
+	row := EpochRow{Epoch: op.epoch, Loss: stats.AvgLoss, Tuples: stats.Tuples}
+	if op.Clock != nil {
+		row.Seconds = (op.Clock.Now() - op.start).Seconds()
+	}
+	if op.Eval != nil {
+		if op.Eval.Task == data.TaskRegression {
+			row.Accuracy = ml.R2(op.trainer.Model, op.W, op.Eval)
+		} else {
+			row.Accuracy = ml.Accuracy(op.trainer.Model, op.W, op.Eval)
+		}
+	}
+	return row, true, nil
+}
+
+// Run drives every configured epoch and returns all metric rows.
+func (op *SGDOp) Run() ([]EpochRow, error) {
+	if err := op.Init(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows []EpochRow
+	for {
+		row, ok, err := op.NextEpoch()
+		if err != nil {
+			return rows, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+// Close releases the pipeline.
+func (op *SGDOp) Close() error { return op.child.Close() }
+
+// Model returns the trained model.
+func (op *SGDOp) Model() ml.Model { return op.trainer.Model }
+
+// Prediction is one output row of the Predict operator.
+type Prediction struct {
+	// ID is the input tuple's id, Label its true label, Pred the model's
+	// prediction.
+	ID    int64
+	Label float64
+	Pred  float64
+}
+
+// PredictOp streams model predictions over its child's tuples — the
+// "SELECT table PREDICT BY model" path.
+type PredictOp struct {
+	child Operator
+	model ml.Model
+	w     []float64
+}
+
+// NewPredict returns a prediction operator.
+func NewPredict(child Operator, model ml.Model, w []float64) *PredictOp {
+	return &PredictOp{child: child, model: model, w: w}
+}
+
+// Init implements Operator-style initialization.
+func (op *PredictOp) Init() error { return op.child.Init() }
+
+// Next returns the next prediction row.
+func (op *PredictOp) Next() (Prediction, bool, error) {
+	t, ok, err := op.child.Next()
+	if err != nil || !ok {
+		return Prediction{}, false, err
+	}
+	return Prediction{ID: t.ID, Label: t.Label, Pred: op.model.Predict(op.w, t)}, true, nil
+}
+
+// Close releases the pipeline.
+func (op *PredictOp) Close() error { return op.child.Close() }

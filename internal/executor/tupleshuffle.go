@@ -1,0 +1,250 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+)
+
+// TupleShuffleOp buffers tuples pulled from its child and emits them in
+// shuffled order — the paper's second new physical operator. With
+// DoubleBuffer enabled it models the Section 6.3 optimization: a write
+// thread fills and shuffles one buffer while the read thread drains the
+// other, overlapping the child's I/O with the consumer's compute. The
+// overlap is accounted deterministically through an iosim.Pipeline on the
+// shared simulated clock.
+type TupleShuffleOp struct {
+	child Operator
+	rng   *rand.Rand
+	// Capacity is the buffer size in tuples.
+	Capacity int
+	// DoubleBuffer enables fill/consume overlap accounting.
+	DoubleBuffer bool
+	// Clock is the simulated clock (nil disables all time accounting).
+	Clock *iosim.Clock
+	// CopyCost is the CPU cost of copying one tuple into the buffer.
+	CopyCost time.Duration
+	// Async runs the fill side on a real background goroutine, streaming
+	// shuffled buffers through a channel — the write-thread/read-thread
+	// structure of Section 6.3 with actual concurrency. It is mutually
+	// exclusive with Clock-based time accounting (real goroutine
+	// interleavings are nondeterministic, simulated time is not); Init
+	// rejects the combination.
+	Async bool
+
+	buf       []data.Tuple
+	pos       int
+	exhausted bool
+
+	pipe      *iosim.Pipeline
+	consStart time.Duration
+	consuming bool
+
+	fills chan asyncFill
+	done  chan struct{}
+}
+
+// asyncFill is one shuffled buffer produced by the async write thread.
+type asyncFill struct {
+	buf []data.Tuple
+	err error
+}
+
+// NewTupleShuffle returns a shuffling buffer of the given tuple capacity
+// over child.
+func NewTupleShuffle(child Operator, capacity int, rng *rand.Rand) *TupleShuffleOp {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TupleShuffleOp{child: child, Capacity: capacity, rng: rng}
+}
+
+// Init implements Operator.
+func (op *TupleShuffleOp) Init() error {
+	if op.Async && op.Clock != nil {
+		return fmt.Errorf("executor: TupleShuffle Async mode excludes simulated-time accounting")
+	}
+	if err := op.child.Init(); err != nil {
+		return err
+	}
+	op.resetEpoch()
+	return nil
+}
+
+// startAsync launches the write thread for the current scan.
+func (op *TupleShuffleOp) startAsync() {
+	op.fills = make(chan asyncFill, 1) // double buffering: one in flight
+	op.done = make(chan struct{})
+	go func(fills chan<- asyncFill, done <-chan struct{}) {
+		defer close(fills)
+		for {
+			buf := make([]data.Tuple, 0, op.Capacity)
+			for len(buf) < op.Capacity {
+				t, ok, err := op.child.Next()
+				if err != nil {
+					select {
+					case fills <- asyncFill{err: err}:
+					case <-done:
+					}
+					return
+				}
+				if !ok {
+					if len(buf) > 0 {
+						op.rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+						select {
+						case fills <- asyncFill{buf: buf}:
+						case <-done:
+						}
+					}
+					return
+				}
+				buf = append(buf, *t)
+			}
+			op.rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+			select {
+			case fills <- asyncFill{buf: buf}:
+			case <-done:
+				return
+			}
+		}
+	}(op.fills, op.done)
+}
+
+// nextAsync serves tuples from the async fill stream.
+func (op *TupleShuffleOp) nextAsync() (*data.Tuple, bool, error) {
+	for op.pos >= len(op.buf) {
+		fill, ok := <-op.fills
+		if !ok {
+			return nil, false, nil
+		}
+		if fill.err != nil {
+			return nil, false, fill.err
+		}
+		op.buf, op.pos = fill.buf, 0
+	}
+	t := &op.buf[op.pos]
+	op.pos++
+	return t, true, nil
+}
+
+// Next implements Operator.
+func (op *TupleShuffleOp) Next() (*data.Tuple, bool, error) {
+	if op.Async {
+		if op.fills == nil {
+			op.startAsync()
+		}
+		return op.nextAsync()
+	}
+	for op.pos >= len(op.buf) {
+		if op.exhausted {
+			op.finishPipeline()
+			return nil, false, nil
+		}
+		if err := op.refill(); err != nil {
+			return nil, false, err
+		}
+		if len(op.buf) == 0 && op.exhausted {
+			op.finishPipeline()
+			return nil, false, nil
+		}
+	}
+	t := &op.buf[op.pos]
+	op.pos++
+	return t, true, nil
+}
+
+// refill pulls up to Capacity tuples from the child and shuffles them.
+func (op *TupleShuffleOp) refill() error {
+	var fillStart time.Duration
+	if op.pipelined() {
+		if op.consuming {
+			op.pipe.Consume(op.Clock.Now() - op.consStart)
+		}
+		fillStart = op.Clock.Now()
+	}
+
+	op.buf = op.buf[:0]
+	op.pos = 0
+	for len(op.buf) < op.Capacity {
+		t, ok, err := op.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			op.exhausted = true
+			break
+		}
+		op.buf = append(op.buf, *t)
+	}
+	if op.Clock != nil && op.CopyCost > 0 {
+		op.Clock.Advance(time.Duration(len(op.buf)) * op.CopyCost)
+	}
+	op.rng.Shuffle(len(op.buf), func(i, j int) {
+		op.buf[i], op.buf[j] = op.buf[j], op.buf[i]
+	})
+
+	if op.pipelined() {
+		consStart := op.pipe.Fill(op.Clock.Now() - fillStart)
+		op.Clock.Set(consStart)
+		op.consStart = consStart
+		op.consuming = true
+	}
+	return nil
+}
+
+func (op *TupleShuffleOp) pipelined() bool {
+	return op.DoubleBuffer && op.Clock != nil
+}
+
+func (op *TupleShuffleOp) finishPipeline() {
+	if !op.pipelined() || !op.consuming {
+		return
+	}
+	op.pipe.Consume(op.Clock.Now() - op.consStart)
+	op.Clock.Set(op.pipe.End())
+	op.consuming = false
+}
+
+func (op *TupleShuffleOp) resetEpoch() {
+	op.stopAsync()
+	op.buf, op.pos, op.exhausted = nil, 0, false
+	op.consuming = false
+	if op.DoubleBuffer && op.Clock != nil {
+		op.pipe = iosim.NewPipeline(2, op.Clock.Now())
+	} else {
+		op.pipe = nil
+	}
+}
+
+// ReScan implements Operator: it resets the buffer I/O state and re-scans
+// the child, exactly the ExecReScan chain of Section 6.2.
+func (op *TupleShuffleOp) ReScan() error {
+	// The async write thread must stop before the child is reset: it may
+	// be mid-Next on the child.
+	op.stopAsync()
+	if err := op.child.ReScan(); err != nil {
+		return err
+	}
+	op.resetEpoch()
+	return nil
+}
+
+// stopAsync terminates a running write thread and drains its channel.
+func (op *TupleShuffleOp) stopAsync() {
+	if op.fills == nil {
+		return
+	}
+	close(op.done)
+	for range op.fills {
+	}
+	op.fills, op.done = nil, nil
+}
+
+// Close implements Operator.
+func (op *TupleShuffleOp) Close() error {
+	op.stopAsync()
+	return op.child.Close()
+}

@@ -1,0 +1,85 @@
+package iosim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(3 * time.Second)
+	c.Advance(500 * time.Millisecond)
+	if got, want := c.Now(), 3500*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if got := c.Now(); got != time.Second {
+		t.Fatalf("Now() = %v, want 1s after negative advance ignored", got)
+	}
+}
+
+func TestClockSetAndReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * time.Second)
+	c.Set(4 * time.Second)
+	if got := c.Now(); got != 4*time.Second {
+		t.Fatalf("Set: Now() = %v, want 4s", got)
+	}
+	c.Set(-time.Second)
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Set negative: Now() = %v, want 0", got)
+	}
+	c.Advance(time.Second)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Reset: Now() = %v, want 0", got)
+	}
+}
+
+func TestClockSeconds(t *testing.T) {
+	c := NewClock()
+	c.Advance(1500 * time.Millisecond)
+	if got := c.Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+}
+
+func TestClockString(t *testing.T) {
+	c := NewClock()
+	c.Advance(2 * time.Second)
+	if got, want := c.String(), "t=2.000s"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), time.Duration(workers*per)*time.Microsecond; got != want {
+		t.Fatalf("concurrent Now() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,184 @@
+package iosim
+
+import (
+	"sync"
+	"time"
+)
+
+// Stats counts the traffic a device has served since creation or the last
+// ResetStats call.
+type Stats struct {
+	Reads     int64 // read operations
+	Writes    int64 // write operations
+	Seeks     int64 // non-contiguous repositionings
+	BytesRead int64
+	BytesWrit int64
+	CacheHits int64 // bytes served from the simulated OS cache
+}
+
+// Device is a simulated block-addressable storage device.
+//
+// A Device does not hold data; storage contents live in the in-memory heap
+// files of internal/storage. The device's job is purely to account for the
+// simulated time that reads and writes would take on real hardware,
+// advancing the shared Clock. Accesses contiguous with the previous access
+// proceed at full bandwidth; any other access first pays the profile's seek
+// latency. An optional cache models the OS page cache.
+//
+// Device is safe for concurrent use.
+type Device struct {
+	mu    sync.Mutex
+	prof  Profile
+	clock *Clock
+	pos   int64 // head position: offset just past the last access
+	cache *pageCache
+	trace *Trace
+	stats Stats
+}
+
+// NewDevice returns a device with the given profile, charging time to clock.
+func NewDevice(prof Profile, clock *Clock) *Device {
+	return &Device{prof: prof, clock: clock, pos: -1}
+}
+
+// WithCache attaches a simulated OS page cache of the given capacity (bytes)
+// to the device and returns the device. Cached extents are re-read at RAM
+// bandwidth. Unit granularity is 1 MiB.
+func (d *Device) WithCache(capacityBytes int64) *Device {
+	d.mu.Lock()
+	d.cache = newPageCache(capacityBytes, 1<<20)
+	d.mu.Unlock()
+	return d
+}
+
+// Profile returns the device's performance profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Clock returns the clock the device charges time to.
+func (d *Device) Clock() *Clock { return d.clock }
+
+// Stats returns a snapshot of the device's traffic counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	d.stats = Stats{}
+	d.mu.Unlock()
+}
+
+// DropCaches invalidates the simulated OS cache, as the paper does before
+// each experiment.
+func (d *Device) DropCaches() {
+	d.mu.Lock()
+	d.cache.invalidate()
+	d.mu.Unlock()
+}
+
+// ReadAt charges the cost of reading n bytes at offset off and returns that
+// cost. The clock is advanced by the same amount.
+func (d *Device) ReadAt(off, n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	cost := d.readCostLocked(off, n)
+	d.mu.Unlock()
+	d.clock.Advance(cost)
+	return cost
+}
+
+// readCostLocked computes and accounts the cost of a read without touching
+// the clock. Callers must hold d.mu.
+func (d *Device) readCostLocked(off, n int64) time.Duration {
+	d.stats.Reads++
+	d.stats.BytesRead += n
+
+	hit := d.cache.span(off, n)
+	d.stats.CacheHits += hit
+	miss := n - hit
+
+	var cost time.Duration
+	seek := false
+	// Cached bytes move at memory speed regardless of position.
+	cost += RAM.readCost(hit)
+	if miss > 0 {
+		if off != d.pos {
+			cost += d.prof.SeekLatency
+			d.stats.Seeks++
+			seek = true
+		}
+		cost += d.prof.readCost(miss)
+	}
+	d.pos = off + n
+	d.trace.record(Access{Off: off, N: n, Seek: seek})
+	return cost
+}
+
+// WriteAt charges the cost of writing n bytes at offset off and returns that
+// cost. Writes always touch the medium (write-through); they also populate
+// the cache so that a subsequent read hits.
+func (d *Device) WriteAt(off, n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	d.stats.Writes++
+	d.stats.BytesWrit += n
+	var cost time.Duration
+	if off != d.pos {
+		cost += d.prof.SeekLatency
+		d.stats.Seeks++
+	}
+	cost += d.prof.writeCost(n)
+	d.cache.span(off, n)
+	d.trace.record(Access{Write: true, Off: off, N: n, Seek: cost > d.prof.writeCost(n)})
+	d.pos = off + n
+	d.mu.Unlock()
+	d.clock.Advance(cost)
+	return cost
+}
+
+// ReadCost computes the cost of reading n bytes at offset off without
+// advancing the clock. It still updates head position, cache state, and
+// statistics; it exists for pipelined components that account for overlap
+// themselves.
+func (d *Device) ReadCost(off, n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	cost := d.readCostLocked(off, n)
+	d.mu.Unlock()
+	return cost
+}
+
+// SequentialReadThroughput reports the throughput, in bytes/second, of
+// reading total bytes sequentially from a cold device with this profile.
+func SequentialReadThroughput(p Profile, total int64) float64 {
+	cost := p.SeekLatency + p.readCost(total)
+	if cost <= 0 {
+		return 0
+	}
+	return float64(total) / cost.Seconds()
+}
+
+// RandomBlockReadThroughput reports the throughput, in bytes/second, of
+// reading total bytes from a cold device in randomly placed blocks of
+// blockSize bytes each. This is the measurement behind Appendix A Figure 20:
+// as blockSize grows, throughput approaches sequential bandwidth.
+func RandomBlockReadThroughput(p Profile, total, blockSize int64) float64 {
+	if blockSize <= 0 || total <= 0 {
+		return 0
+	}
+	blocks := (total + blockSize - 1) / blockSize
+	cost := time.Duration(blocks)*p.SeekLatency + p.readCost(total)
+	if cost <= 0 {
+		return 0
+	}
+	return float64(total) / cost.Seconds()
+}

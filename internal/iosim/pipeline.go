@@ -1,0 +1,107 @@
+package iosim
+
+import "time"
+
+// Pipeline models a two-stage producer/consumer pipeline with a bounded
+// number of in-flight buffers — the double-buffering optimization of the
+// paper's TupleShuffle operator (Section 6.3).
+//
+// The producer (I/O thread) fills buffers; the consumer (SGD thread) drains
+// them. With Depth buffers the producer may run at most Depth-1 buffers
+// ahead of the consumer. Stage durations are measured serially on the shared
+// clock by the caller; Pipeline computes the overlapped completion times so
+// the caller can Set the clock to the pipelined value.
+//
+// Using the classic recurrences, for buffer i with fill time F[i] and
+// consume time C[i]:
+//
+//	fillStart[i] = max(fillEnd[i-1], consEnd[i-depth+1])
+//	fillEnd[i]   = fillStart[i] + F[i]
+//	consStart[i] = max(fillEnd[i], consEnd[i-1])
+//	consEnd[i]   = consStart[i] + C[i]
+//
+// With Depth == 1 the pipeline degenerates to strictly serial execution.
+type Pipeline struct {
+	// Depth is the number of buffers (2 for double buffering).
+	Depth int
+
+	i        int // index of the next buffer to fill
+	fillEnd  []time.Duration
+	consEnd  []time.Duration
+	base     time.Duration
+	started  bool
+	lastCons time.Duration
+}
+
+// NewPipeline returns a pipeline with the given buffer depth, starting at
+// simulated time start.
+func NewPipeline(depth int, start time.Duration) *Pipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Pipeline{Depth: depth, base: start, lastCons: start}
+}
+
+// Fill records that the next buffer took fillCost to produce, and returns
+// the simulated time at which the consumer may begin draining it.
+func (p *Pipeline) Fill(fillCost time.Duration) (consStart time.Duration) {
+	fillStart := p.base
+	if p.started {
+		fillStart = p.fillEndAt(p.i - 1)
+		if p.Depth > 1 {
+			// The slot being refilled was last used by buffer i-Depth and
+			// must have been fully consumed.
+			if j := p.i - p.Depth; j >= 0 {
+				if ce := p.consEndAt(j); ce > fillStart {
+					fillStart = ce
+				}
+			}
+		} else {
+			// Serial: cannot start filling before the previous buffer is
+			// consumed.
+			if ce := p.consEndAt(p.i - 1); ce > fillStart {
+				fillStart = ce
+			}
+		}
+	}
+	fillEnd := fillStart + fillCost
+	p.fillEnd = append(p.fillEnd, fillEnd)
+	consStart = fillEnd
+	if ce := p.consEndAt(p.i - 1); ce > consStart {
+		consStart = ce
+	}
+	// Reserve the consume slot; Consume will finalize it.
+	p.consEnd = append(p.consEnd, consStart)
+	p.i++
+	p.started = true
+	return consStart
+}
+
+// Consume records that the most recently filled buffer took consCost to
+// drain, and returns the simulated time at which draining finishes.
+func (p *Pipeline) Consume(consCost time.Duration) (consEnd time.Duration) {
+	if p.i == 0 {
+		return p.base
+	}
+	idx := p.i - 1
+	p.consEnd[idx] += consCost
+	p.lastCons = p.consEnd[idx]
+	return p.consEnd[idx]
+}
+
+// End reports the simulated completion time of everything recorded so far.
+func (p *Pipeline) End() time.Duration { return p.lastCons }
+
+func (p *Pipeline) fillEndAt(i int) time.Duration {
+	if i < 0 || i >= len(p.fillEnd) {
+		return p.base
+	}
+	return p.fillEnd[i]
+}
+
+func (p *Pipeline) consEndAt(i int) time.Duration {
+	if i < 0 || i >= len(p.consEnd) {
+		return p.base
+	}
+	return p.consEnd[i]
+}

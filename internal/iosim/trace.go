@@ -1,0 +1,77 @@
+package iosim
+
+import "sync"
+
+// Access records one device operation for trace analysis.
+type Access struct {
+	// Write distinguishes writes from reads.
+	Write bool
+	// Off and N are the byte offset and length.
+	Off, N int64
+	// Seek reports whether the access paid the seek penalty.
+	Seek bool
+}
+
+// Trace captures a device's access pattern — the tool for verifying, e.g.,
+// that a No Shuffle scan is sequential while CorgiPile's accesses are
+// block-random. Attach with Device.WithTrace.
+type Trace struct {
+	mu       sync.Mutex
+	accesses []Access
+}
+
+// record appends one access.
+func (t *Trace) record(a Access) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.accesses = append(t.accesses, a)
+	t.mu.Unlock()
+}
+
+// Accesses returns a snapshot of the recorded operations.
+func (t *Trace) Accesses() []Access {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Access, len(t.accesses))
+	copy(out, t.accesses)
+	return out
+}
+
+// Reset clears the trace.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.accesses = t.accesses[:0]
+	t.mu.Unlock()
+}
+
+// SeekFraction reports the fraction of read accesses that paid a seek —
+// ~0 for a sequential scan, ~1 for random block reads.
+func (t *Trace) SeekFraction() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	reads, seeks := 0, 0
+	for _, a := range t.accesses {
+		if a.Write {
+			continue
+		}
+		reads++
+		if a.Seek {
+			seeks++
+		}
+	}
+	if reads == 0 {
+		return 0
+	}
+	return float64(seeks) / float64(reads)
+}
+
+// WithTrace attaches an access trace to the device and returns the trace.
+func (d *Device) WithTrace() *Trace {
+	t := &Trace{}
+	d.mu.Lock()
+	d.trace = t
+	d.mu.Unlock()
+	return t
+}

@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"corgipile/internal/data"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(2)
+	// 3 true positives, 1 false negative, 2 true negatives, 1 false positive.
+	for i := 0; i < 3; i++ {
+		c.Add(1, 1)
+	}
+	c.Add(1, 0)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	if c.Total() != 7 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-5.0/7) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := c.Precision(1); math.Abs(got-3.0/4) > 1e-12 {
+		t.Fatalf("Precision(1) = %v", got)
+	}
+	if got := c.Recall(1); math.Abs(got-3.0/4) > 1e-12 {
+		t.Fatalf("Recall(1) = %v", got)
+	}
+	if got := c.F1(1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("F1(1) = %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	c := NewConfusion(3)
+	if c.Accuracy() != 0 || c.Precision(0) != 0 || c.Recall(0) != 0 || c.F1(0) != 0 {
+		t.Fatal("empty matrix metrics must be 0")
+	}
+	c.Add(-1, 0) // out of range: ignored
+	c.Add(0, 9)
+	if c.Total() != 0 {
+		t.Fatal("out-of-range adds must be ignored")
+	}
+	if NewConfusion(0).Classes != 2 {
+		t.Fatal("class floor is 2")
+	}
+}
+
+func TestConfusionMacroF1Perfect(t *testing.T) {
+	c := NewConfusion(3)
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 5; i++ {
+			c.Add(k, k)
+		}
+	}
+	if got := c.MacroF1(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect MacroF1 = %v", got)
+	}
+}
+
+func TestConfuseModelBinary(t *testing.T) {
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 1000, Features: 8, Separation: 3, Order: data.OrderShuffled, Seed: 9})
+	m := SVM{}
+	w := make([]float64, m.Dim(8))
+	tr := NewTrainer(m, NewSGD(0.05), 1)
+	for epoch := 0; epoch < 5; epoch++ {
+		tr.RunEpoch(w, SliceStream(ds))
+	}
+	c := Confuse(m, w, ds)
+	if c.Total() != 1000 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	// Confusion accuracy must agree with Accuracy.
+	if math.Abs(c.Accuracy()-Accuracy(m, w, ds)) > 1e-12 {
+		t.Fatalf("confusion accuracy %v != Accuracy %v", c.Accuracy(), Accuracy(m, w, ds))
+	}
+	if c.MacroF1() < 0.85 {
+		t.Fatalf("MacroF1 = %v", c.MacroF1())
+	}
+}
+
+func TestConfuseMulticlass(t *testing.T) {
+	ds := data.SyntheticMulticlass(data.SyntheticConfig{
+		Tuples: 900, Features: 16, Classes: 3, Separation: 4,
+		Order: data.OrderShuffled, Seed: 10})
+	m := Softmax{Classes: 3}
+	w := make([]float64, m.Dim(16))
+	tr := NewTrainer(m, NewSGD(0.05), 1)
+	for epoch := 0; epoch < 5; epoch++ {
+		tr.RunEpoch(w, SliceStream(ds))
+	}
+	c := Confuse(m, w, ds)
+	if c.Classes != 3 || c.Total() != 900 {
+		t.Fatalf("matrix shape wrong: %d classes, %d total", c.Classes, c.Total())
+	}
+	if len(c.String()) == 0 {
+		t.Fatal("String empty")
+	}
+}
+
+func TestDecisionValuePerModel(t *testing.T) {
+	tp := &data.Tuple{Label: 1, Dense: []float64{2, 3}}
+	// GLMs: decision value is the margin.
+	w := []float64{1, 1, 0.5}
+	for _, m := range []Model{LogisticRegression{}, SVM{}, LinearRegression{}} {
+		if got := DecisionValue(m, w, tp); got != 5.5 {
+			t.Fatalf("%s decision = %v, want 5.5", m.Name(), got)
+		}
+	}
+	// FM: decision value is its score (finite, deterministic).
+	fm := FactorizationMachine{Factors: 2}
+	wf := make([]float64, fm.Dim(2))
+	if got := DecisionValue(fm, wf, tp); got != 0 {
+		t.Fatalf("zero-weight FM decision = %v, want 0", got)
+	}
+	// Fallback (softmax): prediction index.
+	sm := Softmax{Classes: 3}
+	ws := make([]float64, sm.Dim(2))
+	if got := DecisionValue(sm, ws, tp); got != sm.Predict(ws, tp) {
+		t.Fatal("softmax decision should fall back to Predict")
+	}
+}

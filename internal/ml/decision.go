@@ -1,0 +1,18 @@
+package ml
+
+import "corgipile/internal/data"
+
+// DecisionValue returns a real-valued ranking score for the model's
+// prediction on t: the margin ⟨w,x⟩+b for GLM classifiers and the FM, the
+// predicted value for regression, and the top-class probability gap for
+// multi-class models. Used by AUC.
+func DecisionValue(m Model, w []float64, t *data.Tuple) float64 {
+	switch m := m.(type) {
+	case LogisticRegression, SVM, LinearRegression:
+		return margin(w, t)
+	case FactorizationMachine:
+		return m.score(w, t)
+	default:
+		return m.Predict(w, t)
+	}
+}

@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"math"
+
+	"corgipile/internal/data"
+)
+
+// Generalized linear models share the shape loss(⟨w,x⟩ + b, y) with gradient
+// s·x on the weight coordinates and s on the bias, where s = ∂loss/∂margin.
+// The bias lives at index features (== len(w)-1).
+
+// margin computes ⟨w,x⟩ + b with the bias stored in the last weight slot.
+func margin(w []float64, t *data.Tuple) float64 {
+	return t.Dot(w[:len(w)-1]) + w[len(w)-1]
+}
+
+// appendScaledFeatures appends s·x (plus the bias entry s) to the sparse
+// gradient accumulator.
+func appendScaledFeatures(gi []int32, gv []float64, t *data.Tuple, s float64, biasIdx int32) ([]int32, []float64) {
+	if s == 0 {
+		return gi, gv
+	}
+	if t.IsSparse() {
+		for i, idx := range t.SparseIdx {
+			gi = append(gi, idx)
+			gv = append(gv, s*t.SparseVal[i])
+		}
+	} else {
+		for i, v := range t.Dense {
+			if v == 0 {
+				continue
+			}
+			gi = append(gi, int32(i))
+			gv = append(gv, s*v)
+		}
+	}
+	gi = append(gi, biasIdx)
+	gv = append(gv, s)
+	return gi, gv
+}
+
+// LogisticRegression is binary logistic regression on ±1 labels with
+// log-loss log(1 + exp(−y·margin)).
+type LogisticRegression struct{}
+
+// Name implements Model.
+func (LogisticRegression) Name() string { return "lr" }
+
+// Dim implements Model; one slot per feature plus a bias.
+func (LogisticRegression) Dim(features int) int { return features + 1 }
+
+// Loss implements Model.
+func (LogisticRegression) Loss(w []float64, t *data.Tuple) float64 {
+	return logLoss(t.Label * margin(w, t))
+}
+
+// Grad implements Model.
+func (m LogisticRegression) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	ym := t.Label * margin(w, t)
+	loss := logLoss(ym)
+	// d/dmargin log(1+exp(-y·m)) = -y·σ(-y·m)
+	s := -t.Label * sigmoid(-ym)
+	gi, gv = appendScaledFeatures(gi, gv, t, s, int32(len(w)-1))
+	return loss, gi, gv
+}
+
+// Predict implements Model, returning ±1.
+func (LogisticRegression) Predict(w []float64, t *data.Tuple) float64 {
+	if margin(w, t) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// SVM is a linear support vector machine on ±1 labels with hinge loss
+// max(0, 1 − y·margin).
+type SVM struct{}
+
+// Name implements Model.
+func (SVM) Name() string { return "svm" }
+
+// Dim implements Model.
+func (SVM) Dim(features int) int { return features + 1 }
+
+// Loss implements Model.
+func (SVM) Loss(w []float64, t *data.Tuple) float64 {
+	l := 1 - t.Label*margin(w, t)
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// Grad implements Model.
+func (m SVM) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	l := 1 - t.Label*margin(w, t)
+	if l <= 0 {
+		return 0, gi, gv
+	}
+	gi, gv = appendScaledFeatures(gi, gv, t, -t.Label, int32(len(w)-1))
+	return l, gi, gv
+}
+
+// Predict implements Model, returning ±1.
+func (SVM) Predict(w []float64, t *data.Tuple) float64 {
+	if margin(w, t) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// LinearRegression is least-squares regression with loss ½(margin − y)².
+type LinearRegression struct{}
+
+// Name implements Model.
+func (LinearRegression) Name() string { return "linreg" }
+
+// Dim implements Model.
+func (LinearRegression) Dim(features int) int { return features + 1 }
+
+// Loss implements Model.
+func (LinearRegression) Loss(w []float64, t *data.Tuple) float64 {
+	r := margin(w, t) - t.Label
+	return 0.5 * r * r
+}
+
+// Grad implements Model.
+func (m LinearRegression) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	r := margin(w, t) - t.Label
+	gi, gv = appendScaledFeatures(gi, gv, t, r, int32(len(w)-1))
+	return 0.5 * r * r, gi, gv
+}
+
+// Predict implements Model, returning the regression value.
+func (LinearRegression) Predict(w []float64, t *data.Tuple) float64 {
+	return margin(w, t)
+}
+
+// sigmoid is the logistic function 1/(1+e^−z), computed stably.
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// logLoss computes log(1+exp(−z)) stably.
+func logLoss(z float64) float64 {
+	if z > 30 {
+		return math.Exp(-z)
+	}
+	if z < -30 {
+		return -z
+	}
+	return math.Log1p(math.Exp(-z))
+}

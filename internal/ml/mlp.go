@@ -1,0 +1,160 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+
+	"corgipile/internal/data"
+)
+
+// MLP is a one-hidden-layer perceptron with ReLU activation and a softmax
+// output — the non-convex stand-in for the paper's deep models (VGG,
+// ResNet, TextCNN). It exercises the non-convex case of Theorem 2: on
+// clustered data without shuffling it fails to learn, while CorgiPile
+// recovers Shuffle-Once accuracy.
+//
+// Weight layout: W1 is Hidden rows of (features+1) values (bias last),
+// followed by W2, Classes rows of (Hidden+1) values.
+type MLP struct {
+	// Classes is the number of output classes.
+	Classes int
+	// Hidden is the hidden-layer width.
+	Hidden int
+}
+
+// Name implements Model.
+func (MLP) Name() string { return "mlp" }
+
+// Dim implements Model.
+func (m MLP) Dim(features int) int {
+	return m.Hidden*(features+1) + m.Classes*(m.Hidden+1)
+}
+
+// InitWeights fills w with the scaled Gaussian initialization MLPs need
+// (zero initialization would leave all hidden units identical). Other
+// models in this package train fine from zero weights.
+func (m MLP) InitWeights(w []float64, features int, rng *rand.Rand) {
+	in1 := features + 1
+	scale1 := math.Sqrt(2 / float64(features+1))
+	for i := 0; i < m.Hidden*in1; i++ {
+		w[i] = rng.NormFloat64() * scale1
+	}
+	scale2 := math.Sqrt(2 / float64(m.Hidden+1))
+	for i := m.Hidden * in1; i < len(w); i++ {
+		w[i] = rng.NormFloat64() * scale2
+	}
+}
+
+// forward computes hidden activations h (post-ReLU) and output
+// probabilities p.
+func (m MLP) forward(w []float64, t *data.Tuple) (h, p []float64, features int) {
+	features = (len(w)-m.Classes*(m.Hidden+1))/m.Hidden - 1
+	in1 := features + 1
+	h = make([]float64, m.Hidden)
+	for j := 0; j < m.Hidden; j++ {
+		wj := w[j*in1 : (j+1)*in1]
+		z := t.Dot(wj[:features]) + wj[features]
+		if z > 0 {
+			h[j] = z
+		}
+	}
+	off := m.Hidden * in1
+	in2 := m.Hidden + 1
+	p = make([]float64, m.Classes)
+	for k := 0; k < m.Classes; k++ {
+		wk := w[off+k*in2 : off+(k+1)*in2]
+		z := wk[m.Hidden] // bias
+		for j := 0; j < m.Hidden; j++ {
+			z += wk[j] * h[j]
+		}
+		p[k] = z
+	}
+	softmaxProbs(p)
+	return h, p, features
+}
+
+// Loss implements Model.
+func (m MLP) Loss(w []float64, t *data.Tuple) float64 {
+	_, p, _ := m.forward(w, t)
+	py := p[classIndex(t.Label, m.Classes)]
+	if py < 1e-300 {
+		py = 1e-300
+	}
+	return -math.Log(py)
+}
+
+// Grad implements Model via backpropagation. MLP gradients are dense over
+// both layers (sparse inputs still yield sparse first-layer rows).
+func (m MLP) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	h, p, features := m.forward(w, t)
+	y := classIndex(t.Label, m.Classes)
+	py := p[y]
+	if py < 1e-300 {
+		py = 1e-300
+	}
+	loss := -math.Log(py)
+
+	in1 := features + 1
+	off := m.Hidden * in1
+	in2 := m.Hidden + 1
+
+	// Output layer: dL/dz2_k = p_k − 1{k=y}.
+	dh := make([]float64, m.Hidden)
+	for k := 0; k < m.Classes; k++ {
+		dk := p[k]
+		if k == y {
+			dk -= 1
+		}
+		if dk == 0 {
+			continue
+		}
+		base := int32(off + k*in2)
+		wk := w[off+k*in2 : off+(k+1)*in2]
+		for j := 0; j < m.Hidden; j++ {
+			if h[j] != 0 {
+				gi = append(gi, base+int32(j))
+				gv = append(gv, dk*h[j])
+			}
+			dh[j] += dk * wk[j]
+		}
+		gi = append(gi, base+int32(m.Hidden))
+		gv = append(gv, dk)
+	}
+
+	// Hidden layer: ReLU gate (h[j] > 0), dL/dz1_j = dh[j].
+	for j := 0; j < m.Hidden; j++ {
+		if h[j] <= 0 || dh[j] == 0 {
+			continue
+		}
+		base := int32(j * in1)
+		if t.IsSparse() {
+			for i, idx := range t.SparseIdx {
+				gi = append(gi, base+idx)
+				gv = append(gv, dh[j]*t.SparseVal[i])
+			}
+		} else {
+			for i, v := range t.Dense {
+				if v == 0 {
+					continue
+				}
+				gi = append(gi, base+int32(i))
+				gv = append(gv, dh[j]*v)
+			}
+		}
+		gi = append(gi, base+int32(features))
+		gv = append(gv, dh[j])
+	}
+	return loss, gi, gv
+}
+
+// Predict implements Model, returning the argmax class index.
+func (m MLP) Predict(w []float64, t *data.Tuple) float64 {
+	_, p, _ := m.forward(w, t)
+	best, bestV := 0, p[0]
+	for k, v := range p[1:] {
+		if v > bestV {
+			best, bestV = k+1, v
+		}
+	}
+	return float64(best)
+}

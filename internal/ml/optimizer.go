@@ -1,0 +1,162 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer applies sparse gradient updates to a weight vector.
+type Optimizer interface {
+	// Name identifies the optimizer, e.g. "sgd".
+	Name() string
+	// Reset prepares internal state for a weight vector of dimension dim
+	// and restores the initial learning rate.
+	Reset(dim int)
+	// Step applies one update for the sparse gradient (gi, gv):
+	// conceptually w ← w − η·g. Indices may repeat; repeated entries are
+	// summed.
+	Step(w []float64, gi []int32, gv []float64)
+	// EndEpoch signals an epoch boundary (for learning-rate decay).
+	EndEpoch()
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// SGD is plain stochastic gradient descent with exponential learning-rate
+// decay per epoch — the paper's default configuration (decay 0.95) — and
+// optional L2 regularization (weight decay).
+type SGD struct {
+	// LR0 is the initial learning rate.
+	LR0 float64
+	// Decay multiplies the learning rate after each epoch. Zero means no
+	// decay (treated as 1).
+	Decay float64
+	// L2 is the weight-decay coefficient λ: each step applies
+	// w ← w − η(g + λw) on the coordinates the gradient touches. For
+	// sparse data this is the standard lazy approximation (untouched
+	// coordinates are not decayed); for dense data it is exact.
+	L2 float64
+
+	lr float64
+}
+
+// NewSGD returns an SGD optimizer with the paper's default 0.95 decay.
+func NewSGD(lr float64) *SGD { return &SGD{LR0: lr, Decay: 0.95, lr: lr} }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Reset implements Optimizer.
+func (s *SGD) Reset(dim int) { s.lr = s.LR0 }
+
+// Step implements Optimizer.
+func (s *SGD) Step(w []float64, gi []int32, gv []float64) {
+	lr := s.lr
+	if s.L2 > 0 {
+		for i, idx := range gi {
+			w[idx] -= lr * (gv[i] + s.L2*w[idx])
+		}
+		return
+	}
+	for i, idx := range gi {
+		w[idx] -= lr * gv[i]
+	}
+}
+
+// EndEpoch implements Optimizer.
+func (s *SGD) EndEpoch() {
+	d := s.Decay
+	if d == 0 {
+		d = 1
+	}
+	s.lr *= d
+}
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Adam is the Adam optimizer with lazy (sparse) moment updates: first and
+// second moments and the per-coordinate step count are only advanced for
+// coordinates touched by the gradient, the standard approach for sparse
+// training.
+type Adam struct {
+	// LR0 is the initial learning rate.
+	LR0 float64
+	// Beta1, Beta2, Eps are the Adam hyperparameters; zero values take the
+	// usual defaults (0.9, 0.999, 1e-8).
+	Beta1, Beta2, Eps float64
+	// Decay multiplies the learning rate after each epoch (0 = none).
+	Decay float64
+
+	lr   float64
+	m, v []float64
+	t    []float64 // per-coordinate step count for bias correction
+}
+
+// NewAdam returns an Adam optimizer with default hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR0: lr, lr: lr}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Reset implements Optimizer.
+func (a *Adam) Reset(dim int) {
+	a.lr = a.LR0
+	a.m = make([]float64, dim)
+	a.v = make([]float64, dim)
+	a.t = make([]float64, dim)
+}
+
+func (a *Adam) params() (b1, b2, eps float64) {
+	b1, b2, eps = a.Beta1, a.Beta2, a.Eps
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	return b1, b2, eps
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(w []float64, gi []int32, gv []float64) {
+	if a.m == nil {
+		a.Reset(len(w))
+	}
+	b1, b2, eps := a.params()
+	for i, idx := range gi {
+		g := gv[i]
+		a.t[idx]++
+		a.m[idx] = b1*a.m[idx] + (1-b1)*g
+		a.v[idx] = b2*a.v[idx] + (1-b2)*g*g
+		mHat := a.m[idx] / (1 - math.Pow(b1, a.t[idx]))
+		vHat := a.v[idx] / (1 - math.Pow(b2, a.t[idx]))
+		w[idx] -= a.lr * mHat / (math.Sqrt(vHat) + eps)
+	}
+}
+
+// EndEpoch implements Optimizer.
+func (a *Adam) EndEpoch() {
+	if a.Decay != 0 {
+		a.lr *= a.Decay
+	}
+}
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// NewOptimizer constructs an optimizer by name ("sgd" or "adam").
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "sgd", "":
+		return NewSGD(lr), nil
+	case "adam":
+		return NewAdam(lr), nil
+	}
+	return nil, fmt.Errorf("ml: unknown optimizer %q", name)
+}

@@ -1,0 +1,145 @@
+package ml
+
+import (
+	"corgipile/internal/data"
+)
+
+// Stream yields training tuples one at a time; ok=false ends the epoch.
+// Strategies in internal/shuffle and operators in internal/executor produce
+// Streams.
+type Stream func() (t *data.Tuple, ok bool)
+
+// SliceStream returns a Stream over the tuples of ds in storage order.
+func SliceStream(ds *data.Dataset) Stream {
+	i := 0
+	return func() (*data.Tuple, bool) {
+		if i >= ds.Len() {
+			return nil, false
+		}
+		t := ds.At(i)
+		i++
+		return t, true
+	}
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	// Tuples is the number of examples consumed.
+	Tuples int
+	// AvgLoss is the mean per-example loss observed while training (i.e.
+	// evaluated at the then-current weights, the usual streaming metric).
+	AvgLoss float64
+}
+
+// Trainer runs SGD-style epochs of a Model with an Optimizer. It owns the
+// scratch state that makes per-tuple updates allocation-free and
+// deduplicates repeated gradient indices within a mini-batch so that Adam's
+// per-coordinate state is touched once per batch.
+type Trainer struct {
+	Model Model
+	Opt   Optimizer
+	// BatchSize is the mini-batch size; 0 or 1 gives per-tuple updates
+	// (the paper's "standard SGD").
+	BatchSize int
+	// OnTuple, when non-nil, is invoked for every consumed tuple — the hook
+	// the benchmark harness uses to charge simulated gradient-compute time.
+	OnTuple func(t *data.Tuple)
+
+	gi []int32
+	gv []float64
+
+	acc     []float64 // dense accumulator for batch dedup
+	mark    []bool    // whether a coordinate is already in touched
+	touched []int32
+}
+
+// NewTrainer returns a trainer for the model/optimizer pair.
+func NewTrainer(m Model, opt Optimizer, batchSize int) *Trainer {
+	return &Trainer{Model: m, Opt: opt, BatchSize: batchSize}
+}
+
+// RunEpoch consumes the stream, applying updates to w, and returns epoch
+// statistics. With BatchSize > 1 the gradients of each batch are averaged
+// before a single optimizer step, matching mini-batch SGD; a final partial
+// batch is still applied.
+func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
+	batch := tr.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	if tr.acc == nil || len(tr.acc) < len(w) {
+		tr.acc = make([]float64, len(w))
+		tr.mark = make([]bool, len(w))
+	}
+
+	var stats EpochStats
+	var lossSum float64
+	inBatch := 0
+
+	flush := func() {
+		if inBatch == 0 {
+			return
+		}
+		inv := 1 / float64(inBatch)
+		tr.gv = tr.gv[:0]
+		for _, idx := range tr.touched {
+			tr.gv = append(tr.gv, tr.acc[idx]*inv)
+		}
+		tr.Opt.Step(w, tr.touched, tr.gv)
+		for _, idx := range tr.touched {
+			tr.acc[idx] = 0
+			tr.mark[idx] = false
+		}
+		tr.touched = tr.touched[:0]
+		tr.gi = tr.gi[:0]
+		tr.gv = tr.gv[:0]
+		inBatch = 0
+	}
+
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		if tr.OnTuple != nil {
+			tr.OnTuple(t)
+		}
+		stats.Tuples++
+
+		if batch == 1 {
+			tr.gi = tr.gi[:0]
+			tr.gv = tr.gv[:0]
+			var loss float64
+			loss, tr.gi, tr.gv = tr.Model.Grad(w, t, tr.gi, tr.gv)
+			lossSum += loss
+			tr.Opt.Step(w, tr.gi, tr.gv)
+			continue
+		}
+
+		// Mini-batch: accumulate into the dense buffer, deduplicating
+		// indices via the touched list.
+		start := len(tr.gi)
+		var loss float64
+		loss, tr.gi, tr.gv = tr.Model.Grad(w, t, tr.gi, tr.gv)
+		lossSum += loss
+		for i := start; i < len(tr.gi); i++ {
+			idx := tr.gi[i]
+			if !tr.mark[idx] {
+				tr.mark[idx] = true
+				tr.touched = append(tr.touched, idx)
+			}
+			tr.acc[idx] += tr.gv[i]
+		}
+		inBatch++
+		if inBatch >= batch {
+			flush()
+		}
+	}
+	flush()
+	tr.Opt.EndEpoch()
+
+	if stats.Tuples > 0 {
+		stats.AvgLoss = lossSum / float64(stats.Tuples)
+	}
+	return stats
+}

@@ -1,0 +1,150 @@
+package shuffle
+
+import (
+	"math/rand"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+)
+
+// corgiPile implements the paper's two-level hierarchical shuffle
+// (Algorithm 1, operationalized as in the PostgreSQL/PyTorch
+// integrations): each epoch the block order is shuffled (block-level
+// shuffle over all N blocks), then blocks are pulled n at a time into an
+// in-memory buffer whose tuples are shuffled before being emitted
+// (tuple-level shuffle). Every tuple is visited exactly once per epoch.
+//
+// With DoubleBuffer set, buffer refills overlap with SGD consumption: fill
+// and consume durations are measured on the shared clock and recombined
+// through an iosim.Pipeline, reproducing the Section 6.3 optimization.
+type corgiPile struct {
+	src  Source
+	opts Options
+	rng  *rand.Rand
+}
+
+// Name implements Strategy.
+func (*corgiPile) Name() Kind { return KindCorgiPile }
+
+// StartEpoch implements Strategy.
+func (s *corgiPile) StartEpoch(int) (Iterator, error) {
+	// Buffer capacity in blocks (the paper's n), from the tuple budget.
+	total := s.src.NumTuples()
+	blocks := s.src.NumBlocks()
+	avgPerBlock := (total + blocks - 1) / blocks
+	if avgPerBlock < 1 {
+		avgPerBlock = 1
+	}
+	n := s.opts.bufferTuples(total) / avgPerBlock
+	if n < 1 {
+		n = 1
+	}
+	perm := s.rng.Perm(blocks)
+	if s.opts.SampleOnly && n < len(perm) {
+		// Algorithm 1: one buffer of n sampled blocks per epoch.
+		perm = perm[:n]
+	}
+	it := &corgiIter{
+		src:    s.src,
+		perm:   perm,
+		nBuf:   n,
+		rng:    s.rng,
+		clock:  s.src.Clock(),
+		copyC:  s.opts.PerTupleCopyCost,
+		double: s.opts.DoubleBuffer,
+	}
+	if it.double && it.clock != nil {
+		it.pipe = iosim.NewPipeline(2, it.clock.Now())
+	}
+	return it, nil
+}
+
+type corgiIter struct {
+	src   Source
+	perm  []int
+	next  int // next position in perm
+	nBuf  int // blocks per buffer (the paper's n)
+	buf   []data.Tuple
+	pos   int
+	rng   *rand.Rand
+	clock *iosim.Clock
+	copyC time.Duration
+	err   error
+
+	double    bool
+	pipe      *iosim.Pipeline
+	consStart time.Duration
+	consuming bool
+}
+
+// Next implements Iterator.
+func (it *corgiIter) Next() (*data.Tuple, bool) {
+	for it.pos >= len(it.buf) {
+		if it.err != nil || it.next >= len(it.perm) {
+			it.finishPipeline()
+			return nil, false
+		}
+		it.refill()
+		if it.err != nil {
+			it.finishPipeline()
+			return nil, false
+		}
+	}
+	t := &it.buf[it.pos]
+	it.pos++
+	return t, true
+}
+
+// Err implements Iterator.
+func (it *corgiIter) Err() error { return it.err }
+
+// refill loads the next n blocks into the buffer and shuffles its tuples.
+func (it *corgiIter) refill() {
+	var fillStartNow time.Duration
+	if it.pipe != nil {
+		// Close out the consume phase of the previous buffer.
+		if it.consuming {
+			it.pipe.Consume(it.clock.Now() - it.consStart)
+		}
+		fillStartNow = it.clock.Now()
+	}
+
+	it.buf = it.buf[:0]
+	it.pos = 0
+	for count := 0; count < it.nBuf && it.next < len(it.perm); count++ {
+		ts, err := it.src.ReadBlock(it.perm[it.next])
+		if err != nil {
+			it.err = err
+			return
+		}
+		it.next++
+		it.buf = append(it.buf, ts...)
+	}
+	// Tuple-level shuffle plus the per-tuple buffer-copy cost.
+	if it.clock != nil && it.copyC > 0 {
+		it.clock.Advance(time.Duration(len(it.buf)) * it.copyC)
+	}
+	it.rng.Shuffle(len(it.buf), func(i, j int) {
+		it.buf[i], it.buf[j] = it.buf[j], it.buf[i]
+	})
+
+	if it.pipe != nil {
+		fillCost := it.clock.Now() - fillStartNow
+		consStart := it.pipe.Fill(fillCost)
+		it.clock.Set(consStart)
+		it.consStart = consStart
+		it.consuming = true
+	}
+}
+
+// finishPipeline closes the last consume phase and sets the clock to the
+// pipelined completion time.
+func (it *corgiIter) finishPipeline() {
+	if it.pipe == nil || !it.consuming {
+		return
+	}
+	it.pipe.Consume(it.clock.Now() - it.consStart)
+	it.clock.Set(it.pipe.End())
+	it.consuming = false
+}

@@ -1,0 +1,184 @@
+package shuffle
+
+import (
+	"math/rand"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+)
+
+// blockIter streams tuples from a sequence of blocks in a given order,
+// reading blocks lazily. It is the shared engine behind No Shuffle (identity
+// order), Block-Only Shuffle (random order), and Shuffle Once (identity
+// order over a shuffled copy).
+//
+// Block reads overlap with tuple consumption through a two-deep
+// iosim.Pipeline, modelling the operating system's readahead: a sequential
+// scan's I/O proceeds while SGD computes on the previous block, exactly the
+// overlap real No Shuffle scans enjoy and the baseline CorgiPile's
+// double-buffering must be measured against.
+type blockIter struct {
+	src   Source
+	order []int // block ids in visit order
+	next  int   // next position in order
+	buf   []data.Tuple
+	pos   int
+	err   error
+
+	clock     *iosim.Clock
+	pipe      *iosim.Pipeline
+	consStart time.Duration
+	consuming bool
+}
+
+func newBlockIter(src Source, order []int) *blockIter {
+	it := &blockIter{src: src, order: order, clock: src.Clock()}
+	if it.clock != nil {
+		it.pipe = iosim.NewPipeline(2, it.clock.Now())
+	}
+	return it
+}
+
+// Next implements Iterator.
+func (it *blockIter) Next() (*data.Tuple, bool) {
+	for it.pos >= len(it.buf) {
+		if it.err != nil || it.next >= len(it.order) {
+			it.finishPipeline()
+			return nil, false
+		}
+		it.refill()
+		if it.err != nil {
+			it.finishPipeline()
+			return nil, false
+		}
+	}
+	t := &it.buf[it.pos]
+	it.pos++
+	return t, true
+}
+
+func (it *blockIter) refill() {
+	var fillStart time.Duration
+	if it.pipe != nil {
+		if it.consuming {
+			it.pipe.Consume(it.clock.Now() - it.consStart)
+		}
+		fillStart = it.clock.Now()
+	}
+	it.buf, it.err = it.src.ReadBlock(it.order[it.next])
+	it.next++
+	it.pos = 0
+	if it.pipe != nil {
+		consStart := it.pipe.Fill(it.clock.Now() - fillStart)
+		it.clock.Set(consStart)
+		it.consStart = consStart
+		it.consuming = true
+	}
+}
+
+func (it *blockIter) finishPipeline() {
+	if it.pipe == nil || !it.consuming {
+		return
+	}
+	it.pipe.Consume(it.clock.Now() - it.consStart)
+	it.clock.Set(it.pipe.End())
+	it.consuming = false
+}
+
+// Err implements Iterator.
+func (it *blockIter) Err() error { return it.err }
+
+// identityOrder returns [0, 1, ..., n-1].
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// noShuffle scans blocks and tuples in storage order — the fastest and
+// statistically weakest strategy.
+type noShuffle struct {
+	src Source
+}
+
+// Name implements Strategy.
+func (*noShuffle) Name() Kind { return KindNoShuffle }
+
+// StartEpoch implements Strategy.
+func (s *noShuffle) StartEpoch(int) (Iterator, error) {
+	return newBlockIter(s.src, identityOrder(s.src.NumBlocks())), nil
+}
+
+// noShuffleNamed reuses the sequential scan under a different strategy name
+// (Shuffle Once is a sequential scan over the pre-shuffled copy).
+type noShuffleNamed struct {
+	noShuffle
+	kind Kind
+}
+
+// Name implements Strategy.
+func (s *noShuffleNamed) Name() Kind { return s.kind }
+
+// blockOnly shuffles the block order each epoch but keeps tuples within a
+// block in storage order — the CorgiPile ablation of Section 7.3.2 that
+// shows why the tuple-level shuffle matters.
+type blockOnly struct {
+	src Source
+	rng *rand.Rand
+}
+
+// Name implements Strategy.
+func (*blockOnly) Name() Kind { return KindBlockOnly }
+
+// StartEpoch implements Strategy.
+func (s *blockOnly) StartEpoch(int) (Iterator, error) {
+	return newBlockIter(s.src, s.rng.Perm(s.src.NumBlocks())), nil
+}
+
+// epochShuffle performs a full shuffle before every epoch: it scans all
+// blocks (sequential read), charges the external-sort materialization, and
+// streams the tuples in uniformly random order.
+type epochShuffle struct {
+	src FullShuffler
+	rng *rand.Rand
+}
+
+// Name implements Strategy.
+func (*epochShuffle) Name() Kind { return KindEpochShuffle }
+
+// StartEpoch implements Strategy.
+func (s *epochShuffle) StartEpoch(int) (Iterator, error) {
+	all := make([]data.Tuple, 0, s.src.NumTuples())
+	for b := 0; b < s.src.NumBlocks(); b++ {
+		ts, err := s.src.ReadBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ts...)
+	}
+	s.src.ChargeFullShuffle()
+	s.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return &sliceIter{tuples: all}, nil
+}
+
+// sliceIter streams an in-memory tuple slice.
+type sliceIter struct {
+	tuples []data.Tuple
+	pos    int
+}
+
+// Next implements Iterator.
+func (it *sliceIter) Next() (*data.Tuple, bool) {
+	if it.pos >= len(it.tuples) {
+		return nil, false
+	}
+	t := &it.tuples[it.pos]
+	it.pos++
+	return t, true
+}
+
+// Err implements Iterator.
+func (it *sliceIter) Err() error { return nil }

@@ -1,0 +1,188 @@
+package shuffle
+
+import (
+	"testing"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+	"corgipile/internal/storage"
+)
+
+// buildHDDTable materializes a dataset as a table on a fresh HDD device.
+func buildHDDTable(t *testing.T, n, features int, blockSize int64) (*storage.Table, *iosim.Clock) {
+	t.Helper()
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: n, Features: features, Order: data.OrderClustered, Seed: 31})
+	clock := iosim.NewClock()
+	dev := iosim.NewDevice(iosim.HDD, clock)
+	tab, err := storage.Build(dev, ds, storage.Options{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, clock
+}
+
+// epochCost runs one epoch of the strategy, consuming each tuple with the
+// given simulated compute cost, and returns the epoch's simulated duration.
+func epochCost(t *testing.T, st Strategy, clock *iosim.Clock, perTuple time.Duration) time.Duration {
+	t.Helper()
+	start := clock.Now()
+	it, err := st.StartEpoch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		clock.Advance(perTuple)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return clock.Now() - start
+}
+
+func TestShuffleOnceConstructionCostsMoreThanScan(t *testing.T) {
+	tab, clock := buildHDDTable(t, 5000, 32, 32<<10)
+	src := TableSource(tab)
+	before := clock.Now()
+	if _, err := New(KindShuffleOnce, src, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	shuffleCost := clock.Now() - before
+
+	tab2, clock2 := buildHDDTable(t, 5000, 32, 32<<10)
+	st, _ := New(KindNoShuffle, TableSource(tab2), Options{Seed: 1})
+	scanCost := epochCost(t, st, clock2, 0)
+
+	if shuffleCost < 2*scanCost {
+		t.Fatalf("shuffle-once preprocessing (%v) should far exceed one scan (%v)", shuffleCost, scanCost)
+	}
+}
+
+func TestCorgiPilePerEpochNearNoShuffle(t *testing.T) {
+	// Figure 13: with blocks large enough to amortize the seek (the paper
+	// recommends ~10 MB on HDD), CorgiPile's per-epoch time stays within
+	// ~50% of No Shuffle. The dataset here is ~40 MB in 8 MB blocks.
+	const perTuple = time.Microsecond
+	tab, clock := buildHDDTable(t, 20000, 256, 8<<20)
+	ns, _ := New(KindNoShuffle, TableSource(tab), Options{Seed: 2})
+	nsCost := epochCost(t, ns, clock, perTuple)
+
+	tab2, clock2 := buildHDDTable(t, 20000, 256, 8<<20)
+	cp, _ := New(KindCorgiPile, TableSource(tab2), Options{Seed: 2, DoubleBuffer: true})
+	cpCost := epochCost(t, cp, clock2, perTuple)
+
+	if cpCost > nsCost*15/10 {
+		t.Fatalf("corgipile epoch %v vs no-shuffle %v: overhead too large", cpCost, nsCost)
+	}
+	if cpCost < nsCost {
+		t.Fatalf("corgipile epoch %v should not beat no-shuffle %v on cold reads", cpCost, nsCost)
+	}
+}
+
+func TestDoubleBufferFasterThanSingle(t *testing.T) {
+	// Section 7.3.3: double buffering shortens per-epoch time when compute
+	// and I/O are comparable.
+	const perTuple = 3 * time.Microsecond
+	tab, clock := buildHDDTable(t, 20000, 32, 128<<10)
+	single, _ := New(KindCorgiPile, TableSource(tab), Options{Seed: 3, DoubleBuffer: false})
+	singleCost := epochCost(t, single, clock, perTuple)
+
+	tab2, clock2 := buildHDDTable(t, 20000, 32, 128<<10)
+	double, _ := New(KindCorgiPile, TableSource(tab2), Options{Seed: 3, DoubleBuffer: true})
+	doubleCost := epochCost(t, double, clock2, perTuple)
+
+	if doubleCost >= singleCost {
+		t.Fatalf("double buffering (%v) should beat single buffering (%v)", doubleCost, singleCost)
+	}
+}
+
+func TestDoubleBufferEmitsSameTuples(t *testing.T) {
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 300, Features: 4, Order: data.OrderClustered, Seed: 32})
+	clock := iosim.NewClock()
+	src := NewMemSource(ds, 15).WithClock(clock, time.Millisecond)
+	st, _ := New(KindCorgiPile, src, Options{Seed: 4, DoubleBuffer: true})
+	it, _ := st.StartEpoch(0)
+	ids := drain(t, it)
+	assertPermutation(t, ids, 300)
+}
+
+func TestSmallBlocksSlowerThanLargeBlocksOnHDD(t *testing.T) {
+	// Figure 14(b): per-epoch time decreases as block size grows.
+	small, clockS := buildHDDTable(t, 20000, 32, 16<<10)
+	stS, _ := New(KindCorgiPile, TableSource(small), Options{Seed: 5})
+	costS := epochCost(t, stS, clockS, 0)
+
+	large, clockL := buildHDDTable(t, 20000, 32, 512<<10)
+	stL, _ := New(KindCorgiPile, TableSource(large), Options{Seed: 5})
+	costL := epochCost(t, stL, clockL, 0)
+
+	if costL >= costS {
+		t.Fatalf("large blocks (%v) should be faster than small blocks (%v)", costL, costS)
+	}
+}
+
+func TestEpochShuffleCostliestPerEpoch(t *testing.T) {
+	tab, clock := buildHDDTable(t, 5000, 128, 1<<20)
+	es, _ := New(KindEpochShuffle, TableSource(tab), Options{Seed: 6})
+	esCost := epochCost(t, es, clock, 0)
+
+	tab2, clock2 := buildHDDTable(t, 5000, 128, 1<<20)
+	cp, _ := New(KindCorgiPile, TableSource(tab2), Options{Seed: 6})
+	cpCost := epochCost(t, cp, clock2, 0)
+
+	if esCost <= cpCost {
+		t.Fatalf("epoch shuffle per-epoch (%v) should exceed corgipile (%v)", esCost, cpCost)
+	}
+}
+
+func TestTableSourceRoundTrip(t *testing.T) {
+	tab, _ := buildHDDTable(t, 1000, 8, 8<<10)
+	src := TableSource(tab)
+	if src.NumTuples() != 1000 || src.NumBlocks() != tab.NumBlocks() {
+		t.Fatal("TableSource metadata mismatch")
+	}
+	ts, err := src.ReadBlock(0)
+	if err != nil || len(ts) != tab.BlockTuples(0) {
+		t.Fatalf("ReadBlock: %v, %d tuples", err, len(ts))
+	}
+	if src.Clock() == nil {
+		t.Fatal("TableSource must expose the device clock")
+	}
+}
+
+func TestAccessPatternsViaTrace(t *testing.T) {
+	// The device trace proves the physical access patterns: No Shuffle is
+	// (almost) seek-free, CorgiPile seeks on (almost) every block.
+	build := func() (*storage.Table, *iosim.Trace) {
+		ds := data.SyntheticBinary(data.SyntheticConfig{
+			Tuples: 5000, Features: 16, Order: data.OrderClustered, Seed: 33})
+		clock := iosim.NewClock()
+		dev := iosim.NewDevice(iosim.HDD, clock)
+		trace := dev.WithTrace()
+		tab, err := storage.Build(dev, ds, storage.Options{BlockSize: 8 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab, trace
+	}
+
+	tab, trace := build()
+	ns, _ := New(KindNoShuffle, TableSource(tab), Options{Seed: 1})
+	epochCost(t, ns, tab.Device().Clock(), 0)
+	if f := trace.SeekFraction(); f > 0.05 {
+		t.Fatalf("no-shuffle seek fraction = %.2f, want ~0", f)
+	}
+
+	tab2, trace2 := build()
+	cp, _ := New(KindCorgiPile, TableSource(tab2), Options{Seed: 1})
+	epochCost(t, cp, tab2.Device().Clock(), 0)
+	if f := trace2.SeekFraction(); f < 0.8 {
+		t.Fatalf("corgipile seek fraction = %.2f, want ~1", f)
+	}
+}

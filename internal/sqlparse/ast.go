@@ -1,0 +1,186 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Value is a parameter value: a string, a number, or a number with a size
+// unit (10MB).
+type Value struct {
+	// Raw is the literal text as written.
+	Raw string
+	// Num is the numeric value when IsNum is set (size units resolved to
+	// bytes).
+	Num   float64
+	IsNum bool
+}
+
+// String returns the raw text.
+func (v Value) String() string { return v.Raw }
+
+// Bool interprets the value as a boolean (true/false/1/0).
+func (v Value) Bool() bool {
+	if v.IsNum {
+		return v.Num != 0
+	}
+	s := strings.ToLower(v.Raw)
+	return s == "true" || s == "on" || s == "yes"
+}
+
+// Params is a named parameter list.
+type Params map[string]Value
+
+// Str returns the string parameter or def when absent.
+func (p Params) Str(key, def string) string {
+	if v, ok := p[key]; ok {
+		return v.Raw
+	}
+	return def
+}
+
+// Num returns the numeric parameter or def when absent or non-numeric.
+func (p Params) Num(key string, def float64) float64 {
+	if v, ok := p[key]; ok && v.IsNum {
+		return v.Num
+	}
+	return def
+}
+
+// Bool returns the boolean parameter or def when absent.
+func (p Params) Bool(key string, def bool) bool {
+	if v, ok := p[key]; ok {
+		return v.Bool()
+	}
+	return def
+}
+
+// CreateTable is CREATE TABLE name AS SYNTHETIC(...) [WITH ...] or
+// CREATE TABLE name FROM 'file' [WITH ...].
+type CreateTable struct {
+	Name string
+	// Synthetic holds the generator parameters (nil for FROM-file form).
+	Synthetic Params
+	// SourceFile is the LIBSVM file path for the FROM form.
+	SourceFile string
+	// With holds storage options (device, block_size, compress, ...).
+	With Params
+}
+
+func (*CreateTable) stmt() {}
+
+// Predicate is a simple WHERE condition on the tuple columns "label" or
+// "id": column op value, with op one of = != < <= > >=.
+type Predicate struct {
+	Column string // "label" or "id"
+	Op     string
+	Value  float64
+}
+
+// Train is SELECT * FROM table [WHERE pred] TRAIN BY model [MODEL name]
+// [WITH params].
+type Train struct {
+	Table string
+	// Where optionally filters the training tuples.
+	Where *Predicate
+	// ModelType is the learner: svm, lr, linreg, softmax, mlp.
+	ModelType string
+	// ModelName names the trained model in the catalog (defaults to a
+	// generated name).
+	ModelName string
+	Params    Params
+}
+
+func (*Train) stmt() {}
+
+// Predict is SELECT * FROM table [WHERE pred] PREDICT BY model [LIMIT n].
+type Predict struct {
+	Table string
+	// Where optionally filters the scanned tuples.
+	Where *Predicate
+	Model string
+	// Limit caps the returned rows; 0 means no limit.
+	Limit int
+}
+
+func (*Predict) stmt() {}
+
+// Show is SHOW TABLES or SHOW MODELS.
+type Show struct {
+	// What is "tables" or "models".
+	What string
+}
+
+func (*Show) stmt() {}
+
+// Explain wraps a TRAIN query: EXPLAIN SELECT * FROM t TRAIN BY ... — it
+// prints the physical operator plan instead of executing it.
+type Explain struct {
+	Train *Train
+}
+
+func (*Explain) stmt() {}
+
+// Analyze is ANALYZE TABLE name [WITH params]: it estimates the table's
+// block-variance factor h_D and per-tuple gradient variance at the given
+// model's initial weights, and recommends a buffer size via the Theorem 1
+// bound.
+type Analyze struct {
+	Table  string
+	Params Params
+}
+
+func (*Analyze) stmt() {}
+
+// SaveModel is SAVE MODEL name TO 'path': it serializes a trained model's
+// weights and metadata to a JSON file.
+type SaveModel struct {
+	Name string
+	Path string
+}
+
+func (*SaveModel) stmt() {}
+
+// LoadModel is LOAD MODEL name FROM 'path': it restores a model saved with
+// SAVE MODEL into the catalog under the given name.
+type LoadModel struct {
+	Name string
+	Path string
+}
+
+func (*LoadModel) stmt() {}
+
+// Drop is DROP TABLE name or DROP MODEL name.
+type Drop struct {
+	// What is "table" or "model".
+	What string
+	Name string
+}
+
+func (*Drop) stmt() {}
+
+// ParseSize converts a size literal such as "10MB", "8KB", "1GB" or a plain
+// byte count into bytes.
+func ParseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1}} {
+		if strings.HasSuffix(s, u.suffix) {
+			s = strings.TrimSuffix(s, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlparse: bad size %q: %w", s, err)
+	}
+	return int64(n * float64(mult)), nil
+}

@@ -1,0 +1,463 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SQL statement (a trailing semicolon is optional).
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
+	}
+	return st, nil
+}
+
+// ParseAll parses a semicolon-separated script into statements.
+func ParseAll(input string) ([]Statement, error) {
+	var stmts []Statement
+	for _, part := range splitStatements(input) {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		st, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+// splitStatements splits on semicolons outside quotes.
+func splitStatements(input string) []string {
+	var parts []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(input); i++ {
+		c := input[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ';':
+			parts = append(parts, input[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, input[start:])
+	return parts
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind and (case-insensitive)
+// text; empty text matches any.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.text, text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a matching token or fails.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokenKind]string{tokWord: "identifier", tokNumber: "number", tokString: "string"}[kind]
+	}
+	return token{}, fmt.Errorf("sqlparse: expected %s, got %s", want, p.peek())
+}
+
+// keyword consumes a case-insensitive keyword word.
+func (p *parser) keyword(word string) error {
+	if p.accept(tokWord, word) {
+		return nil
+	}
+	return fmt.Errorf("sqlparse: expected %s, got %s", strings.ToUpper(word), p.peek())
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(tokWord, "create"):
+		return p.createTable()
+	case p.at(tokWord, "select"):
+		return p.selectStmt()
+	case p.at(tokWord, "show"):
+		return p.showStmt()
+	case p.at(tokWord, "drop"):
+		return p.dropStmt()
+	case p.at(tokWord, "explain"):
+		return p.explainStmt()
+	case p.at(tokWord, "analyze"):
+		return p.analyzeStmt()
+	case p.at(tokWord, "save"):
+		return p.saveStmt()
+	case p.at(tokWord, "load"):
+		return p.loadStmt()
+	}
+	return nil, fmt.Errorf("sqlparse: expected CREATE, SELECT, SHOW, DROP, EXPLAIN, ANALYZE, SAVE or LOAD, got %s", p.peek())
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.next() // CREATE
+	if err := p.keyword("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateTable{Name: name.text}
+	switch {
+	case p.accept(tokWord, "as"):
+		if err := p.keyword("synthetic"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		st.Synthetic, err = p.paramList(true)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	case p.accept(tokWord, "from"):
+		f, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		st.SourceFile = f.text
+	default:
+		return nil, fmt.Errorf("sqlparse: expected AS SYNTHETIC(...) or FROM 'file', got %s", p.peek())
+	}
+	if p.accept(tokWord, "with") {
+		st.With, err = p.paramList(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.With == nil {
+		st.With = Params{}
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.next() // SELECT
+	if _, err := p.expect(tokPunct, "*"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	var where *Predicate
+	if p.accept(tokWord, "where") {
+		where, err = p.predicate()
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.accept(tokWord, "train"):
+		if err := p.keyword("by"); err != nil {
+			return nil, err
+		}
+		modelType, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		st := &Train{Table: table.text, Where: where, ModelType: strings.ToLower(modelType.text), Params: Params{}}
+		if p.accept(tokWord, "model") {
+			name, err := p.expect(tokWord, "")
+			if err != nil {
+				return nil, err
+			}
+			st.ModelName = name.text
+		}
+		if p.accept(tokWord, "with") {
+			st.Params, err = p.paramList(false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case p.accept(tokWord, "predict"):
+		if err := p.keyword("by"); err != nil {
+			return nil, err
+		}
+		model, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		st := &Predict{Table: table.text, Where: where, Model: model.text}
+		if p.accept(tokWord, "limit") {
+			n, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			limit, err := strconv.Atoi(n.text)
+			if err != nil || limit < 0 {
+				return nil, fmt.Errorf("sqlparse: bad LIMIT %q", n.text)
+			}
+			st.Limit = limit
+		}
+		return st, nil
+	}
+	return nil, fmt.Errorf("sqlparse: expected TRAIN BY or PREDICT BY, got %s", p.peek())
+}
+
+func (p *parser) showStmt() (Statement, error) {
+	p.next() // SHOW
+	switch {
+	case p.accept(tokWord, "tables"):
+		return &Show{What: "tables"}, nil
+	case p.accept(tokWord, "models"):
+		return &Show{What: "models"}, nil
+	}
+	return nil, fmt.Errorf("sqlparse: expected TABLES or MODELS, got %s", p.peek())
+}
+
+func (p *parser) dropStmt() (Statement, error) {
+	p.next() // DROP
+	var what string
+	switch {
+	case p.accept(tokWord, "table"):
+		what = "table"
+	case p.accept(tokWord, "model"):
+		what = "model"
+	default:
+		return nil, fmt.Errorf("sqlparse: expected TABLE or MODEL, got %s", p.peek())
+	}
+	name, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	return &Drop{What: what, Name: name.text}, nil
+}
+
+// predicate parses "column op value" where column is label or id.
+func (p *parser) predicate() (*Predicate, error) {
+	col, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	column := strings.ToLower(col.text)
+	if column != "label" && column != "id" {
+		return nil, fmt.Errorf("sqlparse: WHERE supports columns label and id, got %q", col.text)
+	}
+	op, err := p.comparison()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	if !v.IsNum {
+		return nil, fmt.Errorf("sqlparse: WHERE needs a numeric value, got %q", v.Raw)
+	}
+	return &Predicate{Column: column, Op: op, Value: v.Num}, nil
+}
+
+// comparison parses one of = != < <= > >=.
+func (p *parser) comparison() (string, error) {
+	switch {
+	case p.accept(tokPunct, "="):
+		return "=", nil
+	case p.accept(tokPunct, "!"):
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return "", err
+		}
+		return "!=", nil
+	case p.accept(tokPunct, "<"):
+		if p.accept(tokPunct, "=") {
+			return "<=", nil
+		}
+		return "<", nil
+	case p.accept(tokPunct, ">"):
+		if p.accept(tokPunct, "=") {
+			return ">=", nil
+		}
+		return ">", nil
+	}
+	return "", fmt.Errorf("sqlparse: expected a comparison operator, got %s", p.peek())
+}
+
+func (p *parser) explainStmt() (Statement, error) {
+	p.next() // EXPLAIN
+	st, err := p.selectStmtAfterKeyword()
+	if err != nil {
+		return nil, err
+	}
+	tr, ok := st.(*Train)
+	if !ok {
+		return nil, fmt.Errorf("sqlparse: EXPLAIN supports only TRAIN BY queries")
+	}
+	return &Explain{Train: tr}, nil
+}
+
+// selectStmtAfterKeyword parses a SELECT statement including its keyword.
+func (p *parser) selectStmtAfterKeyword() (Statement, error) {
+	if !p.at(tokWord, "select") {
+		return nil, fmt.Errorf("sqlparse: expected SELECT, got %s", p.peek())
+	}
+	return p.selectStmt()
+}
+
+func (p *parser) saveStmt() (Statement, error) {
+	p.next() // SAVE
+	if err := p.keyword("model"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("to"); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(tokString, "")
+	if err != nil {
+		return nil, err
+	}
+	return &SaveModel{Name: name.text, Path: path.text}, nil
+}
+
+func (p *parser) loadStmt() (Statement, error) {
+	p.next() // LOAD
+	if err := p.keyword("model"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(tokString, "")
+	if err != nil {
+		return nil, err
+	}
+	return &LoadModel{Name: name.text, Path: path.text}, nil
+}
+
+func (p *parser) analyzeStmt() (Statement, error) {
+	p.next() // ANALYZE
+	if err := p.keyword("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &Analyze{Table: name.text, Params: Params{}}
+	if p.accept(tokWord, "with") {
+		st.Params, err = p.paramList(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// paramList parses ident = value [, ident = value]*. With insideParens set
+// it stops at ')'; otherwise it stops at end of statement keywords.
+func (p *parser) paramList(insideParens bool) (Params, error) {
+	params := Params{}
+	for {
+		key, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		params[strings.ToLower(key.text)] = val
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	_ = insideParens
+	return params, nil
+}
+
+// value parses a parameter value: string, number, size literal, or bare
+// word.
+func (p *parser) value() (Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return Value{Raw: t.text}, nil
+	case tokNumber:
+		p.next()
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("sqlparse: bad number %q", t.text)
+		}
+		return Value{Raw: t.text, Num: n, IsNum: true}, nil
+	case tokUnitNum:
+		p.next()
+		n, err := ParseSize(t.text)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Raw: t.text, Num: float64(n), IsNum: true}, nil
+	case tokWord:
+		p.next()
+		return Value{Raw: t.text}, nil
+	}
+	return Value{}, fmt.Errorf("sqlparse: expected a value, got %s", t)
+}

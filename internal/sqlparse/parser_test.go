@@ -1,0 +1,250 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseCreateSynthetic(t *testing.T) {
+	st := parseOne(t, `CREATE TABLE higgs AS SYNTHETIC(workload='higgs', scale=0.1, order='clustered') WITH device='hdd', block_size=10MB, compress=false;`)
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("wrong statement type %T", st)
+	}
+	if ct.Name != "higgs" {
+		t.Fatalf("name = %q", ct.Name)
+	}
+	if ct.Synthetic.Str("workload", "") != "higgs" {
+		t.Fatal("workload param lost")
+	}
+	if ct.Synthetic.Num("scale", 0) != 0.1 {
+		t.Fatal("scale param lost")
+	}
+	if ct.With.Str("device", "") != "hdd" {
+		t.Fatal("device param lost")
+	}
+	if got := ct.With.Num("block_size", 0); got != 10<<20 {
+		t.Fatalf("block_size = %v, want %d", got, 10<<20)
+	}
+	if ct.With.Bool("compress", true) {
+		t.Fatal("compress=false parsed wrong")
+	}
+}
+
+func TestParseCreateFromFile(t *testing.T) {
+	st := parseOne(t, `CREATE TABLE t FROM '/data/higgs.libsvm' WITH device='ssd'`)
+	ct := st.(*CreateTable)
+	if ct.SourceFile != "/data/higgs.libsvm" {
+		t.Fatalf("source file = %q", ct.SourceFile)
+	}
+}
+
+func TestParseTrain(t *testing.T) {
+	st := parseOne(t, `SELECT * FROM higgs TRAIN BY svm MODEL m1 WITH learning_rate=0.1, max_epoch_num=20, buffer_fraction=0.1, shuffle='corgipile', batch_size=1;`)
+	tr, ok := st.(*Train)
+	if !ok {
+		t.Fatalf("wrong type %T", st)
+	}
+	if tr.Table != "higgs" || tr.ModelType != "svm" || tr.ModelName != "m1" {
+		t.Fatalf("train parsed wrong: %+v", tr)
+	}
+	if tr.Params.Num("learning_rate", 0) != 0.1 || tr.Params.Num("max_epoch_num", 0) != 20 {
+		t.Fatal("params lost")
+	}
+	if tr.Params.Str("shuffle", "") != "corgipile" {
+		t.Fatal("shuffle param lost")
+	}
+}
+
+func TestParseTrainMinimal(t *testing.T) {
+	st := parseOne(t, `SELECT * FROM t TRAIN BY lr`)
+	tr := st.(*Train)
+	if tr.ModelType != "lr" || tr.ModelName != "" || len(tr.Params) != 0 {
+		t.Fatalf("minimal train parsed wrong: %+v", tr)
+	}
+}
+
+func TestParsePredict(t *testing.T) {
+	st := parseOne(t, `SELECT * FROM t PREDICT BY m1 LIMIT 10;`)
+	pr := st.(*Predict)
+	if pr.Table != "t" || pr.Model != "m1" || pr.Limit != 10 {
+		t.Fatalf("predict parsed wrong: %+v", pr)
+	}
+}
+
+func TestParseShowAndDrop(t *testing.T) {
+	if parseOne(t, "SHOW TABLES").(*Show).What != "tables" {
+		t.Fatal("show tables")
+	}
+	if parseOne(t, "show models;").(*Show).What != "models" {
+		t.Fatal("show models")
+	}
+	d := parseOne(t, "DROP TABLE t1").(*Drop)
+	if d.What != "table" || d.Name != "t1" {
+		t.Fatal("drop table")
+	}
+	d = parseOne(t, "DROP MODEL m1;").(*Drop)
+	if d.What != "model" || d.Name != "m1" {
+		t.Fatal("drop model")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	st := parseOne(t, `select * from T train by SVM with Learning_Rate=0.5`)
+	tr := st.(*Train)
+	if tr.ModelType != "svm" || tr.Params.Num("learning_rate", 0) != 0.5 {
+		t.Fatalf("case-insensitive parse failed: %+v", tr)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	st := parseOne(t, "-- train a model\nSELECT * FROM t TRAIN BY svm")
+	if _, ok := st.(*Train); !ok {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	script := `
+		CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.05, order='clustered');
+		SELECT * FROM t TRAIN BY svm MODEL m WITH max_epoch_num=2;
+		SELECT * FROM t PREDICT BY m LIMIT 5;
+	`
+	stmts, err := ParseAll(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements, want 3", len(stmts))
+	}
+}
+
+func TestParseAllSemicolonInString(t *testing.T) {
+	stmts, err := ParseAll(`CREATE TABLE t FROM 'a;b.libsvm'; SHOW TABLES;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("parsed %d statements, want 2", len(stmts))
+	}
+	if stmts[0].(*CreateTable).SourceFile != "a;b.libsvm" {
+		t.Fatal("semicolon inside string mishandled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT FROM t",
+		"SELECT * FROM t",
+		"SELECT * FROM t TRAIN svm",
+		"CREATE TABLE",
+		"CREATE TABLE t AS SYNTHETIC workload='x'",
+		"CREATE TABLE t AS SYNTHETIC(workload=)",
+		"SELECT * FROM t PREDICT BY m LIMIT -3",
+		"SHOW EVERYTHING",
+		"DROP DATABASE x",
+		"SELECT * FROM t TRAIN BY svm WITH lr=0.1 extra",
+		"CREATE TABLE t FROM 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseErrorMessagesMentionContext(t *testing.T) {
+	_, err := Parse("SELECT * FROM t DANCE BY svm")
+	if err == nil || !strings.Contains(err.Error(), "TRAIN") {
+		t.Fatalf("error %v should mention TRAIN", err)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"10MB": 10 << 20, "8KB": 8 << 10, "1GB": 1 << 30,
+		"2M": 2 << 20, "512": 512, "1.5MB": 3 << 19,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := ParseSize("abcMB"); err == nil {
+		t.Error("ParseSize should reject garbage")
+	}
+}
+
+func TestValueBool(t *testing.T) {
+	if !(Value{Raw: "true"}).Bool() || (Value{Raw: "false"}).Bool() {
+		t.Fatal("string bool")
+	}
+	if !(Value{Num: 1, IsNum: true}).Bool() || (Value{Num: 0, IsNum: true}).Bool() {
+		t.Fatal("numeric bool")
+	}
+}
+
+func TestParamDefaults(t *testing.T) {
+	p := Params{}
+	if p.Str("x", "d") != "d" || p.Num("x", 7) != 7 || p.Bool("x", true) != true {
+		t.Fatal("defaults broken")
+	}
+}
+
+func TestParseWherePredicate(t *testing.T) {
+	cases := []struct {
+		sql string
+		col string
+		op  string
+		val float64
+	}{
+		{`SELECT * FROM t WHERE label = 1 TRAIN BY svm`, "label", "=", 1},
+		{`SELECT * FROM t WHERE label = -1 TRAIN BY svm`, "label", "=", -1},
+		{`SELECT * FROM t WHERE id < 100 PREDICT BY m`, "id", "<", 100},
+		{`SELECT * FROM t WHERE id >= 50 PREDICT BY m`, "id", ">=", 50},
+		{`SELECT * FROM t WHERE label != 0 TRAIN BY lr`, "label", "!=", 0},
+		{`SELECT * FROM t WHERE id <= 7 TRAIN BY lr`, "id", "<=", 7},
+		{`SELECT * FROM t WHERE id > 7 TRAIN BY lr`, "id", ">", 7},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.sql, err)
+		}
+		var w *Predicate
+		switch st := st.(type) {
+		case *Train:
+			w = st.Where
+		case *Predict:
+			w = st.Where
+		}
+		if w == nil || w.Column != c.col || w.Op != c.op || w.Value != c.val {
+			t.Fatalf("%q parsed predicate %+v, want %s %s %v", c.sql, w, c.col, c.op, c.val)
+		}
+	}
+}
+
+func TestParseWhereErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * FROM t WHERE features = 1 TRAIN BY svm`, // unsupported column
+		`SELECT * FROM t WHERE label ~ 1 TRAIN BY svm`,    // bad operator
+		`SELECT * FROM t WHERE label = 'x' TRAIN BY svm`,  // non-numeric value
+		`SELECT * FROM t WHERE label ! 1 TRAIN BY svm`,    // lone !
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render converts a parsed statement back to SQL text. Parse(Render(st))
+// yields an equivalent statement, which the round-trip property test
+// verifies; it is used by tools that log or persist statements.
+func Render(st Statement) string {
+	switch st := st.(type) {
+	case *CreateTable:
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE TABLE %s", st.Name)
+		if st.SourceFile != "" {
+			fmt.Fprintf(&b, " FROM '%s'", st.SourceFile)
+		} else {
+			fmt.Fprintf(&b, " AS SYNTHETIC(%s)", renderParams(st.Synthetic))
+		}
+		if len(st.With) > 0 {
+			fmt.Fprintf(&b, " WITH %s", renderParams(st.With))
+		}
+		return b.String()
+	case *Train:
+		var b strings.Builder
+		fmt.Fprintf(&b, "SELECT * FROM %s%s TRAIN BY %s", st.Table, renderWhere(st.Where), st.ModelType)
+		if st.ModelName != "" {
+			fmt.Fprintf(&b, " MODEL %s", st.ModelName)
+		}
+		if len(st.Params) > 0 {
+			fmt.Fprintf(&b, " WITH %s", renderParams(st.Params))
+		}
+		return b.String()
+	case *Predict:
+		var b strings.Builder
+		fmt.Fprintf(&b, "SELECT * FROM %s%s PREDICT BY %s", st.Table, renderWhere(st.Where), st.Model)
+		if st.Limit > 0 {
+			fmt.Fprintf(&b, " LIMIT %d", st.Limit)
+		}
+		return b.String()
+	case *Show:
+		return "SHOW " + strings.ToUpper(st.What)
+	case *Drop:
+		return fmt.Sprintf("DROP %s %s", strings.ToUpper(st.What), st.Name)
+	case *Explain:
+		return "EXPLAIN " + Render(st.Train)
+	case *Analyze:
+		out := "ANALYZE TABLE " + st.Table
+		if len(st.Params) > 0 {
+			out += " WITH " + renderParams(st.Params)
+		}
+		return out
+	case *SaveModel:
+		return fmt.Sprintf("SAVE MODEL %s TO '%s'", st.Name, st.Path)
+	case *LoadModel:
+		return fmt.Sprintf("LOAD MODEL %s FROM '%s'", st.Name, st.Path)
+	}
+	return ""
+}
+
+func renderWhere(p *Predicate) string {
+	if p == nil {
+		return ""
+	}
+	return fmt.Sprintf(" WHERE %s %s %g", p.Column, p.Op, p.Value)
+}
+
+// renderParams emits key=value pairs in sorted key order for determinism.
+func renderParams(p Params) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		v := p[k]
+		if v.IsNum {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v.Num))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s='%s'", k, v.Raw))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,105 @@
+// Package storage implements the on-disk table layout CorgiPile's physical
+// operators address: a binary tuple codec, heap pages grouped into fixed
+// target-size blocks, a block index, and block reads costed through the
+// simulated device of internal/iosim. An optional per-block flate
+// compression models PostgreSQL's TOAST behaviour for wide tuples.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"corgipile/internal/data"
+)
+
+// Tuple wire format (little endian):
+//
+//	id      uint64
+//	label   float64 bits
+//	flags   byte    (0 = dense, 1 = sparse)
+//	count   uint32  (number of stored feature values)
+//	dense:  count × float64
+//	sparse: count × (int32 index, float64 value)
+const (
+	flagDense  = 0
+	flagSparse = 1
+
+	tupleHeaderSize = 8 + 8 + 1 + 4
+)
+
+// ErrCorrupt reports a malformed tuple or block.
+var ErrCorrupt = errors.New("storage: corrupt data")
+
+// AppendTuple appends the encoding of t to buf and returns the extended
+// slice.
+func AppendTuple(buf []byte, t *data.Tuple) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.ID))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.Label))
+	if t.IsSparse() {
+		buf = append(buf, flagSparse)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.SparseIdx)))
+		for i, idx := range t.SparseIdx {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(idx))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.SparseVal[i]))
+		}
+		return buf
+	}
+	buf = append(buf, flagDense)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Dense)))
+	for _, v := range t.Dense {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeTuple decodes one tuple from the front of buf, returning the tuple
+// and the number of bytes consumed.
+func DecodeTuple(buf []byte) (data.Tuple, int, error) {
+	if len(buf) < tupleHeaderSize {
+		return data.Tuple{}, 0, fmt.Errorf("%w: short tuple header (%d bytes)", ErrCorrupt, len(buf))
+	}
+	t := data.Tuple{
+		ID:    int64(binary.LittleEndian.Uint64(buf)),
+		Label: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+	}
+	flags := buf[16]
+	count := int(binary.LittleEndian.Uint32(buf[17:]))
+	n := tupleHeaderSize
+	switch flags {
+	case flagDense:
+		need := n + count*8
+		if len(buf) < need {
+			return data.Tuple{}, 0, fmt.Errorf("%w: short dense payload", ErrCorrupt)
+		}
+		t.Dense = make([]float64, count)
+		for i := 0; i < count; i++ {
+			t.Dense[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[n+i*8:]))
+		}
+		n = need
+	case flagSparse:
+		need := n + count*12
+		if len(buf) < need {
+			return data.Tuple{}, 0, fmt.Errorf("%w: short sparse payload", ErrCorrupt)
+		}
+		t.SparseIdx = make([]int32, count)
+		t.SparseVal = make([]float64, count)
+		for i := 0; i < count; i++ {
+			t.SparseIdx[i] = int32(binary.LittleEndian.Uint32(buf[n+i*12:]))
+			t.SparseVal[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[n+i*12+4:]))
+		}
+		n = need
+	default:
+		return data.Tuple{}, 0, fmt.Errorf("%w: unknown tuple flags %d", ErrCorrupt, flags)
+	}
+	return t, n, nil
+}
+
+// EncodedTupleSize returns the size of t's encoding in bytes.
+func EncodedTupleSize(t *data.Tuple) int {
+	if t.IsSparse() {
+		return tupleHeaderSize + len(t.SparseIdx)*12
+	}
+	return tupleHeaderSize + len(t.Dense)*8
+}

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"corgipile/internal/data"
+)
+
+func TestTupleRoundTripDense(t *testing.T) {
+	orig := data.Tuple{ID: 42, Label: -1, Dense: []float64{1.5, -2.25, 0, math.Pi}}
+	buf := AppendTuple(nil, &orig)
+	if len(buf) != EncodedTupleSize(&orig) {
+		t.Fatalf("encoded %d bytes, size func says %d", len(buf), EncodedTupleSize(&orig))
+	}
+	got, n, err := DecodeTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.ID != 42 || got.Label != -1 || got.IsSparse() {
+		t.Fatalf("decoded header wrong: %+v", got)
+	}
+	for i := range orig.Dense {
+		if got.Dense[i] != orig.Dense[i] {
+			t.Fatalf("dense[%d] = %v, want %v", i, got.Dense[i], orig.Dense[i])
+		}
+	}
+}
+
+func TestTupleRoundTripSparse(t *testing.T) {
+	orig := data.Tuple{ID: 7, Label: 1, SparseIdx: []int32{3, 99, 1000}, SparseVal: []float64{0.5, -4, 8}}
+	buf := AppendTuple(nil, &orig)
+	got, _, err := DecodeTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() || got.NNZ() != 3 {
+		t.Fatalf("decoded shape wrong: %+v", got)
+	}
+	for i := range orig.SparseIdx {
+		if got.SparseIdx[i] != orig.SparseIdx[i] || got.SparseVal[i] != orig.SparseVal[i] {
+			t.Fatalf("sparse[%d] mismatch", i)
+		}
+	}
+}
+
+func TestTupleRoundTripEmpty(t *testing.T) {
+	orig := data.Tuple{ID: 1, Label: 0, SparseIdx: []int32{}, SparseVal: []float64{}}
+	buf := AppendTuple(nil, &orig)
+	got, _, err := DecodeTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() || got.NNZ() != 0 {
+		t.Fatalf("empty sparse tuple decoded wrong: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeTuple([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header should error")
+	}
+	// Valid header claiming more payload than present.
+	orig := data.Tuple{ID: 1, Dense: []float64{1, 2, 3}}
+	buf := AppendTuple(nil, &orig)
+	if _, _, err := DecodeTuple(buf[:len(buf)-4]); err == nil {
+		t.Fatal("truncated dense payload should error")
+	}
+	s := data.Tuple{ID: 1, SparseIdx: []int32{1}, SparseVal: []float64{2}}
+	sb := AppendTuple(nil, &s)
+	if _, _, err := DecodeTuple(sb[:len(sb)-2]); err == nil {
+		t.Fatal("truncated sparse payload should error")
+	}
+	// Corrupt flags byte.
+	buf[16] = 9
+	if _, _, err := DecodeTuple(buf); err == nil {
+		t.Fatal("unknown flags should error")
+	}
+}
+
+func TestMultipleTuplesStream(t *testing.T) {
+	var buf []byte
+	tuples := []data.Tuple{
+		{ID: 0, Label: -1, Dense: []float64{1}},
+		{ID: 1, Label: 1, SparseIdx: []int32{5}, SparseVal: []float64{2}},
+		{ID: 2, Label: -1, Dense: []float64{3, 4}},
+	}
+	for i := range tuples {
+		buf = AppendTuple(buf, &tuples[i])
+	}
+	for i := range tuples {
+		got, n, err := DecodeTuple(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != tuples[i].ID {
+			t.Fatalf("stream tuple %d has id %d", i, got.ID)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d leftover bytes", len(buf))
+	}
+}
+
+// Property: round trip preserves any finite dense tuple.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id int64, label float64, vals []float64) bool {
+		if math.IsNaN(label) {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		orig := data.Tuple{ID: id, Label: label, Dense: vals}
+		if vals == nil {
+			orig.Dense = []float64{}
+		}
+		got, n, err := DecodeTuple(AppendTuple(nil, &orig))
+		if err != nil || n != EncodedTupleSize(&orig) {
+			return false
+		}
+		if got.ID != id || got.Label != label || len(got.Dense) != len(orig.Dense) {
+			return false
+		}
+		for i := range orig.Dense {
+			if got.Dense[i] != orig.Dense[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodedSizeMatchesDataEstimate(t *testing.T) {
+	// data.Tuple.EncodedSize must stay in sync with the real codec.
+	d := data.Tuple{ID: 1, Label: 1, Dense: []float64{1, 2, 3}}
+	if EncodedTupleSize(&d) != d.EncodedSize() {
+		t.Fatalf("dense: codec %d vs estimate %d", EncodedTupleSize(&d), d.EncodedSize())
+	}
+	s := data.Tuple{ID: 1, Label: 1, SparseIdx: []int32{1, 2}, SparseVal: []float64{1, 2}}
+	if EncodedTupleSize(&s) != s.EncodedSize() {
+		t.Fatalf("sparse: codec %d vs estimate %d", EncodedTupleSize(&s), s.EncodedSize())
+	}
+}
