@@ -1,0 +1,28 @@
+# Build and verification targets. `make check` is the full gate: build,
+# vet, tests, and the race detector over the internal packages.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -1,12 +1,21 @@
-// Command corgibench regenerates the paper's tables and figures.
+// Command corgibench regenerates the paper's tables and figures, and
+// profiles where training time goes.
 //
 // Usage:
 //
 //	corgibench [-scale 1.0] [-list] [experiment ...]
+//	corgibench -metrics [-workload higgs] [-strategy corgipile] [-device hdd]
+//	           [-epochs 5] [-double] [-block N] [-trace-out trace.jsonl]
 //
 // With no experiment arguments (or "all") it runs the full suite. Each
 // experiment prints the rows/series of the corresponding paper artifact;
 // EXPERIMENTS.md maps ids to the paper.
+//
+// With -metrics it instead runs one instrumented training pass and prints
+// the per-epoch cross-layer breakdown — I/O time, bytes read, seek
+// fraction, cache hit-rate, shuffle fill time, gradient-compute time, and
+// loss — followed by the run's raw counter totals. -trace-out additionally
+// streams the same data (plus every span) as JSONL for offline analysis.
 package main
 
 import (
@@ -15,11 +24,23 @@ import (
 	"os"
 
 	"corgipile/internal/bench"
+	"corgipile/internal/shuffle"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full synthetic size)")
-	list := flag.Bool("list", false, "list available experiments and exit")
+	var (
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full synthetic size)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		metrics  = flag.Bool("metrics", false, "run one instrumented pass and print the per-epoch time breakdown")
+		workload = flag.String("workload", "higgs", "-metrics: synthetic workload name")
+		strategy = flag.String("strategy", "corgipile", "-metrics: shuffle strategy")
+		device   = flag.String("device", "hdd", "-metrics: device profile (hdd, ssd, ram)")
+		epochs   = flag.Int("epochs", 5, "-metrics: training epochs")
+		double   = flag.Bool("double", false, "-metrics: enable double buffering")
+		block    = flag.Int64("block", 0, "-metrics: block size in bytes (0 = auto)")
+		seed     = flag.Int64("seed", 1, "-metrics: random seed")
+		traceOut = flag.String("trace-out", "", "write the JSONL event trace to this file")
+	)
 	flag.Parse()
 
 	if *list {
@@ -29,18 +50,63 @@ func main() {
 		return
 	}
 
+	if *metrics {
+		opts := bench.ProfileOptions{
+			Workload:     *workload,
+			Scale:        *scale,
+			Strategy:     shuffle.Kind(*strategy),
+			Epochs:       *epochs,
+			Device:       *device,
+			DoubleBuffer: *double,
+			BlockSize:    *block,
+			Seed:         *seed,
+		}
+		// The experiment suite runs at scale 1.0 by default; profiles want
+		// quick turnaround, so -metrics defaults to a smaller dataset unless
+		// the user set -scale explicitly.
+		if !flagSet("scale") {
+			opts.Scale = 0
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			opts.TraceOut = f
+		}
+		if err := bench.Profile(os.Stdout, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	ids := flag.Args()
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		if err := bench.RunAll(os.Stdout, *scale); err != nil {
-			fmt.Fprintln(os.Stderr, "corgibench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return
 	}
 	for _, id := range ids {
 		if err := bench.Run(os.Stdout, id, *scale); err != nil {
-			fmt.Fprintln(os.Stderr, "corgibench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corgibench:", err)
+	os.Exit(1)
 }

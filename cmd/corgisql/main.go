@@ -5,6 +5,11 @@
 //
 //	corgisql              # interactive REPL
 //	corgisql -c "SQL..."  # run a script and exit
+//	corgisql -metrics [-trace-out trace.jsonl] ...
+//
+// With -metrics every TRAIN statement additionally prints a per-epoch
+// cross-layer time breakdown (I/O, shuffle, gradient compute); -trace-out
+// streams the full JSONL event trace to a file.
 //
 // Example session:
 //
@@ -23,13 +28,29 @@ import (
 	"strings"
 
 	"corgipile/internal/db"
+	"corgipile/internal/obs"
 )
 
 func main() {
 	script := flag.String("c", "", "execute the given SQL script and exit")
+	metrics := flag.Bool("metrics", false, "print a per-epoch time breakdown after each TRAIN")
+	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file")
 	flag.Parse()
 
 	session := db.NewSession()
+	if *metrics || *traceOut != "" {
+		reg := obs.New()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "corgisql:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			reg.StreamTo(f)
+		}
+		session.WithMetrics(reg)
+	}
 	if *script != "" {
 		results, err := session.ExecScript(*script)
 		for _, r := range results {
@@ -100,5 +121,10 @@ func printResult(r *db.Result) {
 	}
 	if r.Message != "" {
 		fmt.Println(r.Message)
+	}
+	if len(r.Breakdown) > 0 {
+		if err := obs.WriteEpochTable(os.Stdout, "where the time went", r.Breakdown); err != nil {
+			fmt.Fprintln(os.Stderr, "corgisql:", err)
+		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	corgitrain -file data.libsvm [-model svm] [-lr 0.05] [-epochs 10]
 //	           [-strategy corgipile] [-buffer 0.1] [-batch 1] [-test 0.2]
-//	           [-save model.json]
+//	           [-save model.json] [-metrics] [-trace-out trace.jsonl]
 //
 // The training table is used as-is (no shuffling of the file), so a file
 // written in clustered order exercises exactly the pathology the paper
@@ -37,6 +37,8 @@ func main() {
 		testFrac = flag.Float64("test", 0.2, "held-out test fraction")
 		seed     = flag.Int64("seed", 1, "random seed")
 		save     = flag.String("save", "", "save the trained model to this JSON file via the SQL layer")
+		metrics  = flag.Bool("metrics", false, "print a per-epoch time breakdown after training")
+		traceOut = flag.String("trace-out", "", "write the JSONL event trace to this file")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -62,6 +64,18 @@ func main() {
 		fmt.Printf("split: %d train / %d test\n", train.Len(), test.Len())
 	}
 
+	var reg *corgipile.Metrics
+	if *metrics || *traceOut != "" {
+		reg = corgipile.NewMetrics()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			reg.StreamTo(f)
+		}
+	}
 	res, err := corgipile.Train(train, corgipile.TrainConfig{
 		Model:          *model,
 		LearningRate:   *lr,
@@ -71,9 +85,15 @@ func main() {
 		Strategy:       corgipile.StrategyKind(*strategy),
 		BufferFraction: *buffer,
 		Seed:           *seed,
+		Metrics:        reg,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *metrics {
+		if err := corgipile.WriteEpochBreakdown(os.Stdout, res.Breakdown); err != nil {
+			fatal(err)
+		}
 	}
 
 	for _, p := range res.Points {

@@ -25,11 +25,14 @@
 package corgipile
 
 import (
+	"io"
+
 	"corgipile/internal/core"
 	"corgipile/internal/data"
 	"corgipile/internal/db"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 	"corgipile/internal/storage"
 )
@@ -64,6 +67,13 @@ type (
 	EpochPoint = core.EpochPoint
 	// Session is an in-DB ML session.
 	Session = db.Session
+	// Metrics is the cross-layer observability registry: counters, gauges,
+	// duration histograms, spans, and exporters. Attach one via
+	// TrainConfig.Metrics (or Session.WithMetrics) to get per-epoch time
+	// breakdowns.
+	Metrics = obs.Registry
+	// EpochMetrics is one epoch's cross-layer time breakdown.
+	EpochMetrics = obs.EpochMetrics
 )
 
 // Tuple orders.
@@ -97,6 +107,17 @@ func NewSGD(lr float64) Optimizer { return ml.NewSGD(lr) }
 
 // NewAdam returns an Adam optimizer.
 func NewAdam(lr float64) Optimizer { return ml.NewAdam(lr) }
+
+// NewMetrics returns an empty metrics registry. Pass it via
+// TrainConfig.Metrics to collect a per-epoch breakdown of where training
+// time goes; stream its JSONL event trace anywhere with StreamTo.
+func NewMetrics() *Metrics { return obs.New() }
+
+// WriteEpochBreakdown renders per-epoch metrics rows (Result.Breakdown) as
+// an aligned text table.
+func WriteEpochBreakdown(w io.Writer, rows []EpochMetrics) error {
+	return obs.WriteEpochTable(w, "epoch breakdown", rows)
+}
 
 // Synthetic generates a named synthetic workload ("higgs", "susy",
 // "epsilon", "criteo", "yfcc", "cifar10", "imagenet", "yelp", "yearpred",

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+	"corgipile/internal/obs"
+	"corgipile/internal/shuffle"
+)
+
+// ProfileOptions configures one instrumented training run for Profile —
+// the "where does the time go" mode behind corgibench -metrics.
+type ProfileOptions struct {
+	// Workload names the synthetic dataset (default "higgs"); Scale scales
+	// it (default 0.2 — profiles want quick turnaround).
+	Workload string
+	Scale    float64
+	// Model is the learner (default "svm").
+	Model string
+	// Strategy is the shuffling strategy (default CorgiPile).
+	Strategy shuffle.Kind
+	// Epochs is the number of passes (default 5).
+	Epochs int
+	// Device is the profile name: "hdd", "ssd", "ram" (default "hdd" —
+	// the regime where the I/O decomposition is most interesting).
+	Device string
+	// DoubleBuffer enables the Section 6.3 overlap optimization.
+	DoubleBuffer bool
+	// BlockSize overrides the block size in bytes (default: the paper's
+	// 256-block regime for the scaled dataset).
+	BlockSize int64
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// TraceOut, when non-nil, additionally receives the JSONL event stream
+	// (span ends, per-epoch breakdowns, and a final snapshot).
+	TraceOut io.Writer
+}
+
+func (o ProfileOptions) withDefaults() ProfileOptions {
+	if o.Workload == "" {
+		o.Workload = "higgs"
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.2
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 5
+	}
+	if o.Device == "" {
+		o.Device = "hdd"
+	}
+	return o
+}
+
+// Profile runs one fully instrumented training pass and writes the
+// per-epoch cross-layer breakdown (I/O time, bytes, seek fraction, cache
+// hit-rate, shuffle fill time, gradient time, loss) plus a totals table
+// to w. When opts.TraceOut is set the same data streams there as JSONL.
+func Profile(w io.Writer, opts ProfileOptions) error {
+	opts = opts.withDefaults()
+	prof, ok := iosim.ProfileByName(opts.Device)
+	if !ok {
+		return fmt.Errorf("bench: unknown device %q (hdd, ssd, ram)", opts.Device)
+	}
+	if opts.Strategy == "" {
+		opts.Strategy = shuffle.KindCorgiPile
+	}
+	reg := obs.New()
+	if opts.TraceOut != nil {
+		reg.StreamTo(opts.TraceOut)
+	}
+	o, err := run(spec{
+		workload:  opts.Workload,
+		order:     data.OrderClustered,
+		scale:     opts.Scale,
+		model:     opts.Model,
+		epochs:    opts.Epochs,
+		kind:      opts.Strategy,
+		double:    opts.DoubleBuffer,
+		device:    prof,
+		blockSize: opts.BlockSize,
+		seed:      opts.Seed,
+		reg:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("%s on %s, %s (scale %g): where the time goes",
+		strategyLabel(opts.Strategy), opts.Device, opts.Workload, opts.Scale)
+	if err := obs.WriteEpochTable(w, title, o.res.Breakdown); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "total %s (prep %s)\n\n", fmtSecs(o.total), fmtSecs(o.prep))
+	if err := reg.WriteCounterTable(w, "run totals"); err != nil {
+		return err
+	}
+	reg.EmitSnapshot("final")
+	return nil
+}

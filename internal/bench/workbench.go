@@ -9,6 +9,7 @@ import (
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 	"corgipile/internal/storage"
 )
@@ -37,6 +38,11 @@ type spec struct {
 	seed         int64
 	computeScale float64
 	inMemory     bool // skip the storage engine (PyTorch-style in-memory)
+
+	// reg, when non-nil, collects cross-layer metrics: it is attached to the
+	// simulated clock, the device, the shuffle strategy, and the training
+	// loop, so out.res.Breakdown carries one row per epoch.
+	reg *obs.Registry
 }
 
 func (s spec) withDefaults() spec {
@@ -137,6 +143,7 @@ func splitEval(ds *data.Dataset) (train, test *data.Dataset) {
 func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 	s = s.withDefaults()
 	clock := iosim.NewClock()
+	s.reg.WithClock(clock)
 	var src shuffle.Source
 	if s.inMemory {
 		// Match the on-device regime: N = 256 blocks.
@@ -149,7 +156,8 @@ func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 		if s.blockSize == 0 {
 			s.blockSize = paperBlockEquiv(ds)
 		}
-		dev := iosim.NewDevice(scaledDevice(s.device, ds), clock).WithCache(cacheBytes(s.workload, ds))
+		dev := iosim.NewDevice(scaledDevice(s.device, ds), clock).
+			WithCache(cacheBytes(s.workload, ds)).WithObs(s.reg)
 		tab, err := storage.Build(dev, ds, storage.Options{
 			BlockSize: s.blockSize,
 			Compress:  s.compress,
@@ -164,6 +172,7 @@ func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 		BufferFraction: s.bufferFrac,
 		Seed:           s.seed,
 		DoubleBuffer:   s.double,
+		Obs:            s.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -192,6 +201,7 @@ func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 		TrainEval:    ds,
 		TestEval:     test,
 		ComputeScale: s.computeScale,
+		Obs:          s.reg,
 	}
 	if mlp, ok := model.(ml.MLP); ok {
 		cfg.InitWeights = core.MLPInit(mlp, ds.Features, s.seed)

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+	"corgipile/internal/ml"
+	"corgipile/internal/obs"
+	"corgipile/internal/shuffle"
+	"corgipile/internal/storage"
+)
+
+// TestRunPopulatesBreakdown checks the end-to-end metrics path: a run with
+// a registry attached across the device, strategy, and training loop must
+// produce one consistent breakdown row per epoch.
+func TestRunPopulatesBreakdown(t *testing.T) {
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 2000, Features: 8, Order: data.OrderClustered, Seed: 7})
+	clock := iosim.NewClock()
+	dev := iosim.NewDevice(iosim.HDD, clock)
+	tab, err := storage.Build(dev, ds, storage.Options{BlockSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New().WithClock(clock)
+	dev.WithObs(reg)
+	st, err := shuffle.New(shuffle.KindCorgiPile, shuffle.TableSource(tab),
+		shuffle.Options{Seed: 7, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Strategy: st,
+		Model:    ml.SVM{},
+		Opt:      ml.NewSGD(0.05),
+		Features: ds.Features,
+		Epochs:   3,
+		Clock:    clock,
+		Obs:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Breakdown) != 3 {
+		t.Fatalf("got %d breakdown rows, want 3", len(res.Breakdown))
+	}
+	var totalSecs float64
+	for i, m := range res.Breakdown {
+		if m.Epoch != i+1 {
+			t.Fatalf("row %d has epoch %d", i, m.Epoch)
+		}
+		if m.Tuples != 2000 {
+			t.Fatalf("epoch %d consumed %d tuples, want 2000", m.Epoch, m.Tuples)
+		}
+		if m.Seconds <= 0 || m.IOSeconds <= 0 || m.GradSeconds <= 0 {
+			t.Fatalf("epoch %d has non-positive time components: %+v", m.Epoch, m)
+		}
+		if m.BytesRead == 0 || m.Refills == 0 {
+			t.Fatalf("epoch %d missing I/O or refill counts: %+v", m.Epoch, m)
+		}
+		totalSecs += m.Seconds
+	}
+	// Per-epoch durations partition the run's simulated time.
+	if run := res.Final().Seconds; totalSecs < 0.99*run || totalSecs > 1.01*run {
+		t.Fatalf("breakdown seconds %.6f should sum to run seconds %.6f", totalSecs, run)
+	}
+	// The trainer counted optimizer steps (per-tuple SGD: one per tuple).
+	if got := reg.Counter(obs.SGDBatches); got != 3*2000 {
+		t.Fatalf("sgd.batches = %d, want 6000", got)
+	}
+	// Without a sink attached nothing was streamed, and the registry totals
+	// match the sum of the per-epoch deltas.
+	var tuples int64
+	for _, m := range res.Breakdown {
+		tuples += m.Tuples
+	}
+	if got := reg.Counter(obs.SGDTuples); got != tuples {
+		t.Fatalf("sgd.tuples total %d != breakdown sum %d", got, tuples)
+	}
+}

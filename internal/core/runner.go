@@ -12,6 +12,7 @@ import (
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 )
 
@@ -45,6 +46,12 @@ type RunConfig struct {
 	// extra statistics, PyTorch's per-call interpreter overhead). Zero
 	// means 1.
 	ComputeScale float64
+	// Obs, when non-nil, receives per-epoch spans and training counters;
+	// Result.Breakdown then carries one cross-layer metrics row per epoch.
+	// Attach the same registry to the device (Device.WithObs) and strategy
+	// (shuffle.Options.Obs) to get the full I/O + shuffle + compute
+	// decomposition.
+	Obs *obs.Registry
 }
 
 // EpochPoint records the state after one epoch — one x-axis point of the
@@ -74,6 +81,9 @@ type Result struct {
 	// PrepSeconds is the simulated time consumed before epoch 1 started
 	// (strategy preprocessing such as Shuffle Once).
 	PrepSeconds float64
+	// Breakdown holds one cross-layer metrics row per epoch when an
+	// obs.Registry was attached via RunConfig.Obs (nil otherwise).
+	Breakdown []obs.EpochMetrics
 }
 
 // Final returns the last epoch point (zero value for an empty run).
@@ -97,15 +107,22 @@ func Run(cfg RunConfig) (*Result, error) {
 	cfg.Opt.Reset(dim)
 
 	trainer := ml.NewTrainer(cfg.Model, cfg.Opt, cfg.BatchSize)
+	trainer.Obs = cfg.Obs
 	var start time.Duration
 	if cfg.Clock != nil {
 		start = cfg.Clock.Now()
+	}
+	if cfg.Clock != nil || cfg.Obs != nil {
 		scale := cfg.ComputeScale
 		if scale == 0 {
 			scale = 1
 		}
 		trainer.OnTuple = func(t *data.Tuple) {
-			cfg.Clock.Advance(time.Duration(float64(ml.GradCost(t.NNZ())) * scale))
+			cost := time.Duration(float64(ml.GradCost(t.NNZ())) * scale)
+			if cfg.Clock != nil {
+				cfg.Clock.Advance(cost)
+			}
+			cfg.Obs.AddDuration(obs.SGDGradNanos, cost)
 		}
 	}
 
@@ -117,12 +134,23 @@ func Run(cfg RunConfig) (*Result, error) {
 		res.PrepSeconds = 0
 	}
 
+	var lastNow time.Duration
+	if cfg.Clock != nil {
+		lastNow = start
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var before obs.Snapshot
+		if cfg.Obs != nil {
+			before = cfg.Obs.Snapshot()
+		}
+		sp := cfg.Obs.Span(obs.SpanEpoch)
 		it, err := cfg.Strategy.StartEpoch(epoch)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: epoch %d: %w", epoch, err)
 		}
 		stats := trainer.RunEpoch(w, it.Next)
+		spanSecs := sp.End().Seconds()
 		if err := it.Err(); err != nil {
 			return nil, fmt.Errorf("core: epoch %d stream: %w", epoch, err)
 		}
@@ -137,6 +165,19 @@ func Run(cfg RunConfig) (*Result, error) {
 			p.TestAcc = evalMetric(cfg.Model, w, cfg.TestEval)
 		}
 		res.Points = append(res.Points, p)
+		if cfg.Obs != nil {
+			epochSecs := spanSecs
+			if cfg.Clock != nil {
+				now := cfg.Clock.Now()
+				epochSecs = (now - lastNow).Seconds()
+				lastNow = now
+			}
+			m := obs.EpochFromDelta(epoch+1, epochSecs, stats.AvgLoss,
+				cfg.Obs.Snapshot().DeltaFrom(before))
+			cfg.Obs.SetGauge(obs.SGDLoss, stats.AvgLoss)
+			cfg.Obs.EmitEpoch(m)
+			res.Breakdown = append(res.Breakdown, m)
+		}
 	}
 	return res, nil
 }

@@ -17,6 +17,7 @@ import (
 	"corgipile/internal/executor"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 	"corgipile/internal/sqlparse"
 	"corgipile/internal/storage"
@@ -42,6 +43,9 @@ type ModelEntry struct {
 	Classes  int
 	// Epochs holds the per-epoch training metrics.
 	Epochs []executor.EpochRow
+	// Breakdown holds the per-epoch cross-layer time breakdown when the
+	// session has a metrics registry attached (nil otherwise).
+	Breakdown []obs.EpochMetrics
 }
 
 // Result is the tabular output of a statement.
@@ -50,6 +54,9 @@ type Result struct {
 	Rows    [][]string
 	// Message carries non-tabular feedback ("CREATE TABLE", row counts).
 	Message string
+	// Breakdown carries a TRAIN statement's per-epoch cross-layer time
+	// breakdown when the session has a metrics registry attached.
+	Breakdown []obs.EpochMetrics
 }
 
 // Session executes statements against a private catalog, simulated devices,
@@ -59,6 +66,7 @@ type Session struct {
 	devices map[string]*iosim.Device
 	tables  map[string]*TableEntry
 	models  map[string]*ModelEntry
+	obs     *obs.Registry
 	nextID  int
 }
 
@@ -81,6 +89,22 @@ func NewSession() *Session {
 
 // Clock returns the session's simulated clock.
 func (s *Session) Clock() *iosim.Clock { return s.clock }
+
+// WithMetrics attaches a metrics registry to the session: the registry
+// measures spans on the session clock, every device reports I/O into it,
+// and TRAIN statements record per-epoch breakdowns (ModelEntry.Breakdown).
+// It returns the session.
+func (s *Session) WithMetrics(reg *obs.Registry) *Session {
+	s.obs = reg
+	reg.WithClock(s.clock)
+	for _, dev := range s.devices {
+		dev.WithObs(reg)
+	}
+	return s
+}
+
+// Metrics returns the session's metrics registry (nil when none attached).
+func (s *Session) Metrics() *obs.Registry { return s.obs }
 
 // Table returns the named table entry.
 func (s *Session) Table(name string) (*TableEntry, bool) {
@@ -257,6 +281,7 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 			BatchSize: int(st.Params.Num("batch_size", 1)),
 			Clock:     s.clock,
 			Eval:      evalDS,
+			Obs:       s.obs,
 		},
 	}
 	if mlp, ok := model.(ml.MLP); ok {
@@ -289,11 +314,13 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 	s.models[modelName] = &ModelEntry{
 		Name: modelName, Kind: st.ModelType, Model: model, W: op.W,
 		Features: tab.Features(), Classes: tab.Classes(), Epochs: rows,
+		Breakdown: op.Breakdown,
 	}
 
 	res := &Result{
-		Columns: []string{"epoch", "loss", "accuracy", "seconds", "tuples"},
-		Message: fmt.Sprintf("TRAIN: model %q stored", modelName),
+		Columns:   []string{"epoch", "loss", "accuracy", "seconds", "tuples"},
+		Message:   fmt.Sprintf("TRAIN: model %q stored", modelName),
+		Breakdown: op.Breakdown,
 	}
 	for _, r := range rows {
 		res.Rows = append(res.Rows, []string{

@@ -40,24 +40,32 @@ func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
 	var child Operator
 	switch cfg.Shuffle {
 	case shuffle.KindNoShuffle:
-		child = NewScan(src)
+		sc := NewScan(src)
+		sc.Obs = cfg.SGD.Obs
+		child = sc
 	case shuffle.KindBlockOnly:
-		child = NewBlockShuffle(src, rng)
+		bs := NewBlockShuffle(src, rng)
+		bs.Obs = cfg.SGD.Obs
+		child = bs
 	case shuffle.KindCorgiPile, "":
 		capTuples := int(cfg.BufferFraction * float64(src.NumTuples()))
 		if capTuples < 1 {
 			capTuples = 1
 		}
-		ts := NewTupleShuffle(NewBlockShuffle(src, rng), capTuples, rng)
+		bs := NewBlockShuffle(src, rng)
+		bs.Obs = cfg.SGD.Obs
+		ts := NewTupleShuffle(bs, capTuples, rng)
 		ts.DoubleBuffer = cfg.DoubleBuffer
 		ts.Clock = src.Clock()
 		ts.CopyCost = 60 * time.Nanosecond
+		ts.Obs = cfg.SGD.Obs
 		child = ts
 	default:
 		st, err := shuffle.New(cfg.Shuffle, src, shuffle.Options{
 			BufferFraction: cfg.BufferFraction,
 			Seed:           cfg.Seed,
 			DoubleBuffer:   cfg.DoubleBuffer,
+			Obs:            cfg.SGD.Obs,
 		})
 		if err != nil {
 			return nil, err

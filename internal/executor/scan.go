@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"corgipile/internal/data"
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 )
 
@@ -14,6 +15,8 @@ type ScanOp struct {
 	block int
 	buf   []data.Tuple
 	pos   int
+	// Obs, when non-nil, counts blocks read under obs.ShuffleBlocks.
+	Obs *obs.Registry
 }
 
 // NewScan returns a sequential scan over src.
@@ -33,6 +36,7 @@ func (op *ScanOp) Next() (*data.Tuple, bool, error) {
 			return nil, false, err
 		}
 		op.block++
+		op.Obs.Inc(obs.ShuffleBlocks)
 		op.buf, op.pos = buf, 0
 	}
 	t := &op.buf[op.pos]
@@ -59,6 +63,8 @@ type BlockShuffleOp struct {
 	next  int
 	buf   []data.Tuple
 	pos   int
+	// Obs, when non-nil, counts blocks read under obs.ShuffleBlocks.
+	Obs *obs.Registry
 }
 
 // NewBlockShuffle returns a block-shuffling scan over src seeded by rng.
@@ -80,6 +86,7 @@ func (op *BlockShuffleOp) Next() (*data.Tuple, bool, error) {
 			return nil, false, err
 		}
 		op.next++
+		op.Obs.Inc(obs.ShuffleBlocks)
 		op.buf, op.pos = buf, 0
 	}
 	t := &op.buf[op.pos]

@@ -7,6 +7,7 @@ import (
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
+	"corgipile/internal/obs"
 )
 
 // EpochRow is the SGD operator's output: one row of training metrics per
@@ -42,9 +43,16 @@ type SGDOp struct {
 	Clock *iosim.Clock
 	// Eval, when non-nil, is evaluated after each epoch.
 	Eval *data.Dataset
+	// Obs, when non-nil, receives per-epoch spans and training counters;
+	// Breakdown then accumulates one cross-layer metrics row per epoch.
+	Obs *obs.Registry
+	// Breakdown holds one epoch-breakdown row per completed epoch when Obs
+	// is attached.
+	Breakdown []obs.EpochMetrics
 
-	epoch int
-	start time.Duration
+	epoch   int
+	start   time.Duration
+	lastNow time.Duration
 }
 
 // SGDConfig configures an SGD operator.
@@ -57,6 +65,8 @@ type SGDConfig struct {
 	Clock       *iosim.Clock
 	Eval        *data.Dataset
 	InitWeights func(w []float64)
+	// Obs, when non-nil, receives per-epoch spans and training counters.
+	Obs *obs.Registry
 }
 
 // NewSGD returns an SGD operator over the child pipeline.
@@ -80,10 +90,16 @@ func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
 		Epochs:  cfg.Epochs,
 		Clock:   cfg.Clock,
 		Eval:    cfg.Eval,
+		Obs:     cfg.Obs,
 	}
-	if cfg.Clock != nil {
+	op.trainer.Obs = cfg.Obs
+	if cfg.Clock != nil || cfg.Obs != nil {
 		op.trainer.OnTuple = func(t *data.Tuple) {
-			cfg.Clock.Advance(time.Duration(ml.GradCost(t.NNZ())))
+			cost := time.Duration(ml.GradCost(t.NNZ()))
+			if cfg.Clock != nil {
+				cfg.Clock.Advance(cost)
+			}
+			cfg.Obs.AddDuration(obs.SGDGradNanos, cost)
 		}
 	}
 	return op, nil
@@ -96,8 +112,10 @@ func (op *SGDOp) Init() error {
 	}
 	if op.Clock != nil {
 		op.start = op.Clock.Now()
+		op.lastNow = op.start
 	}
 	op.epoch = 0
+	op.Breakdown = op.Breakdown[:0]
 	return nil
 }
 
@@ -113,6 +131,11 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 			return EpochRow{}, false, err
 		}
 	}
+	var before obs.Snapshot
+	if op.Obs != nil {
+		before = op.Obs.Snapshot()
+	}
+	sp := op.Obs.Span(obs.SpanEpoch)
 	var streamErr error
 	stats := op.trainer.RunEpoch(op.W, func() (*data.Tuple, bool) {
 		t, ok, err := op.child.Next()
@@ -122,6 +145,7 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 		}
 		return t, ok
 	})
+	spanSecs := sp.End().Seconds()
 	if streamErr != nil {
 		return EpochRow{}, false, streamErr
 	}
@@ -129,6 +153,19 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 	row := EpochRow{Epoch: op.epoch, Loss: stats.AvgLoss, Tuples: stats.Tuples}
 	if op.Clock != nil {
 		row.Seconds = (op.Clock.Now() - op.start).Seconds()
+	}
+	if op.Obs != nil {
+		epochSecs := spanSecs
+		if op.Clock != nil {
+			now := op.Clock.Now()
+			epochSecs = (now - op.lastNow).Seconds()
+			op.lastNow = now
+		}
+		m := obs.EpochFromDelta(op.epoch, epochSecs, stats.AvgLoss,
+			op.Obs.Snapshot().DeltaFrom(before))
+		op.Obs.SetGauge(obs.SGDLoss, stats.AvgLoss)
+		op.Obs.EmitEpoch(m)
+		op.Breakdown = append(op.Breakdown, m)
 	}
 	if op.Eval != nil {
 		if op.Eval.Task == data.TaskRegression {

@@ -7,6 +7,7 @@ import (
 
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
+	"corgipile/internal/obs"
 )
 
 // TupleShuffleOp buffers tuples pulled from its child and emits them in
@@ -27,6 +28,9 @@ type TupleShuffleOp struct {
 	Clock *iosim.Clock
 	// CopyCost is the CPU cost of copying one tuple into the buffer.
 	CopyCost time.Duration
+	// Obs, when non-nil, receives refill counts and fill/consume times
+	// under the obs.Shuffle* metric names.
+	Obs *obs.Registry
 	// Async runs the fill side on a real background goroutine, streaming
 	// shuffled buffers through a channel — the write-thread/read-thread
 	// structure of Section 6.3 with actual concurrency. It is mutually
@@ -159,18 +163,20 @@ func (op *TupleShuffleOp) Next() (*data.Tuple, bool, error) {
 // refill pulls up to Capacity tuples from the child and shuffles them.
 func (op *TupleShuffleOp) refill() error {
 	var fillStart time.Duration
-	if op.pipelined() {
-		if op.consuming {
-			op.pipe.Consume(op.Clock.Now() - op.consStart)
-		}
+	if op.pipelined() && op.consuming {
+		op.consumeFor(op.Clock.Now() - op.consStart)
+	}
+	if op.Clock != nil {
 		fillStart = op.Clock.Now()
 	}
+	sp := op.Obs.Span(obs.SpanRefill)
 
 	op.buf = op.buf[:0]
 	op.pos = 0
 	for len(op.buf) < op.Capacity {
 		t, ok, err := op.child.Next()
 		if err != nil {
+			sp.End()
 			return err
 		}
 		if !ok {
@@ -186,6 +192,11 @@ func (op *TupleShuffleOp) refill() error {
 		op.buf[i], op.buf[j] = op.buf[j], op.buf[i]
 	})
 
+	sp.End()
+	op.Obs.Inc(obs.ShuffleRefills)
+	if op.Clock != nil {
+		op.Obs.AddDuration(obs.ShuffleFillNanos, op.Clock.Now()-fillStart)
+	}
 	if op.pipelined() {
 		consStart := op.pipe.Fill(op.Clock.Now() - fillStart)
 		op.Clock.Set(consStart)
@@ -193,6 +204,12 @@ func (op *TupleShuffleOp) refill() error {
 		op.consuming = true
 	}
 	return nil
+}
+
+// consumeFor closes one consume interval on the pipeline and reports it.
+func (op *TupleShuffleOp) consumeFor(d time.Duration) {
+	op.pipe.Consume(d)
+	op.Obs.AddDuration(obs.ShuffleConsumeNanos, d)
 }
 
 func (op *TupleShuffleOp) pipelined() bool {
@@ -203,7 +220,7 @@ func (op *TupleShuffleOp) finishPipeline() {
 	if !op.pipelined() || !op.consuming {
 		return
 	}
-	op.pipe.Consume(op.Clock.Now() - op.consStart)
+	op.consumeFor(op.Clock.Now() - op.consStart)
 	op.Clock.Set(op.pipe.End())
 	op.consuming = false
 }

@@ -3,6 +3,8 @@ package iosim
 import (
 	"sync"
 	"time"
+
+	"corgipile/internal/obs"
 )
 
 // Stats counts the traffic a device has served since creation or the last
@@ -34,6 +36,7 @@ type Device struct {
 	cache *pageCache
 	trace *Trace
 	stats Stats
+	reg   *obs.Registry
 }
 
 // NewDevice returns a device with the given profile, charging time to clock.
@@ -47,6 +50,18 @@ func NewDevice(prof Profile, clock *Clock) *Device {
 func (d *Device) WithCache(capacityBytes int64) *Device {
 	d.mu.Lock()
 	d.cache = newPageCache(capacityBytes, 1<<20)
+	d.mu.Unlock()
+	return d
+}
+
+// WithObs attaches an observability registry to the device and returns the
+// device: every subsequent access reports its operation count, bytes, seeks,
+// cache hits, and simulated cost under the obs.IO* metric names. The
+// registry generalizes the per-access Trace — Trace answers "what was the
+// access pattern", the registry feeds the cross-layer epoch breakdown.
+func (d *Device) WithObs(reg *obs.Registry) *Device {
+	d.mu.Lock()
+	d.reg = reg
 	d.mu.Unlock()
 	return d
 }
@@ -116,6 +131,15 @@ func (d *Device) readCostLocked(off, n int64) time.Duration {
 	}
 	d.pos = off + n
 	d.trace.record(Access{Off: off, N: n, Seek: seek})
+	if d.reg != nil {
+		d.reg.Inc(obs.IOReadOps)
+		d.reg.Add(obs.IOReadBytes, n)
+		d.reg.Add(obs.IOCacheHitBytes, hit)
+		if seek {
+			d.reg.Inc(obs.IOSeeks)
+		}
+		d.reg.AddDuration(obs.IOTimeNanos, cost)
+	}
 	return cost
 }
 
@@ -130,14 +154,23 @@ func (d *Device) WriteAt(off, n int64) time.Duration {
 	d.stats.Writes++
 	d.stats.BytesWrit += n
 	var cost time.Duration
-	if off != d.pos {
+	seek := off != d.pos
+	if seek {
 		cost += d.prof.SeekLatency
 		d.stats.Seeks++
 	}
 	cost += d.prof.writeCost(n)
 	d.cache.span(off, n)
-	d.trace.record(Access{Write: true, Off: off, N: n, Seek: cost > d.prof.writeCost(n)})
+	d.trace.record(Access{Write: true, Off: off, N: n, Seek: seek})
 	d.pos = off + n
+	if d.reg != nil {
+		d.reg.Inc(obs.IOWriteOps)
+		d.reg.Add(obs.IOWriteBytes, n)
+		if seek {
+			d.reg.Inc(obs.IOWriteSeeks)
+		}
+		d.reg.AddDuration(obs.IOTimeNanos, cost)
+	}
 	d.mu.Unlock()
 	d.clock.Advance(cost)
 	return cost

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"corgipile/internal/data"
+	"corgipile/internal/obs"
 )
 
 // Stream yields training tuples one at a time; ok=false ends the epoch.
@@ -44,6 +45,9 @@ type Trainer struct {
 	// OnTuple, when non-nil, is invoked for every consumed tuple — the hook
 	// the benchmark harness uses to charge simulated gradient-compute time.
 	OnTuple func(t *data.Tuple)
+	// Obs, when non-nil, counts consumed tuples and optimizer steps under
+	// the obs.SGD* metric names and records the epoch's mean loss gauge.
+	Obs *obs.Registry
 
 	gi []int32
 	gv []float64
@@ -86,6 +90,7 @@ func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 			tr.gv = append(tr.gv, tr.acc[idx]*inv)
 		}
 		tr.Opt.Step(w, tr.touched, tr.gv)
+		tr.Obs.Inc(obs.SGDBatches)
 		for _, idx := range tr.touched {
 			tr.acc[idx] = 0
 			tr.mark[idx] = false
@@ -113,6 +118,7 @@ func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 			loss, tr.gi, tr.gv = tr.Model.Grad(w, t, tr.gi, tr.gv)
 			lossSum += loss
 			tr.Opt.Step(w, tr.gi, tr.gv)
+			tr.Obs.Inc(obs.SGDBatches)
 			continue
 		}
 
@@ -140,6 +146,10 @@ func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 
 	if stats.Tuples > 0 {
 		stats.AvgLoss = lossSum / float64(stats.Tuples)
+	}
+	if tr.Obs != nil {
+		tr.Obs.Add(obs.SGDTuples, int64(stats.Tuples))
+		tr.Obs.SetGauge(obs.SGDLoss, stats.AvgLoss)
 	}
 	return stats
 }

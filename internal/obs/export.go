@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"corgipile/internal/stats"
+)
+
+// jsonlSink serializes events to one writer, one JSON object per line.
+type jsonlSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (s *jsonlSink) emit(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	// Encode appends the newline; errors are deliberately dropped — losing
+	// a trace line must never fail a training run.
+	_ = s.enc.Encode(v)
+	s.mu.Unlock()
+}
+
+// StreamTo attaches a JSONL event sink: every span end, epoch breakdown,
+// and explicit snapshot is written to w as one JSON object per line. It
+// returns the registry.
+func (r *Registry) StreamTo(w io.Writer) *Registry {
+	if r == nil || w == nil {
+		return r
+	}
+	sink := &jsonlSink{enc: json.NewEncoder(w)}
+	r.mu.Lock()
+	r.sink = sink
+	r.mu.Unlock()
+	return r
+}
+
+func (r *Registry) getSink() *jsonlSink {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sink
+}
+
+// spanEvent is the JSONL record of one completed span.
+type spanEvent struct {
+	Ev     string  `json:"ev"`
+	Name   string  `json:"name"`
+	ID     int64   `json:"id"`
+	Parent int64   `json:"parent,omitempty"`
+	Start  float64 `json:"start_s"`
+	Dur    float64 `json:"dur_s"`
+}
+
+func (r *Registry) emitSpan(s *Span, dur time.Duration) {
+	sink := r.getSink()
+	if sink == nil {
+		return
+	}
+	sink.emit(spanEvent{
+		Ev: "span", Name: s.name, ID: s.id, Parent: s.parent,
+		Start: s.start.Seconds(), Dur: dur.Seconds(),
+	})
+}
+
+// EmitEpoch streams one epoch's breakdown as a JSONL event — the
+// machine-readable twin of the WriteEpochTable rendering.
+func (r *Registry) EmitEpoch(m EpochMetrics) {
+	sink := r.getSink()
+	if sink == nil {
+		return
+	}
+	sink.emit(struct {
+		Ev string `json:"ev"`
+		EpochMetrics
+	}{"epoch", m})
+}
+
+// EmitSnapshot streams the registry's full current state under a label
+// (e.g. "final"), for offline analysis of totals.
+func (r *Registry) EmitSnapshot(label string) {
+	sink := r.getSink()
+	if sink == nil {
+		return
+	}
+	s := r.Snapshot()
+	hists := make(map[string]map[string]any, len(s.Hists))
+	for k, h := range s.Hists {
+		hists[k] = map[string]any{
+			"count": h.Count, "sum_s": h.Sum.Seconds(),
+			"min_s": h.Min.Seconds(), "max_s": h.Max.Seconds(),
+		}
+	}
+	sink.emit(map[string]any{
+		"ev": "snapshot", "label": label,
+		"counters": s.Counters, "gauges": s.Gauges, "hists": hists,
+	})
+}
+
+// EpochMetrics is one epoch's cross-layer breakdown — where the epoch's
+// time went, assembled from the well-known metric names. It is the row type
+// of both exporters.
+type EpochMetrics struct {
+	// Epoch is 1-based.
+	Epoch int `json:"epoch"`
+	// Seconds is the epoch's duration (simulated when the registry clock is
+	// the simulation clock, real otherwise).
+	Seconds float64 `json:"epoch_s"`
+	// IOSeconds is time spent in device reads and writes.
+	IOSeconds float64 `json:"io_s"`
+	// BytesRead counts bytes read from the device (cache hits included).
+	BytesRead int64 `json:"bytes_read"`
+	// ReadOps and Seeks count read accesses and those that paid a seek.
+	ReadOps int64 `json:"read_ops"`
+	Seeks   int64 `json:"seeks"`
+	// SeekFraction is Seeks/ReadOps — ~0 sequential, ~1 random.
+	SeekFraction float64 `json:"seek_fraction"`
+	// CacheHitRate is the fraction of read bytes served by the OS cache.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// ShuffleSeconds is time spent filling shuffle buffers (block reads plus
+	// tuple copies and in-buffer shuffling).
+	ShuffleSeconds float64 `json:"shuffle_s"`
+	// Refills counts shuffle-buffer refill operations.
+	Refills int64 `json:"refills"`
+	// GradSeconds is gradient-compute time.
+	GradSeconds float64 `json:"grad_s"`
+	// Tuples is the number of training examples consumed.
+	Tuples int64 `json:"tuples"`
+	// AvgLoss is the epoch's mean streaming loss.
+	AvgLoss float64 `json:"avg_loss"`
+}
+
+// EpochFromDelta assembles an epoch breakdown row from a snapshot delta
+// covering exactly that epoch, plus the epoch's duration and loss (which
+// the training loop knows directly).
+func EpochFromDelta(epoch int, seconds, avgLoss float64, d Snapshot) EpochMetrics {
+	m := EpochMetrics{
+		Epoch:          epoch,
+		Seconds:        seconds,
+		IOSeconds:      d.CounterDur(IOTimeNanos).Seconds(),
+		BytesRead:      d.Counters[IOReadBytes],
+		ReadOps:        d.Counters[IOReadOps],
+		Seeks:          d.Counters[IOSeeks],
+		ShuffleSeconds: d.CounterDur(ShuffleFillNanos).Seconds(),
+		Refills:        d.Counters[ShuffleRefills],
+		GradSeconds:    d.CounterDur(SGDGradNanos).Seconds(),
+		Tuples:         d.Counters[SGDTuples],
+		AvgLoss:        avgLoss,
+	}
+	if m.ReadOps > 0 {
+		m.SeekFraction = float64(m.Seeks) / float64(m.ReadOps)
+	}
+	if m.BytesRead > 0 {
+		m.CacheHitRate = float64(d.Counters[IOCacheHitBytes]) / float64(m.BytesRead)
+	}
+	return m
+}
+
+// WriteEpochTable renders epoch breakdown rows as an aligned text table —
+// the human-readable exporter, built on internal/stats.
+func WriteEpochTable(w io.Writer, title string, rows []EpochMetrics) error {
+	t := stats.NewTable(title,
+		"epoch", "time", "io", "read MB", "seek%", "cache%",
+		"shuffle", "grad", "loss", "tuples")
+	for _, m := range rows {
+		t.AddRow(
+			m.Epoch,
+			fmtSeconds(m.Seconds),
+			fmtSeconds(m.IOSeconds),
+			fmt.Sprintf("%.2f", float64(m.BytesRead)/(1<<20)),
+			fmt.Sprintf("%.1f", m.SeekFraction*100),
+			fmt.Sprintf("%.1f", m.CacheHitRate*100),
+			fmtSeconds(m.ShuffleSeconds),
+			fmtSeconds(m.GradSeconds),
+			fmt.Sprintf("%.5f", m.AvgLoss),
+			m.Tuples,
+		)
+	}
+	return t.Write(w)
+}
+
+// WriteCounterTable renders the registry's counters and gauges, sorted by
+// name — the "totals" companion to the per-epoch table.
+func (r *Registry) WriteCounterTable(w io.Writer, title string) error {
+	s := r.Snapshot()
+	t := stats.NewTable(title, "metric", "value")
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t.AddRow(k, fmt.Sprintf("%d", s.Counters[k]))
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t.AddRow(k, fmt.Sprintf("%.6g", s.Gauges[k]))
+	}
+	return t.Write(w)
+}
+
+// fmtSeconds renders a duration in seconds compactly.
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s >= 100:
+		return fmt.Sprintf("%.0fs", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.2fms", s*1000)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}

@@ -1,0 +1,302 @@
+// Package obs is the cross-layer observability subsystem: a registry of
+// named counters, gauges, and duration histograms, a lightweight span API,
+// and two exporters (a JSONL event stream and a human-readable epoch
+// breakdown table).
+//
+// Every layer of the stack reports into one Registry — the simulated device
+// (internal/iosim) its bytes, seeks, and cache hits; the shuffling
+// strategies (internal/shuffle) their buffer refills and fill/consume
+// times; the training loop (internal/core, internal/executor) its tuples,
+// gradient-compute time, and per-epoch loss. The paper's entire evaluation
+// rests on decomposing epoch time into I/O wait vs. shuffle vs. gradient
+// compute (Figures 7–14); this package makes that decomposition available
+// to every benchmark and to library users.
+//
+// Time can be either real or simulated: spans are measured on a Clock,
+// which *iosim.Clock satisfies (virtual time) and WallClock adapts (real
+// time). All Registry methods are safe for concurrent use and are no-ops
+// on a nil *Registry, so instrumented components need no conditionals.
+//
+// The package depends only on the standard library and internal/stats
+// (itself dependency-free), so any layer may import it without cycles.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source spans are measured on. *iosim.Clock
+// satisfies it with simulated time; WallClock adapts real time.
+type Clock interface {
+	Now() time.Duration
+}
+
+// WallClock measures real elapsed time since its construction.
+type WallClock struct {
+	base time.Time
+}
+
+// NewWallClock returns a wall clock starting now.
+func NewWallClock() *WallClock { return &WallClock{base: time.Now()} }
+
+// Now implements Clock.
+func (w *WallClock) Now() time.Duration { return time.Since(w.base) }
+
+// Well-known metric names. Components across the stack report under these
+// keys so that exporters (and Snapshot deltas) can assemble a per-epoch
+// breakdown without knowing who produced which number.
+const (
+	// Device layer (internal/iosim). Counters except where noted.
+	IOReadOps       = "io.read.ops"
+	IOReadBytes     = "io.read.bytes"
+	IOWriteOps      = "io.write.ops"
+	IOWriteBytes    = "io.write.bytes"
+	IOSeeks         = "io.read.seeks"  // read accesses that paid a seek
+	IOWriteSeeks    = "io.write.seeks" // write accesses that paid a seek
+	IOCacheHitBytes = "io.cache.hit_bytes"
+	IOTimeNanos     = "io.time_ns" // total simulated device time, ns
+
+	// Shuffle layer (internal/shuffle, executor.TupleShuffleOp).
+	ShuffleRefills      = "shuffle.refills"    // buffer refill operations
+	ShuffleBlocks       = "shuffle.blocks"     // blocks pulled into buffers
+	ShuffleFillNanos    = "shuffle.fill_ns"    // time spent filling buffers
+	ShuffleConsumeNanos = "shuffle.consume_ns" // time consumers spent draining
+
+	// Training layer (internal/core, executor.SGDOp, ml.Trainer).
+	SGDTuples    = "sgd.tuples"
+	SGDBatches   = "sgd.batches" // optimizer steps taken
+	SGDGradNanos = "sgd.grad_ns" // simulated gradient-compute time, ns
+	SGDLoss      = "sgd.loss"    // gauge: last epoch's mean streaming loss
+
+	// Span names (duration histograms under the same keys).
+	SpanEpoch  = "epoch"
+	SpanRefill = "shuffle.refill"
+)
+
+// histBuckets is the number of log2(ns) histogram buckets: bucket i counts
+// observations with 2^i ≤ ns < 2^(i+1) (bucket 0 includes sub-ns).
+const histBuckets = 40
+
+// hist is a duration histogram with log2 buckets.
+type hist struct {
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+	buckets  [histBuckets]int64
+}
+
+func (h *hist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	b := bits.Len64(uint64(d))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b]++
+}
+
+// Registry is a lock-protected collection of named counters, gauges, and
+// duration histograms, plus the span/event machinery. The zero value is not
+// usable; construct with New. All methods are no-ops on a nil receiver.
+type Registry struct {
+	mu       sync.Mutex
+	clock    Clock
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+	spanSeq  int64
+	spans    []int64 // stack of active span ids (parent inference)
+
+	sink *jsonlSink
+}
+
+// New returns an empty registry measuring spans on a fresh wall clock.
+func New() *Registry {
+	return &Registry{
+		clock:    NewWallClock(),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*hist),
+	}
+}
+
+// WithClock switches the registry's span time source (e.g. to the
+// simulation's *iosim.Clock) and returns the registry.
+func (r *Registry) WithClock(c Clock) *Registry {
+	if r == nil || c == nil {
+		return r
+	}
+	r.mu.Lock()
+	r.clock = c
+	r.mu.Unlock()
+	return r
+}
+
+// now reports the registry clock's current time.
+func (r *Registry) now() time.Duration {
+	r.mu.Lock()
+	c := r.clock
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Now()
+}
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// AddDuration adds d (in nanoseconds) to the named counter. By convention
+// such counters carry a "_ns" suffix.
+func (r *Registry) AddDuration(name string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	r.Add(name, int64(d))
+}
+
+// Counter returns the named counter's current value.
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// SetGauge sets the named gauge.
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Gauge returns the named gauge's current value.
+func (r *Registry) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Observe records one duration into the named histogram.
+func (r *Registry) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{}
+		r.hists[name] = h
+	}
+	h.observe(d)
+	r.mu.Unlock()
+}
+
+// HistSnapshot is an immutable copy of one histogram's state.
+type HistSnapshot struct {
+	Count    int64
+	Sum      time.Duration
+	Min, Max time.Duration
+	// Buckets[i] counts observations with 2^i ≤ ns < 2^(i+1).
+	Buckets [histBuckets]int64
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (h HistSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Deltas
+// between two snapshots give per-interval (e.g. per-epoch) metrics.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Hists    map[string]HistSnapshot
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty (but usable) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Hists[k] = HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
+	}
+	return s
+}
+
+// DeltaFrom returns the change from prev to s: counters and histogram
+// count/sum subtract; gauges and histogram min/max keep s's values.
+func (s Snapshot) DeltaFrom(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]float64, len(s.Gauges)),
+		Hists:    make(map[string]HistSnapshot, len(s.Hists)),
+	}
+	for k, v := range s.Counters {
+		d.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		d.Gauges[k] = v
+	}
+	for k, h := range s.Hists {
+		p := prev.Hists[k]
+		dh := HistSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum, Min: h.Min, Max: h.Max}
+		for i := range h.Buckets {
+			dh.Buckets[i] = h.Buckets[i] - p.Buckets[i]
+		}
+		d.Hists[k] = dh
+	}
+	return d
+}
+
+// CounterDur reads a "_ns" counter from a snapshot as a duration.
+func (s Snapshot) CounterDur(name string) time.Duration {
+	return time.Duration(s.Counters[name])
+}

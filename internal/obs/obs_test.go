@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable Clock for deterministic span tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := New()
+	r.Add("a", 3)
+	r.Inc("a")
+	r.AddDuration("t_ns", 5*time.Millisecond)
+	r.SetGauge("g", 1.5)
+	r.Observe("h", 2*time.Millisecond)
+	r.Observe("h", 4*time.Millisecond)
+
+	if got := r.Counter("a"); got != 4 {
+		t.Errorf("counter a = %d, want 4", got)
+	}
+	if got := r.Counter("t_ns"); got != int64(5*time.Millisecond) {
+		t.Errorf("t_ns = %d", got)
+	}
+	if got := r.Gauge("g"); got != 1.5 {
+		t.Errorf("gauge g = %v", got)
+	}
+	h := r.Snapshot().Hists["h"]
+	if h.Count != 2 || h.Sum != 6*time.Millisecond {
+		t.Errorf("hist h = %+v", h)
+	}
+	if h.Min != 2*time.Millisecond || h.Max != 4*time.Millisecond {
+		t.Errorf("hist min/max = %v/%v", h.Min, h.Max)
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Errorf("hist mean = %v", h.Mean())
+	}
+	var bucketSum int64
+	for _, b := range h.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != 2 {
+		t.Errorf("bucket sum = %d, want 2", bucketSum)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Add("a", 1)
+	r.Inc("a")
+	r.AddDuration("a", time.Second)
+	r.SetGauge("g", 1)
+	r.Observe("h", time.Second)
+	r.EmitEpoch(EpochMetrics{})
+	r.EmitSnapshot("x")
+	r.WithClock(&fakeClock{})
+	r.StreamTo(&bytes.Buffer{})
+	sp := r.Span("s")
+	sp.Child("c").End()
+	sp.End()
+	if got := r.Counter("a"); got != 0 {
+		t.Errorf("nil counter = %d", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Errorf("nil snapshot non-empty")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	r.Add("c", 10)
+	r.Observe("h", time.Second)
+	before := r.Snapshot()
+	r.Add("c", 5)
+	r.Observe("h", 3*time.Second)
+	r.SetGauge("g", 7)
+	d := r.Snapshot().DeltaFrom(before)
+	if d.Counters["c"] != 5 {
+		t.Errorf("delta c = %d, want 5", d.Counters["c"])
+	}
+	if h := d.Hists["h"]; h.Count != 1 || h.Sum != 3*time.Second {
+		t.Errorf("delta hist = %+v", h)
+	}
+	if d.Gauges["g"] != 7 {
+		t.Errorf("delta gauge = %v", d.Gauges["g"])
+	}
+	if d.CounterDur("c") != 5 {
+		t.Errorf("CounterDur = %v", d.CounterDur("c"))
+	}
+}
+
+func TestSpanNestingAndStream(t *testing.T) {
+	clock := &fakeClock{}
+	var buf bytes.Buffer
+	r := New().WithClock(clock).StreamTo(&buf)
+
+	epoch := r.Span("epoch")
+	clock.advance(time.Second)
+	refill := r.Span("refill")
+	clock.advance(2 * time.Second)
+	if d := refill.End(); d != 2*time.Second {
+		t.Errorf("refill dur = %v", d)
+	}
+	clock.advance(time.Second)
+	if d := epoch.End(); d != 4*time.Second {
+		t.Errorf("epoch dur = %v", d)
+	}
+	// Double End is a no-op.
+	if d := epoch.End(); d != 0 {
+		t.Errorf("second End = %v", d)
+	}
+
+	// Histograms recorded under the span names.
+	if h := r.Snapshot().Hists["epoch"]; h.Count != 1 || h.Sum != 4*time.Second {
+		t.Errorf("epoch hist = %+v", h)
+	}
+
+	// The JSONL stream holds both spans, with refill parented to epoch.
+	var events []spanEvent
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev spanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Name != "refill" || events[1].Name != "epoch" {
+		t.Errorf("event order: %q, %q", events[0].Name, events[1].Name)
+	}
+	if events[0].Parent != events[1].ID {
+		t.Errorf("refill parent = %d, epoch id = %d", events[0].Parent, events[1].ID)
+	}
+	if events[0].Dur != 2.0 {
+		t.Errorf("refill dur_s = %v", events[0].Dur)
+	}
+}
+
+func TestSpanChild(t *testing.T) {
+	clock := &fakeClock{}
+	r := New().WithClock(clock)
+	root := r.Span("root")
+	child := root.Child("leaf")
+	clock.advance(time.Second)
+	// Children may end out of order relative to the stack.
+	root.End()
+	if d := child.End(); d != time.Second {
+		t.Errorf("child dur = %v", d)
+	}
+}
+
+func TestNegativeSpanClamped(t *testing.T) {
+	// Pipelined components Set the simulated clock backwards; span
+	// durations must clamp at zero rather than go negative.
+	clock := &fakeClock{now: 10 * time.Second}
+	r := New().WithClock(clock)
+	sp := r.Span("warp")
+	clock.mu.Lock()
+	clock.now = 5 * time.Second
+	clock.mu.Unlock()
+	if d := sp.End(); d != 0 {
+		t.Errorf("warped span dur = %v, want 0", d)
+	}
+}
+
+func TestEpochFromDelta(t *testing.T) {
+	r := New()
+	r.Add(IOReadOps, 10)
+	r.Add(IOReadBytes, 1<<20)
+	r.Add(IOSeeks, 4)
+	r.Add(IOCacheHitBytes, 1<<19)
+	r.AddDuration(IOTimeNanos, 2*time.Second)
+	r.AddDuration(ShuffleFillNanos, time.Second)
+	r.Add(ShuffleRefills, 3)
+	r.AddDuration(SGDGradNanos, 500*time.Millisecond)
+	r.Add(SGDTuples, 1000)
+
+	m := EpochFromDelta(1, 3.5, 0.25, r.Snapshot().DeltaFrom(Snapshot{}))
+	if m.Epoch != 1 || m.Seconds != 3.5 || m.AvgLoss != 0.25 {
+		t.Errorf("header fields: %+v", m)
+	}
+	if m.IOSeconds != 2.0 || m.BytesRead != 1<<20 || m.Tuples != 1000 {
+		t.Errorf("volume fields: %+v", m)
+	}
+	if m.SeekFraction != 0.4 {
+		t.Errorf("seek fraction = %v, want 0.4", m.SeekFraction)
+	}
+	if m.CacheHitRate != 0.5 {
+		t.Errorf("cache hit rate = %v, want 0.5", m.CacheHitRate)
+	}
+	if m.ShuffleSeconds != 1.0 || m.GradSeconds != 0.5 || m.Refills != 3 {
+		t.Errorf("time fields: %+v", m)
+	}
+}
+
+func TestWriteEpochTableAndJSONLParity(t *testing.T) {
+	rows := []EpochMetrics{
+		{Epoch: 1, Seconds: 2, IOSeconds: 1, BytesRead: 1 << 20,
+			SeekFraction: 0.9, CacheHitRate: 0.5, ShuffleSeconds: 0.5,
+			GradSeconds: 0.4, Tuples: 100, AvgLoss: 0.31415},
+	}
+	var tbl bytes.Buffer
+	if err := WriteEpochTable(&tbl, "Per-epoch breakdown", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, col := range []string{"epoch", "io", "read MB", "seek%", "cache%", "shuffle", "grad", "loss", "tuples"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table missing column %q:\n%s", col, out)
+		}
+	}
+	if !strings.Contains(out, "0.31415") {
+		t.Errorf("table missing loss value:\n%s", out)
+	}
+
+	// The JSONL exporter round-trips the same row.
+	var stream bytes.Buffer
+	r := New().StreamTo(&stream)
+	r.EmitEpoch(rows[0])
+	var got struct {
+		Ev string `json:"ev"`
+		EpochMetrics
+	}
+	if err := json.Unmarshal(stream.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Ev != "epoch" || got.EpochMetrics != rows[0] {
+		t.Errorf("JSONL epoch = %+v", got)
+	}
+}
+
+func TestEmitSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	r := New().StreamTo(&buf)
+	r.Add(IOReadBytes, 42)
+	r.Observe("h", time.Second)
+	r.EmitSnapshot("final")
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["ev"] != "snapshot" || got["label"] != "final" {
+		t.Errorf("snapshot event = %v", got)
+	}
+}
+
+func TestWriteCounterTable(t *testing.T) {
+	r := New()
+	r.Add("b.counter", 2)
+	r.Add("a.counter", 1)
+	r.SetGauge("z.gauge", 0.5)
+	var buf bytes.Buffer
+	if err := r.WriteCounterTable(&buf, "Totals"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a.counter") || !strings.Contains(out, "z.gauge") {
+		t.Errorf("counter table:\n%s", out)
+	}
+	if strings.Index(out, "a.counter") > strings.Index(out, "b.counter") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+}
+
+// TestConcurrentUse exercises every mutating path from many goroutines; its
+// real assertion is `go test -race`.
+func TestConcurrentUse(t *testing.T) {
+	clock := &fakeClock{}
+	var buf bytes.Buffer
+	r := New().WithClock(clock).StreamTo(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Inc("c")
+				r.AddDuration(IOTimeNanos, time.Microsecond)
+				r.SetGauge("g", float64(i))
+				r.Observe("h", time.Duration(i))
+				sp := r.Span("s")
+				clock.advance(time.Nanosecond)
+				sp.Child("leaf").End()
+				sp.End()
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c"); got != 1600 {
+		t.Errorf("concurrent counter = %d, want 1600", got)
+	}
+	if h := r.Snapshot().Hists["s"]; h.Count != 1600 {
+		t.Errorf("span hist count = %d, want 1600", h.Count)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
+	"corgipile/internal/obs"
 )
 
 // corgiPile implements the paper's two-level hierarchical shuffle
@@ -53,6 +54,7 @@ func (s *corgiPile) StartEpoch(int) (Iterator, error) {
 		clock:  s.src.Clock(),
 		copyC:  s.opts.PerTupleCopyCost,
 		double: s.opts.DoubleBuffer,
+		reg:    s.opts.Obs,
 	}
 	if it.double && it.clock != nil {
 		it.pipe = iosim.NewPipeline(2, it.clock.Now())
@@ -69,6 +71,7 @@ type corgiIter struct {
 	pos   int
 	rng   *rand.Rand
 	clock *iosim.Clock
+	reg   *obs.Registry
 	copyC time.Duration
 	err   error
 
@@ -105,20 +108,26 @@ func (it *corgiIter) refill() {
 	if it.pipe != nil {
 		// Close out the consume phase of the previous buffer.
 		if it.consuming {
-			it.pipe.Consume(it.clock.Now() - it.consStart)
+			it.consumeFor(it.clock.Now() - it.consStart)
 		}
+	}
+	if it.clock != nil {
 		fillStartNow = it.clock.Now()
 	}
+	sp := it.reg.Span(obs.SpanRefill)
 
 	it.buf = it.buf[:0]
 	it.pos = 0
+	blocks := 0
 	for count := 0; count < it.nBuf && it.next < len(it.perm); count++ {
 		ts, err := it.src.ReadBlock(it.perm[it.next])
 		if err != nil {
 			it.err = err
+			sp.End()
 			return
 		}
 		it.next++
+		blocks++
 		it.buf = append(it.buf, ts...)
 	}
 	// Tuple-level shuffle plus the per-tuple buffer-copy cost.
@@ -129,6 +138,12 @@ func (it *corgiIter) refill() {
 		it.buf[i], it.buf[j] = it.buf[j], it.buf[i]
 	})
 
+	sp.End()
+	it.reg.Inc(obs.ShuffleRefills)
+	it.reg.Add(obs.ShuffleBlocks, int64(blocks))
+	if it.clock != nil {
+		it.reg.AddDuration(obs.ShuffleFillNanos, it.clock.Now()-fillStartNow)
+	}
 	if it.pipe != nil {
 		fillCost := it.clock.Now() - fillStartNow
 		consStart := it.pipe.Fill(fillCost)
@@ -138,13 +153,19 @@ func (it *corgiIter) refill() {
 	}
 }
 
+// consumeFor closes one consume interval on the pipeline and reports it.
+func (it *corgiIter) consumeFor(d time.Duration) {
+	it.pipe.Consume(d)
+	it.reg.AddDuration(obs.ShuffleConsumeNanos, d)
+}
+
 // finishPipeline closes the last consume phase and sets the clock to the
 // pipelined completion time.
 func (it *corgiIter) finishPipeline() {
 	if it.pipe == nil || !it.consuming {
 		return
 	}
-	it.pipe.Consume(it.clock.Now() - it.consStart)
+	it.consumeFor(it.clock.Now() - it.consStart)
 	it.clock.Set(it.pipe.End())
 	it.consuming = false
 }

@@ -37,7 +37,7 @@ func (s *mrs) StartEpoch(int) (Iterator, error) {
 	}
 	return &mrsIter{
 		owner:     s,
-		scan:      newBlockIter(s.src, identityOrder(s.src.NumBlocks())),
+		scan:      newBlockIter(s.src, identityOrder(s.src.NumBlocks()), s.opts.Obs),
 		reservoir: make([]data.Tuple, 0, half),
 		loopBuf:   s.b2,
 		loopEvery: s.opts.MRSLoopEvery,

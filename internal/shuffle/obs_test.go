@@ -1,0 +1,119 @@
+package shuffle
+
+import (
+	"testing"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/iosim"
+	"corgipile/internal/obs"
+	"corgipile/internal/storage"
+)
+
+// buildObsHDDTable builds a clustered table on a fresh HDD device carrying
+// both an access trace and a metrics registry. The registry is attached
+// after the build so its counters cover only the training-time I/O.
+func buildObsHDDTable(t *testing.T) (*storage.Table, *iosim.Trace, *obs.Registry) {
+	t.Helper()
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 5000, Features: 16, Order: data.OrderClustered, Seed: 33})
+	clock := iosim.NewClock()
+	dev := iosim.NewDevice(iosim.HDD, clock)
+	trace := dev.WithTrace()
+	tab, err := storage.Build(dev, ds, storage.Options{BlockSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New().WithClock(clock)
+	dev.WithObs(reg)
+	return tab, trace, reg
+}
+
+// regSeekFraction reads the seek fraction out of the registry counters —
+// the metrics-pipeline twin of Trace.SeekFraction.
+func regSeekFraction(reg *obs.Registry) float64 {
+	ops := reg.Counter(obs.IOReadOps)
+	if ops == 0 {
+		return 0
+	}
+	return float64(reg.Counter(obs.IOSeeks)) / float64(ops)
+}
+
+// TestSeekFractionMetricsMatchTrace is the regression guard for the access
+// patterns the paper's cost model rests on, expressed through both
+// observability paths: a sequential No-Shuffle epoch must be (almost)
+// seek-free, and a CorgiPile epoch must seek on (almost) every block —
+// according to the device trace AND the registry counters.
+func TestSeekFractionMetricsMatchTrace(t *testing.T) {
+	tab, trace, reg := buildObsHDDTable(t)
+	ns, err := New(KindNoShuffle, TableSource(tab), Options{Seed: 1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochCost(t, ns, tab.Device().Clock(), 0)
+	if f := trace.SeekFraction(); f > 0.05 {
+		t.Fatalf("no-shuffle trace seek fraction = %.2f, want ~0", f)
+	}
+	if f := regSeekFraction(reg); f > 0.05 {
+		t.Fatalf("no-shuffle registry seek fraction = %.2f, want ~0", f)
+	}
+
+	tab2, trace2, reg2 := buildObsHDDTable(t)
+	cp, err := New(KindCorgiPile, TableSource(tab2), Options{Seed: 1, Obs: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochCost(t, cp, tab2.Device().Clock(), 0)
+	if f := trace2.SeekFraction(); f < 0.9 {
+		t.Fatalf("corgipile trace seek fraction = %.2f, want ~1", f)
+	}
+	if f := regSeekFraction(reg2); f < 0.9 {
+		t.Fatalf("corgipile registry seek fraction = %.2f, want ~1", f)
+	}
+	if reg2.Counter(obs.IOReadBytes) == 0 || reg2.Counter(obs.ShuffleRefills) == 0 {
+		t.Fatal("registry should have counted read bytes and buffer refills")
+	}
+}
+
+// TestDoubleBufferOverlapVisibleInMetrics checks the Section 6.3 claim
+// through the metrics pipeline: with double buffering, the epoch's
+// simulated duration is shorter than the serial sum of buffer-fill time
+// and consume time (the overlap), yet no shorter than either component
+// alone (no accounting can beat the critical path).
+func TestDoubleBufferOverlapVisibleInMetrics(t *testing.T) {
+	const perTuple = 3 * time.Microsecond
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 20000, Features: 32, Order: data.OrderClustered, Seed: 31})
+	clock := iosim.NewClock()
+	dev := iosim.NewDevice(iosim.HDD, clock)
+	tab, err := storage.Build(dev, ds, storage.Options{BlockSize: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New().WithClock(clock)
+	dev.WithObs(reg)
+
+	st, err := New(KindCorgiPile, TableSource(tab), Options{Seed: 3, DoubleBuffer: true, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := epochCost(t, st, clock, perTuple)
+
+	fill := time.Duration(reg.Counter(obs.ShuffleFillNanos))
+	consume := time.Duration(reg.Counter(obs.ShuffleConsumeNanos))
+	if fill == 0 || consume == 0 {
+		t.Fatalf("expected nonzero fill (%v) and consume (%v) time", fill, consume)
+	}
+	if epoch >= fill+consume {
+		t.Fatalf("pipelined epoch %v should be shorter than serial fill %v + consume %v",
+			epoch, fill, consume)
+	}
+	longest := fill
+	if consume > longest {
+		longest = consume
+	}
+	if epoch < longest {
+		t.Fatalf("epoch %v cannot be shorter than its longest component (fill %v, consume %v)",
+			epoch, fill, consume)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
+	"corgipile/internal/obs"
 )
 
 // blockIter streams tuples from a sequence of blocks in a given order,
@@ -27,13 +28,14 @@ type blockIter struct {
 	err   error
 
 	clock     *iosim.Clock
+	reg       *obs.Registry
 	pipe      *iosim.Pipeline
 	consStart time.Duration
 	consuming bool
 }
 
-func newBlockIter(src Source, order []int) *blockIter {
-	it := &blockIter{src: src, order: order, clock: src.Clock()}
+func newBlockIter(src Source, order []int, reg *obs.Registry) *blockIter {
+	it := &blockIter{src: src, order: order, clock: src.Clock(), reg: reg}
 	if it.clock != nil {
 		it.pipe = iosim.NewPipeline(2, it.clock.Now())
 	}
@@ -62,26 +64,36 @@ func (it *blockIter) refill() {
 	var fillStart time.Duration
 	if it.pipe != nil {
 		if it.consuming {
-			it.pipe.Consume(it.clock.Now() - it.consStart)
+			it.consumeFor(it.clock.Now() - it.consStart)
 		}
 		fillStart = it.clock.Now()
 	}
 	it.buf, it.err = it.src.ReadBlock(it.order[it.next])
 	it.next++
 	it.pos = 0
+	it.reg.Inc(obs.ShuffleRefills)
+	it.reg.Inc(obs.ShuffleBlocks)
 	if it.pipe != nil {
-		consStart := it.pipe.Fill(it.clock.Now() - fillStart)
+		fillCost := it.clock.Now() - fillStart
+		it.reg.AddDuration(obs.ShuffleFillNanos, fillCost)
+		consStart := it.pipe.Fill(fillCost)
 		it.clock.Set(consStart)
 		it.consStart = consStart
 		it.consuming = true
 	}
 }
 
+// consumeFor closes one consume interval on the pipeline and reports it.
+func (it *blockIter) consumeFor(d time.Duration) {
+	it.pipe.Consume(d)
+	it.reg.AddDuration(obs.ShuffleConsumeNanos, d)
+}
+
 func (it *blockIter) finishPipeline() {
 	if it.pipe == nil || !it.consuming {
 		return
 	}
-	it.pipe.Consume(it.clock.Now() - it.consStart)
+	it.consumeFor(it.clock.Now() - it.consStart)
 	it.clock.Set(it.pipe.End())
 	it.consuming = false
 }
@@ -102,6 +114,7 @@ func identityOrder(n int) []int {
 // statistically weakest strategy.
 type noShuffle struct {
 	src Source
+	reg *obs.Registry
 }
 
 // Name implements Strategy.
@@ -109,7 +122,7 @@ func (*noShuffle) Name() Kind { return KindNoShuffle }
 
 // StartEpoch implements Strategy.
 func (s *noShuffle) StartEpoch(int) (Iterator, error) {
-	return newBlockIter(s.src, identityOrder(s.src.NumBlocks())), nil
+	return newBlockIter(s.src, identityOrder(s.src.NumBlocks()), s.reg), nil
 }
 
 // noShuffleNamed reuses the sequential scan under a different strategy name
@@ -128,6 +141,7 @@ func (s *noShuffleNamed) Name() Kind { return s.kind }
 type blockOnly struct {
 	src Source
 	rng *rand.Rand
+	reg *obs.Registry
 }
 
 // Name implements Strategy.
@@ -135,7 +149,7 @@ func (*blockOnly) Name() Kind { return KindBlockOnly }
 
 // StartEpoch implements Strategy.
 func (s *blockOnly) StartEpoch(int) (Iterator, error) {
-	return newBlockIter(s.src, s.rng.Perm(s.src.NumBlocks())), nil
+	return newBlockIter(s.src, s.rng.Perm(s.src.NumBlocks()), s.reg), nil
 }
 
 // epochShuffle performs a full shuffle before every epoch: it scans all
@@ -144,6 +158,7 @@ func (s *blockOnly) StartEpoch(int) (Iterator, error) {
 type epochShuffle struct {
 	src FullShuffler
 	rng *rand.Rand
+	reg *obs.Registry
 }
 
 // Name implements Strategy.
@@ -151,6 +166,11 @@ func (*epochShuffle) Name() Kind { return KindEpochShuffle }
 
 // StartEpoch implements Strategy.
 func (s *epochShuffle) StartEpoch(int) (Iterator, error) {
+	var fillStart time.Duration
+	clock := s.src.Clock()
+	if clock != nil {
+		fillStart = clock.Now()
+	}
 	all := make([]data.Tuple, 0, s.src.NumTuples())
 	for b := 0; b < s.src.NumBlocks(); b++ {
 		ts, err := s.src.ReadBlock(b)
@@ -161,6 +181,11 @@ func (s *epochShuffle) StartEpoch(int) (Iterator, error) {
 	}
 	s.src.ChargeFullShuffle()
 	s.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	s.reg.Inc(obs.ShuffleRefills)
+	s.reg.Add(obs.ShuffleBlocks, int64(s.src.NumBlocks()))
+	if clock != nil {
+		s.reg.AddDuration(obs.ShuffleFillNanos, clock.Now()-fillStart)
+	}
 	return &sliceIter{tuples: all}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"corgipile/internal/data"
+	"corgipile/internal/obs"
 )
 
 // Kind names a shuffling strategy.
@@ -54,6 +55,10 @@ type Options struct {
 	// the regime the convergence theorems analyze (one epoch = n·b
 	// updates); the systems integrations use the full-stream variant.
 	SampleOnly bool
+	// Obs, when non-nil, receives refill counts and buffer fill/consume
+	// times under the obs.Shuffle* metric names, making strategy I/O
+	// behaviour visible in the cross-layer epoch breakdown.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -101,9 +106,9 @@ func New(kind Kind, src Source, opts Options) (Strategy, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	switch kind {
 	case KindNoShuffle:
-		return &noShuffle{src: src}, nil
+		return &noShuffle{src: src, reg: opts.Obs}, nil
 	case KindBlockOnly:
-		return &blockOnly{src: src, rng: rng}, nil
+		return &blockOnly{src: src, rng: rng, reg: opts.Obs}, nil
 	case KindShuffleOnce:
 		fs, ok := src.(FullShuffler)
 		if !ok {
@@ -113,13 +118,13 @@ func New(kind Kind, src Source, opts Options) (Strategy, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shuffle: shuffle-once preprocessing: %w", err)
 		}
-		return &noShuffleNamed{noShuffle{src: shuf}, KindShuffleOnce}, nil
+		return &noShuffleNamed{noShuffle{src: shuf, reg: opts.Obs}, KindShuffleOnce}, nil
 	case KindEpochShuffle:
 		fs, ok := src.(FullShuffler)
 		if !ok {
 			return nil, fmt.Errorf("shuffle: %s requires a FullShuffler source", kind)
 		}
-		return &epochShuffle{src: fs, rng: rng}, nil
+		return &epochShuffle{src: fs, rng: rng, reg: opts.Obs}, nil
 	case KindSlidingWindow:
 		return &slidingWindow{src: src, opts: opts, rng: rng}, nil
 	case KindMRS:

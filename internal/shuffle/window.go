@@ -25,7 +25,7 @@ func (*slidingWindow) Name() Kind { return KindSlidingWindow }
 // StartEpoch implements Strategy.
 func (s *slidingWindow) StartEpoch(int) (Iterator, error) {
 	return &windowIter{
-		scan:   newBlockIter(s.src, identityOrder(s.src.NumBlocks())),
+		scan:   newBlockIter(s.src, identityOrder(s.src.NumBlocks()), s.opts.Obs),
 		window: make([]data.Tuple, 0, s.opts.bufferTuples(s.src.NumTuples())),
 		rng:    s.rng,
 		clock:  s.src.Clock(),

@@ -41,6 +41,11 @@ type TrainConfig struct {
 	BlockSize int64
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Metrics, when non-nil, collects cross-layer observability data: it is
+	// attached to the clock, device, shuffle strategy, and training loop, and
+	// Result.Breakdown then carries one per-epoch time-breakdown row. Create
+	// one with NewMetrics.
+	Metrics *Metrics
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -94,7 +99,8 @@ func TrainOnDevice(ds *Dataset, cfg TrainConfig) (*Result, *Clock, error) {
 		return nil, nil, fmt.Errorf("corgipile: unknown device %q", cfg.Device)
 	}
 	clock := iosim.NewClock()
-	dev := iosim.NewDevice(prof, clock).WithCache(16 << 30)
+	cfg.Metrics.WithClock(clock)
+	dev := iosim.NewDevice(prof, clock).WithCache(16 << 30).WithObs(cfg.Metrics)
 	tab, err := storage.Build(dev, ds, storage.Options{BlockSize: cfg.BlockSize})
 	if err != nil {
 		return nil, nil, err
@@ -126,6 +132,7 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		BufferFraction: cfg.BufferFraction,
 		Seed:           cfg.Seed,
 		DoubleBuffer:   cfg.DoubleBuffer,
+		Obs:            cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -140,6 +147,7 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		Clock:     clock,
 		TrainEval: ds,
 		Seed:      cfg.Seed,
+		Obs:       cfg.Metrics,
 	}
 	if mlp, ok := model.(ml.MLP); ok {
 		rc.InitWeights = core.MLPInit(mlp, ds.Features, cfg.Seed)
