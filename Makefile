@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race check bench bench-go clean
 
 all: build
 
@@ -21,8 +21,13 @@ race:
 
 check: build vet test race
 
+# bench runs the gradient hot-path micro-benchmark suite and writes the
+# JSON report artifact; bench-go runs the package-level Go benchmarks.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) run ./cmd/corgibench -hotpath -out BENCH_hotpath.json
+
+bench-go:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 clean:
 	$(GO) clean ./...

@@ -5,7 +5,9 @@
 //
 //	corgibench [-scale 1.0] [-list] [experiment ...]
 //	corgibench -metrics [-workload higgs] [-strategy corgipile] [-device hdd]
-//	           [-epochs 5] [-double] [-block N] [-trace-out trace.jsonl]
+//	           [-epochs 5] [-batch N] [-procs N] [-double] [-block N]
+//	           [-trace-out trace.jsonl]
+//	corgibench -hotpath [-out BENCH_hotpath.json]
 //
 // With no experiment arguments (or "all") it runs the full suite. Each
 // experiment prints the rows/series of the corresponding paper artifact;
@@ -21,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"corgipile/internal/bench"
@@ -32,12 +35,16 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full synthetic size)")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		metrics  = flag.Bool("metrics", false, "run one instrumented pass and print the per-epoch time breakdown")
+		hotpath  = flag.Bool("hotpath", false, "run the gradient hot-path micro-benchmarks and exit")
+		outFile  = flag.String("out", "", "-hotpath: also write the JSON report to this file")
 		workload = flag.String("workload", "higgs", "-metrics: synthetic workload name")
 		strategy = flag.String("strategy", "corgipile", "-metrics: shuffle strategy")
 		device   = flag.String("device", "hdd", "-metrics: device profile (hdd, ssd, ram)")
 		epochs   = flag.Int("epochs", 5, "-metrics: training epochs")
 		double   = flag.Bool("double", false, "-metrics: enable double buffering")
 		block    = flag.Int64("block", 0, "-metrics: block size in bytes (0 = auto)")
+		batch    = flag.Int("batch", 1, "-metrics: mini-batch size (1 = per-tuple SGD)")
+		procs    = flag.Int("procs", 0, "gradient worker goroutines for mini-batches (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 1, "-metrics: random seed")
 		traceOut = flag.String("trace-out", "", "write the JSONL event trace to this file")
 	)
@@ -50,12 +57,34 @@ func main() {
 		return
 	}
 
+	if *hotpath {
+		var out *os.File
+		if *outFile != "" {
+			f, err := os.Create(*outFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		var w io.Writer
+		if out != nil {
+			w = out
+		}
+		if err := bench.Hotpath(os.Stdout, w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *metrics {
 		opts := bench.ProfileOptions{
 			Workload:     *workload,
 			Scale:        *scale,
 			Strategy:     shuffle.Kind(*strategy),
 			Epochs:       *epochs,
+			BatchSize:    *batch,
+			Procs:        *procs,
 			Device:       *device,
 			DoubleBuffer: *double,
 			BlockSize:    *block,

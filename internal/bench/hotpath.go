@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"corgipile/internal/data"
+	"corgipile/internal/ml"
+)
+
+// HotpathRow is one measured micro-benchmark of the gradient hot path.
+type HotpathRow struct {
+	// Name identifies the benchmark, e.g. "grad/svm" or "epoch/batch64/procs=4".
+	Name string `json:"name"`
+	// NsPerOp is nanoseconds per operation; AllocsPerOp and BytesPerOp are
+	// heap allocations and bytes per operation (the hot path targets 0).
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// TuplesPerSec is training throughput for epoch-granularity benchmarks
+	// (zero for per-call benchmarks).
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+}
+
+// HotpathReport is the full hot-path benchmark suite result, the payload of
+// BENCH_hotpath.json. CPUs and Gomaxprocs record the measurement machine:
+// multi-proc speedups are only observable when Gomaxprocs > 1.
+type HotpathReport struct {
+	CPUs       int          `json:"cpus"`
+	Gomaxprocs int          `json:"gomaxprocs"`
+	Rows       []HotpathRow `json:"rows"`
+	// EpochSpeedup4 is mini-batch epoch throughput at 4 procs relative to 1
+	// proc (values near 1.0 are expected on single-core machines).
+	EpochSpeedup4 float64 `json:"epoch_speedup_procs4_vs_1"`
+}
+
+// hotpathModels mirrors the BenchmarkGrad model/dataset matrix in
+// internal/ml's benchmarks, for the programmatic runner.
+func hotpathModels() []struct {
+	name  string
+	model ml.Model
+	ds    *data.Dataset
+	init  func(w []float64)
+} {
+	dense := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 512, Features: 28, Order: data.OrderShuffled, Seed: 11})
+	sparse := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 512, Features: 1000, Sparse: true, NNZ: 32,
+		Order: data.OrderShuffled, Seed: 12})
+	multi := data.SyntheticMulticlass(data.SyntheticConfig{
+		Tuples: 512, Features: 28, Classes: 5, Order: data.OrderShuffled, Seed: 13})
+	mlp := ml.MLP{Classes: 5, Hidden: 32}
+	fm := ml.FactorizationMachine{Factors: 8}
+	return []struct {
+		name  string
+		model ml.Model
+		ds    *data.Dataset
+		init  func(w []float64)
+	}{
+		{"lr", ml.LogisticRegression{}, dense, nil},
+		{"svm", ml.SVM{}, dense, nil},
+		{"svm_sparse", ml.SVM{}, sparse, nil},
+		{"linreg", ml.LinearRegression{}, dense, nil},
+		{"softmax", ml.Softmax{Classes: 5}, multi, nil},
+		{"mlp", mlp, multi, func(w []float64) {
+			mlp.InitWeights(w, multi.Features, rand.New(rand.NewSource(1)))
+		}},
+		{"fm", fm, dense, func(w []float64) {
+			fm.InitWeights(w, dense.Features, 0.01, rand.New(rand.NewSource(1)))
+		}},
+	}
+}
+
+// row converts a testing.BenchmarkResult.
+func row(name string, r testing.BenchmarkResult, tuplesPerOp int) HotpathRow {
+	h := HotpathRow{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if tuplesPerOp > 0 && r.NsPerOp() > 0 {
+		h.TuplesPerSec = float64(tuplesPerOp) * 1e9 / float64(r.NsPerOp())
+	}
+	return h
+}
+
+// Hotpath runs the gradient hot-path micro-benchmark suite via
+// testing.Benchmark, prints a human-readable table to w, and, when out is
+// non-nil, writes the JSON report (the BENCH_hotpath.json artifact) to out.
+func Hotpath(w io.Writer, out io.Writer) error {
+	rep := HotpathReport{CPUs: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0)}
+
+	// Per-model gradient evaluation: the innermost operation.
+	for _, bm := range hotpathModels() {
+		bm := bm
+		r := testing.Benchmark(func(b *testing.B) {
+			wv := make([]float64, bm.model.Dim(bm.ds.Features))
+			if bm.init != nil {
+				bm.init(wv)
+			}
+			var ws ml.Workspace
+			var gi []int32
+			var gv []float64
+			_, gi, gv = ml.GradWS(bm.model, &ws, wv, bm.ds.At(0), gi[:0], gv[:0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := bm.ds.At(i % bm.ds.Len())
+				_, gi, gv = ml.GradWS(bm.model, &ws, wv, t, gi[:0], gv[:0])
+			}
+		})
+		rep.Rows = append(rep.Rows, row("grad/"+bm.name, r, 0))
+	}
+
+	// Mini-batch engine step at several worker counts.
+	stepDS := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 256, Features: 28, Order: data.OrderShuffled, Seed: 21})
+	batch := make([]data.Tuple, stepDS.Len())
+	for i := range batch {
+		batch[i] = *stepDS.At(i)
+	}
+	for _, procs := range []int{1, 2, 4} {
+		procs := procs
+		r := testing.Benchmark(func(b *testing.B) {
+			m := ml.SVM{}
+			opt := ml.NewSGD(0.01)
+			wv := make([]float64, m.Dim(stepDS.Features))
+			opt.Reset(len(wv))
+			eng := ml.NewBatchEngine(m, procs)
+			defer eng.Close()
+			var acc ml.GradAccumulator
+			acc.Reset(len(wv))
+			var lossSum float64
+			eng.Accumulate(wv, batch, &acc, &lossSum)
+			acc.Step(opt, wv, len(batch))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := eng.Accumulate(wv, batch, &acc, &lossSum)
+				acc.Step(opt, wv, n)
+			}
+		})
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("batchstep/procs=%d", procs), r, len(batch)))
+	}
+
+	// End-to-end trainer epoch: per-tuple and mini-batch at several procs.
+	epochDS := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 4096, Features: 28, Order: data.OrderShuffled, Seed: 31})
+	epoch := func(batchSize, procs int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			m := ml.SVM{}
+			tr := ml.NewTrainer(m, ml.NewSGD(0.01), batchSize)
+			tr.Procs = procs
+			defer tr.Close()
+			wv := make([]float64, m.Dim(epochDS.Features))
+			tr.Opt.Reset(len(wv))
+			// One resettable stream, constructed outside the timed loop so
+			// the epochs themselves are allocation-free.
+			pos := 0
+			next := func() (*data.Tuple, bool) {
+				if pos >= epochDS.Len() {
+					return nil, false
+				}
+				t := epochDS.At(pos)
+				pos++
+				return t, true
+			}
+			tr.RunEpoch(wv, next)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pos = 0
+				tr.RunEpoch(wv, next)
+			}
+		})
+	}
+	rep.Rows = append(rep.Rows, row("epoch/tuple", epoch(1, 1), epochDS.Len()))
+	var ns1, ns4 float64
+	for _, procs := range []int{1, 2, 4} {
+		r := epoch(64, procs)
+		h := row(fmt.Sprintf("epoch/batch64/procs=%d", procs), r, epochDS.Len())
+		rep.Rows = append(rep.Rows, h)
+		switch procs {
+		case 1:
+			ns1 = h.NsPerOp
+		case 4:
+			ns4 = h.NsPerOp
+		}
+	}
+	if ns4 > 0 {
+		rep.EpochSpeedup4 = ns1 / ns4
+	}
+
+	fmt.Fprintf(w, "hot path (cpus=%d gomaxprocs=%d)\n", rep.CPUs, rep.Gomaxprocs)
+	for _, h := range rep.Rows {
+		fmt.Fprintf(w, "  %-26s %12.1f ns/op  %3d allocs/op", h.Name, h.NsPerOp, h.AllocsPerOp)
+		if h.TuplesPerSec > 0 {
+			fmt.Fprintf(w, "  %10.0f tuples/s", h.TuplesPerSec)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "epoch speedup, 4 procs vs 1: %.2fx\n", rep.EpochSpeedup4)
+
+	if out != nil {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}

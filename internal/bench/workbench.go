@@ -26,6 +26,7 @@ type spec struct {
 	decay     float64
 	epochs    int
 	batch     int
+	procs     int
 
 	kind       shuffle.Kind
 	bufferFrac float64
@@ -197,6 +198,7 @@ func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 		Features:     ds.Features,
 		Epochs:       s.epochs,
 		BatchSize:    s.batch,
+		Procs:        s.procs,
 		Clock:        clock,
 		TrainEval:    ds,
 		TestEval:     test,

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"corgipile/internal/data"
+	"corgipile/internal/ml"
+	"corgipile/internal/shuffle"
+)
+
+// TestRunProcsInvariantLossTrace is the end-to-end determinism guarantee for
+// the parallel mini-batch engine: an identical seed must produce an identical
+// Result.Points loss trace and final weights at every Procs setting.
+func TestRunProcsInvariantLossTrace(t *testing.T) {
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 2000, Features: 12, Separation: 2,
+		Order: data.OrderClustered, Seed: 55})
+	run := func(procs int) *Result {
+		src := shuffle.NewMemSource(ds, 50)
+		st, err := shuffle.New(shuffle.KindCorgiPile, src,
+			shuffle.Options{Seed: 9, BufferFraction: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunConfig{
+			Strategy:  st,
+			Model:     ml.SVM{},
+			Opt:       ml.NewSGD(0.05),
+			Features:  ds.Features,
+			Epochs:    4,
+			BatchSize: 32,
+			Procs:     procs,
+			TrainEval: ds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, procs := range []int{0, 2, 4, 7} {
+		res := run(procs)
+		if len(res.Points) != len(base.Points) {
+			t.Fatalf("procs=%d produced %d points, want %d",
+				procs, len(res.Points), len(base.Points))
+		}
+		for i, p := range res.Points {
+			if p.AvgLoss != base.Points[i].AvgLoss {
+				t.Fatalf("procs=%d epoch %d loss %v != procs=1 %v",
+					procs, p.Epoch, p.AvgLoss, base.Points[i].AvgLoss)
+			}
+			if p.TrainAcc != base.Points[i].TrainAcc {
+				t.Fatalf("procs=%d epoch %d acc %v != procs=1 %v",
+					procs, p.Epoch, p.TrainAcc, base.Points[i].TrainAcc)
+			}
+		}
+		for i := range res.W {
+			if res.W[i] != base.W[i] {
+				t.Fatalf("procs=%d weight %d = %v != procs=1 %v",
+					procs, i, res.W[i], base.W[i])
+			}
+		}
+	}
+}

@@ -29,6 +29,10 @@ type RunConfig struct {
 	Epochs int
 	// BatchSize selects per-tuple (<=1) or mini-batch SGD.
 	BatchSize int
+	// Procs is the number of gradient worker goroutines for mini-batch
+	// steps (0 = GOMAXPROCS, 1 = single-threaded). The loss trace is
+	// bit-for-bit identical at every setting; see ml.BatchEngine.
+	Procs int
 	// Clock, when non-nil, receives per-tuple gradient-compute charges and
 	// is sampled for per-epoch simulated timestamps.
 	Clock *iosim.Clock
@@ -107,7 +111,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	cfg.Opt.Reset(dim)
 
 	trainer := ml.NewTrainer(cfg.Model, cfg.Opt, cfg.BatchSize)
+	trainer.Procs = cfg.Procs
 	trainer.Obs = cfg.Obs
+	defer trainer.Close()
 	var start time.Duration
 	if cfg.Clock != nil {
 		start = cfg.Clock.Now()

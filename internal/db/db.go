@@ -279,6 +279,7 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 			Features:  tab.Features(),
 			Epochs:    int(st.Params.Num("max_epoch_num", 20)),
 			BatchSize: int(st.Params.Num("batch_size", 1)),
+			Procs:     int(st.Params.Num("procs", 1)),
 			Clock:     s.clock,
 			Eval:      evalDS,
 			Obs:       s.obs,
@@ -438,6 +439,7 @@ func (s *Session) trainPlanConfig(st *sqlparse.Train, tab *storage.Table) (execu
 			Features:  tab.Features(),
 			Epochs:    int(st.Params.Num("max_epoch_num", 20)),
 			BatchSize: int(st.Params.Num("batch_size", 1)),
+			Procs:     int(st.Params.Num("procs", 1)),
 			Clock:     s.clock,
 		},
 	}, nil

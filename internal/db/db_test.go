@@ -403,3 +403,30 @@ func TestPredicateFuncAllOperators(t *testing.T) {
 		t.Error("unknown op should pass everything")
 	}
 }
+
+func TestTrainProcsParamDeterministic(t *testing.T) {
+	// The procs WITH-param selects the mini-batch worker count; results
+	// must be bit-for-bit identical at every setting (see ml.BatchEngine).
+	run := func(procs int) [][]string {
+		s := NewSession()
+		mustExec(t, s, `CREATE TABLE t AS SYNTHETIC(workload='higgs', scale=0.05, order='clustered')`)
+		res := mustExec(t, s, fmt.Sprintf(
+			`SELECT * FROM t TRAIN BY svm MODEL m WITH max_epoch_num=3, batch_size=32, procs=%d`, procs))
+		return res.Rows
+	}
+	base := run(1)
+	for _, procs := range []int{2, 4} {
+		rows := run(procs)
+		if len(rows) != len(base) {
+			t.Fatalf("procs=%d produced %d rows, want %d", procs, len(rows), len(base))
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if rows[i][j] != base[i][j] {
+					t.Fatalf("procs=%d row %d col %d = %q, procs=1 gave %q",
+						procs, i, j, rows[i][j], base[i][j])
+				}
+			}
+		}
+	}
+}

@@ -126,11 +126,9 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 	cfg.Opt.Reset(dim)
 
 	res := &core.Result{W: w}
-	perWorkerBatch := cfg.GlobalBatch / cfg.Workers
 
-	acc := make([]float64, dim)
-	mark := make([]bool, dim)
-	var touched []int32
+	var acc ml.GradAccumulator
+	acc.Reset(dim)
 	syncPerBatch := cfg.syncCostPerBatch(dim)
 
 	var start time.Duration
@@ -149,8 +147,8 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 			// Each worker pulls its share of the batch and computes
 			// gradients concurrently at the shared weights.
 			var wg sync.WaitGroup
-			for _, wk := range workers {
-				wk.pull(perWorkerBatch)
+			for i, wk := range workers {
+				wk.pull(workerShare(cfg.GlobalBatch, cfg.Workers, i))
 			}
 			for _, wk := range workers {
 				wg.Add(1)
@@ -166,27 +164,14 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 			for _, wk := range workers {
 				count += len(wk.batch)
 				lossSum += wk.loss
-				for i, idx := range wk.gi {
-					if !mark[idx] {
-						mark[idx] = true
-						touched = append(touched, idx)
-					}
-					acc[idx] += wk.gv[i]
-				}
+				acc.Add(wk.gi, wk.gv)
 			}
 			if count == 0 {
+				acc.Clear()
 				break
 			}
 			tuples += count
-			gv := make([]float64, len(touched))
-			inv := 1 / float64(count)
-			for i, idx := range touched {
-				gv[i] = acc[idx] * inv
-				acc[idx] = 0
-				mark[idx] = false
-			}
-			cfg.Opt.Step(w, touched, gv)
-			touched = touched[:0]
+			acc.Step(cfg.Opt, w, count)
 			syncTotal += syncPerBatch
 		}
 		cfg.Opt.EndEpoch()
@@ -212,11 +197,25 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 	return res, nil
 }
 
+// workerShare returns the number of tuples worker i contributes to one
+// global batch: globalBatch/workers, with the remainder distributed one
+// tuple each to the first globalBatch%workers workers so every full batch
+// consumes exactly globalBatch tuples (not workers·⌊globalBatch/workers⌋).
+func workerShare(globalBatch, workers, i int) int {
+	n := globalBatch / workers
+	if i < globalBatch%workers {
+		n++
+	}
+	return n
+}
+
 // worker is one data-parallel process: a private iterator over its block
-// share plus gradient scratch space.
+// share plus gradient scratch space (a reusable ml.Workspace, so per-tuple
+// gradient evaluation is allocation-free).
 type worker struct {
 	it           *workerIter
 	batch        []data.Tuple
+	ws           ml.Workspace
 	gi           []int32
 	gv           []float64
 	loss         float64
@@ -247,7 +246,7 @@ func (wk *worker) grads(w []float64) {
 	for i := range wk.batch {
 		t := &wk.batch[i]
 		var loss float64
-		loss, wk.gi, wk.gv = wk.model.Grad(w, t, wk.gi, wk.gv)
+		loss, wk.gi, wk.gv = ml.GradWS(wk.model, &wk.ws, w, t, wk.gi, wk.gv)
 		wk.loss += loss
 		wk.clock += time.Duration(float64(ml.GradCost(t.NNZ())) * wk.computeScale)
 	}
@@ -362,12 +361,11 @@ func EffectiveOrder(ds *data.Dataset, cfg Config) ([]int64, error) {
 		cfg.BufferFraction = 0.1
 	}
 	workers := makeWorkers(ds, cfg, 0)
-	per := cfg.GlobalBatch / cfg.Workers
 	var order []int64
 	for {
 		emitted := false
-		for _, wk := range workers {
-			wk.pull(per)
+		for i, wk := range workers {
+			wk.pull(workerShare(cfg.GlobalBatch, cfg.Workers, i))
 			for i := range wk.batch {
 				order = append(order, wk.batch[i].ID)
 				emitted = true

@@ -1,0 +1,48 @@
+package executor
+
+import (
+	"testing"
+
+	"corgipile/internal/data"
+)
+
+// TestAsyncReScanRacesFillThread hammers ReScan while the async write thread
+// is actively filling: each iteration consumes only a couple of tuples, so
+// the reset almost always interrupts a fill in flight. Run with -race (the
+// scripts/check.sh gate does) this verifies the stopAsync handshake leaves no
+// window where the fill goroutine touches the child during its ReScan.
+func TestAsyncReScanRacesFillThread(t *testing.T) {
+	src := memSource(2000, 20, data.OrderClustered)
+	op := asyncShuffle(t, src, 400, 3)
+	defer op.Close()
+	for iter := 0; iter < 50; iter++ {
+		for i := 0; i < 2; i++ {
+			if _, ok, err := op.Next(); err != nil || !ok {
+				t.Fatalf("iter %d: Next() = %v, %v", iter, ok, err)
+			}
+		}
+		if err := op.ReScan(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After all that churn a full epoch must still be an exact permutation.
+	ids := drainOp(t, op)
+	assertPerm(t, ids, 2000)
+}
+
+// TestAsyncCloseRacesFillThread closes the operator at varying points of an
+// in-flight fill; under -race this proves Close's shutdown handshake.
+func TestAsyncCloseRacesFillThread(t *testing.T) {
+	for consume := 0; consume < 8; consume++ {
+		src := memSource(1000, 20, data.OrderClustered)
+		op := asyncShuffle(t, src, 250, int64(consume+10))
+		for i := 0; i < consume; i++ {
+			if _, ok, err := op.Next(); err != nil || !ok {
+				t.Fatalf("consume %d: Next() = %v, %v", consume, ok, err)
+			}
+		}
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -57,11 +57,14 @@ type SGDOp struct {
 
 // SGDConfig configures an SGD operator.
 type SGDConfig struct {
-	Model       ml.Model
-	Opt         ml.Optimizer
-	Features    int
-	Epochs      int
-	BatchSize   int
+	Model     ml.Model
+	Opt       ml.Optimizer
+	Features  int
+	Epochs    int
+	BatchSize int
+	// Procs is the number of gradient worker goroutines for mini-batch
+	// steps (0 = GOMAXPROCS, 1 = single-threaded); see ml.Trainer.Procs.
+	Procs       int
 	Clock       *iosim.Clock
 	Eval        *data.Dataset
 	InitWeights func(w []float64)
@@ -92,6 +95,7 @@ func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
 		Eval:    cfg.Eval,
 		Obs:     cfg.Obs,
 	}
+	op.trainer.Procs = cfg.Procs
 	op.trainer.Obs = cfg.Obs
 	if cfg.Clock != nil || cfg.Obs != nil {
 		op.trainer.OnTuple = func(t *data.Tuple) {
@@ -196,8 +200,11 @@ func (op *SGDOp) Run() ([]EpochRow, error) {
 	}
 }
 
-// Close releases the pipeline.
-func (op *SGDOp) Close() error { return op.child.Close() }
+// Close releases the pipeline and the trainer's worker pool.
+func (op *SGDOp) Close() error {
+	op.trainer.Close()
+	return op.child.Close()
+}
 
 // Model returns the trained model.
 func (op *SGDOp) Model() ml.Model { return op.trainer.Model }

@@ -165,6 +165,7 @@ func (op *TupleShuffleOp) refill() error {
 	var fillStart time.Duration
 	if op.pipelined() && op.consuming {
 		op.consumeFor(op.Clock.Now() - op.consStart)
+		op.consuming = false
 	}
 	if op.Clock != nil {
 		fillStart = op.Clock.Now()
@@ -177,6 +178,10 @@ func (op *TupleShuffleOp) refill() error {
 		t, ok, err := op.child.Next()
 		if err != nil {
 			sp.End()
+			// A failing child aborts the epoch: settle the simulated
+			// clock to the pipeline's completion time instead of leaving
+			// it mid-pipeline (mirrors corgiIter.Next's error path).
+			op.settlePipeline()
 			return err
 		}
 		if !ok {
@@ -225,8 +230,27 @@ func (op *TupleShuffleOp) finishPipeline() {
 	op.consuming = false
 }
 
+// settlePipeline closes any open consume interval and advances the clock to
+// the pipeline's completion time — the teardown path for epochs that end
+// abnormally (child error, early Close, mid-epoch ReScan). Unlike
+// finishPipeline it never rewinds the clock: an aborted fill has already
+// charged partial serial time that the pipeline never saw.
+func (op *TupleShuffleOp) settlePipeline() {
+	if !op.pipelined() || op.pipe == nil {
+		return
+	}
+	if op.consuming {
+		op.consumeFor(op.Clock.Now() - op.consStart)
+		op.consuming = false
+	}
+	if end := op.pipe.End(); end > op.Clock.Now() {
+		op.Clock.Set(end)
+	}
+}
+
 func (op *TupleShuffleOp) resetEpoch() {
 	op.stopAsync()
+	op.settlePipeline()
 	op.buf, op.pos, op.exhausted = nil, 0, false
 	op.consuming = false
 	if op.DoubleBuffer && op.Clock != nil {
@@ -260,8 +284,11 @@ func (op *TupleShuffleOp) stopAsync() {
 	op.fills, op.done = nil, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. Closing a partially-consumed pipelined epoch
+// settles the simulated clock to the pipeline's completion time, so callers
+// that abandon a scan mid-epoch still observe consistent accounting.
 func (op *TupleShuffleOp) Close() error {
 	op.stopAsync()
+	op.settlePipeline()
 	return op.child.Close()
 }

@@ -10,12 +10,12 @@ import (
 // Stats counts the traffic a device has served since creation or the last
 // ResetStats call.
 type Stats struct {
-	Reads     int64 // read operations
-	Writes    int64 // write operations
-	Seeks     int64 // non-contiguous repositionings
-	BytesRead int64
-	BytesWrit int64
-	CacheHits int64 // bytes served from the simulated OS cache
+	Reads         int64 // read operations
+	Writes        int64 // write operations
+	Seeks         int64 // non-contiguous repositionings
+	BytesRead     int64
+	BytesWrit     int64
+	CacheHitBytes int64 // bytes served from the simulated OS cache (obs.IOCacheHitBytes)
 }
 
 // Device is a simulated block-addressable storage device.
@@ -114,7 +114,7 @@ func (d *Device) readCostLocked(off, n int64) time.Duration {
 	d.stats.BytesRead += n
 
 	hit := d.cache.span(off, n)
-	d.stats.CacheHits += hit
+	d.stats.CacheHitBytes += hit
 	miss := n - hit
 
 	var cost time.Duration

@@ -106,7 +106,7 @@ func TestCacheMakesSecondPassFast(t *testing.T) {
 	if second >= first/10 {
 		t.Fatalf("cached read cost %v not much cheaper than cold read %v", second, first)
 	}
-	if dev.Stats().CacheHits == 0 {
+	if dev.Stats().CacheHitBytes == 0 {
 		t.Fatal("expected cache hits on second pass")
 	}
 }
@@ -116,9 +116,9 @@ func TestCacheEviction(t *testing.T) {
 	dev := NewDevice(HDD, clock).WithCache(8 << 20) // 8 MiB cache
 	// Read 64 MiB: working set exceeds cache, so re-reading the start misses.
 	dev.ReadAt(0, 64<<20)
-	hitsBefore := dev.Stats().CacheHits
+	hitsBefore := dev.Stats().CacheHitBytes
 	dev.ReadAt(0, 1<<20)
-	if dev.Stats().CacheHits != hitsBefore {
+	if dev.Stats().CacheHitBytes != hitsBefore {
 		t.Fatal("expected a miss re-reading evicted range")
 	}
 }
@@ -128,9 +128,9 @@ func TestDropCaches(t *testing.T) {
 	dev := NewDevice(HDD, clock).WithCache(1 << 30)
 	dev.ReadAt(0, 10<<20)
 	dev.DropCaches()
-	before := dev.Stats().CacheHits
+	before := dev.Stats().CacheHitBytes
 	dev.ReadAt(0, 10<<20)
-	if dev.Stats().CacheHits != before {
+	if dev.Stats().CacheHitBytes != before {
 		t.Fatal("read after DropCaches should not hit")
 	}
 }

@@ -1,0 +1,144 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"corgipile/internal/data"
+)
+
+// benchModels pairs every model with a dataset it can train on. MLP and FM
+// get random weight initialization (zero factor matrices have zero
+// interaction gradients, which would make the FM benchmark trivial).
+func benchModels() []struct {
+	name  string
+	model Model
+	ds    *data.Dataset
+	init  func(w []float64)
+} {
+	dense := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 512, Features: 28, Order: data.OrderShuffled, Seed: 11})
+	sparse := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 512, Features: 1000, Sparse: true, NNZ: 32,
+		Order: data.OrderShuffled, Seed: 12})
+	multi := data.SyntheticMulticlass(data.SyntheticConfig{
+		Tuples: 512, Features: 28, Classes: 5, Order: data.OrderShuffled, Seed: 13})
+
+	mlp := MLP{Classes: 5, Hidden: 32}
+	fm := FactorizationMachine{Factors: 8}
+	return []struct {
+		name  string
+		model Model
+		ds    *data.Dataset
+		init  func(w []float64)
+	}{
+		{"lr", LogisticRegression{}, dense, nil},
+		{"svm", SVM{}, dense, nil},
+		{"svm_sparse", SVM{}, sparse, nil},
+		{"linreg", LinearRegression{}, dense, nil},
+		{"softmax", Softmax{Classes: 5}, multi, nil},
+		{"mlp", mlp, multi, func(w []float64) {
+			mlp.InitWeights(w, multi.Features, rand.New(rand.NewSource(1)))
+		}},
+		{"fm", fm, dense, func(w []float64) {
+			fm.InitWeights(w, dense.Features, 0.01, rand.New(rand.NewSource(1)))
+		}},
+	}
+}
+
+// BenchmarkGrad measures one workspace gradient evaluation per model — the
+// innermost hot-path operation. Expected: 0 allocs/op for every model.
+func BenchmarkGrad(b *testing.B) {
+	for _, bm := range benchModels() {
+		b.Run(bm.name, func(b *testing.B) {
+			w := make([]float64, bm.model.Dim(bm.ds.Features))
+			if bm.init != nil {
+				bm.init(w)
+			}
+			var ws Workspace
+			var gi []int32
+			var gv []float64
+			// Warm the scratch buffers so steady state is measured.
+			_, gi, gv = GradWS(bm.model, &ws, w, bm.ds.At(0), gi[:0], gv[:0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := bm.ds.At(i % bm.ds.Len())
+				_, gi, gv = GradWS(bm.model, &ws, w, t, gi[:0], gv[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkBatchStep measures one mini-batch gradient accumulation + optimizer
+// step through the BatchEngine at several worker counts.
+func BenchmarkBatchStep(b *testing.B) {
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 256, Features: 28, Order: data.OrderShuffled, Seed: 21})
+	batch := make([]data.Tuple, ds.Len())
+	for i := range batch {
+		batch[i] = *ds.At(i)
+	}
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			m := SVM{}
+			opt := NewSGD(0.01)
+			w := make([]float64, m.Dim(ds.Features))
+			opt.Reset(len(w))
+			eng := NewBatchEngine(m, procs)
+			defer eng.Close()
+			var acc GradAccumulator
+			acc.Reset(len(w))
+			var lossSum float64
+			eng.Accumulate(w, batch, &acc, &lossSum) // warm shard scratch
+			acc.Step(opt, w, len(batch))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := eng.Accumulate(w, batch, &acc, &lossSum)
+				acc.Step(opt, w, n)
+			}
+		})
+	}
+}
+
+// BenchmarkEpoch measures a full trainer epoch (per-tuple SGD and mini-batch
+// at several worker counts) over an in-memory dataset.
+func BenchmarkEpoch(b *testing.B) {
+	ds := data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 4096, Features: 28, Order: data.OrderShuffled, Seed: 31})
+	run := func(b *testing.B, batchSize, procs int) {
+		m := SVM{}
+		tr := NewTrainer(m, NewSGD(0.01), batchSize)
+		tr.Procs = procs
+		defer tr.Close()
+		w := make([]float64, m.Dim(ds.Features))
+		tr.Opt.Reset(len(w))
+		// One resettable stream, constructed outside the timed loop so the
+		// epochs themselves are allocation-free.
+		pos := 0
+		next := func() (*data.Tuple, bool) {
+			if pos >= ds.Len() {
+				return nil, false
+			}
+			t := ds.At(pos)
+			pos++
+			return t, true
+		}
+		tr.RunEpoch(w, next) // warm scratch
+		b.ReportAllocs()
+		b.SetBytes(int64(ds.Len()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pos = 0
+			tr.RunEpoch(w, next)
+		}
+	}
+	b.Run("tuple", func(b *testing.B) { run(b, 1, 1) })
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("batch64/procs=%d", procs), func(b *testing.B) {
+			run(b, 64, procs)
+		})
+	}
+}

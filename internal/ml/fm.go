@@ -41,8 +41,9 @@ func (m FactorizationMachine) features(w []float64) int {
 }
 
 // score computes the FM decision value, plus the per-factor sums needed by
-// the gradient (returned to avoid recomputation).
-func (m FactorizationMachine) scoreSums(w []float64, t *data.Tuple) (y float64, sums []float64) {
+// the gradient (returned to avoid recomputation). The sums live in the
+// workspace's scratch buffer.
+func (m FactorizationMachine) scoreSums(ws *Workspace, w []float64, t *data.Tuple) (y float64, sums []float64) {
 	k := m.k()
 	d := m.features(w)
 	y = w[d] // bias
@@ -68,7 +69,10 @@ func (m FactorizationMachine) scoreSums(w []float64, t *data.Tuple) (y float64, 
 	}
 
 	eachNZ(func(idx int, x float64) { y += w[idx] * x })
-	sums = make([]float64, k)
+	sums = f64(&ws.dh, k)
+	for f := range sums {
+		sums[f] = 0
+	}
 	var sumSq float64
 	eachNZ(func(idx int, x float64) {
 		row := w[vBase+idx*k : vBase+(idx+1)*k]
@@ -88,7 +92,8 @@ func (m FactorizationMachine) scoreSums(w []float64, t *data.Tuple) (y float64, 
 
 // score returns the decision value only.
 func (m FactorizationMachine) score(w []float64, t *data.Tuple) float64 {
-	y, _ := m.scoreSums(w, t)
+	var ws Workspace
+	y, _ := m.scoreSums(&ws, w, t)
 	return y
 }
 
@@ -99,7 +104,14 @@ func (m FactorizationMachine) Loss(w []float64, t *data.Tuple) float64 {
 
 // Grad implements Model.
 func (m FactorizationMachine) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
-	y, sums := m.scoreSums(w, t)
+	var ws Workspace
+	return m.GradWS(&ws, w, t, gi, gv)
+}
+
+// GradWS implements WorkspaceGrader: Grad with the per-factor sum buffer in
+// ws, so steady-state calls are allocation-free.
+func (m FactorizationMachine) GradWS(ws *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	y, sums := m.scoreSums(ws, w, t)
 	ym := t.Label * y
 	loss := logLoss(ym)
 	s := -t.Label * sigmoid(-ym) // dloss/dy

@@ -65,6 +65,12 @@ func (m LogisticRegression) Grad(w []float64, t *data.Tuple, gi []int32, gv []fl
 	return loss, gi, gv
 }
 
+// GradWS implements WorkspaceGrader; GLM gradients need no scratch, so this
+// is Grad.
+func (m LogisticRegression) GradWS(_ *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	return m.Grad(w, t, gi, gv)
+}
+
 // Predict implements Model, returning ±1.
 func (LogisticRegression) Predict(w []float64, t *data.Tuple) float64 {
 	if margin(w, t) >= 0 {
@@ -102,6 +108,12 @@ func (m SVM) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64
 	return l, gi, gv
 }
 
+// GradWS implements WorkspaceGrader; GLM gradients need no scratch, so this
+// is Grad.
+func (m SVM) GradWS(_ *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	return m.Grad(w, t, gi, gv)
+}
+
 // Predict implements Model, returning ±1.
 func (SVM) Predict(w []float64, t *data.Tuple) float64 {
 	if margin(w, t) >= 0 {
@@ -130,6 +142,12 @@ func (m LinearRegression) Grad(w []float64, t *data.Tuple, gi []int32, gv []floa
 	r := margin(w, t) - t.Label
 	gi, gv = appendScaledFeatures(gi, gv, t, r, int32(len(w)-1))
 	return 0.5 * r * r, gi, gv
+}
+
+// GradWS implements WorkspaceGrader; GLM gradients need no scratch, so this
+// is Grad.
+func (m LinearRegression) GradWS(_ *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	return m.Grad(w, t, gi, gv)
 }
 
 // Predict implements Model, returning the regression value.

@@ -46,21 +46,23 @@ func (m MLP) InitWeights(w []float64, features int, rng *rand.Rand) {
 }
 
 // forward computes hidden activations h (post-ReLU) and output
-// probabilities p.
-func (m MLP) forward(w []float64, t *data.Tuple) (h, p []float64, features int) {
+// probabilities p into the workspace's scratch buffers.
+func (m MLP) forward(ws *Workspace, w []float64, t *data.Tuple) (h, p []float64, features int) {
 	features = (len(w)-m.Classes*(m.Hidden+1))/m.Hidden - 1
 	in1 := features + 1
-	h = make([]float64, m.Hidden)
+	h = f64(&ws.h, m.Hidden)
 	for j := 0; j < m.Hidden; j++ {
 		wj := w[j*in1 : (j+1)*in1]
 		z := t.Dot(wj[:features]) + wj[features]
 		if z > 0 {
 			h[j] = z
+		} else {
+			h[j] = 0
 		}
 	}
 	off := m.Hidden * in1
 	in2 := m.Hidden + 1
-	p = make([]float64, m.Classes)
+	p = f64(&ws.p, m.Classes)
 	for k := 0; k < m.Classes; k++ {
 		wk := w[off+k*in2 : off+(k+1)*in2]
 		z := wk[m.Hidden] // bias
@@ -75,7 +77,8 @@ func (m MLP) forward(w []float64, t *data.Tuple) (h, p []float64, features int) 
 
 // Loss implements Model.
 func (m MLP) Loss(w []float64, t *data.Tuple) float64 {
-	_, p, _ := m.forward(w, t)
+	var ws Workspace
+	_, p, _ := m.forward(&ws, w, t)
 	py := p[classIndex(t.Label, m.Classes)]
 	if py < 1e-300 {
 		py = 1e-300
@@ -83,10 +86,19 @@ func (m MLP) Loss(w []float64, t *data.Tuple) float64 {
 	return -math.Log(py)
 }
 
-// Grad implements Model via backpropagation. MLP gradients are dense over
-// both layers (sparse inputs still yield sparse first-layer rows).
+// Grad implements Model via backpropagation, allocating fresh scratch per
+// call; the hot path uses GradWS with a reusable Workspace instead.
 func (m MLP) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
-	h, p, features := m.forward(w, t)
+	var ws Workspace
+	return m.GradWS(&ws, w, t, gi, gv)
+}
+
+// GradWS implements WorkspaceGrader: backpropagation with all temporaries
+// (hidden activations, probabilities, backprop deltas) in ws, so steady-state
+// calls are allocation-free. MLP gradients are dense over both layers
+// (sparse inputs still yield sparse first-layer rows).
+func (m MLP) GradWS(ws *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	h, p, features := m.forward(ws, w, t)
 	y := classIndex(t.Label, m.Classes)
 	py := p[y]
 	if py < 1e-300 {
@@ -99,7 +111,10 @@ func (m MLP) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64
 	in2 := m.Hidden + 1
 
 	// Output layer: dL/dz2_k = p_k − 1{k=y}.
-	dh := make([]float64, m.Hidden)
+	dh := f64(&ws.dh, m.Hidden)
+	for j := range dh {
+		dh[j] = 0
+	}
 	for k := 0; k < m.Classes; k++ {
 		dk := p[k]
 		if k == y {
@@ -149,7 +164,8 @@ func (m MLP) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64
 
 // Predict implements Model, returning the argmax class index.
 func (m MLP) Predict(w []float64, t *data.Tuple) float64 {
-	_, p, _ := m.forward(w, t)
+	var ws Workspace
+	_, p, _ := m.forward(&ws, w, t)
 	best, bestV := 0, p[0]
 	for k, v := range p[1:] {
 		if v > bestV {

@@ -1,0 +1,204 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+
+	"corgipile/internal/data"
+)
+
+// GradAccumulator folds sparse per-tuple gradients into a dense accumulator,
+// deduplicating repeated indices via a touched list so the optimizer's
+// per-coordinate state is stepped once per mini-batch. It is the single
+// reducer shared by the Trainer, the BatchEngine, and internal/dist.
+type GradAccumulator struct {
+	acc     []float64 // dense gradient accumulator
+	mark    []bool    // whether a coordinate is already in touched
+	touched []int32
+	gv      []float64 // gather buffer handed to Optimizer.Step
+}
+
+// Reset sizes the accumulator for a weight vector of dimension dim and
+// clears any pending state. Buffers are reused when already large enough.
+func (a *GradAccumulator) Reset(dim int) {
+	if len(a.acc) < dim {
+		a.acc = make([]float64, dim)
+		a.mark = make([]bool, dim)
+	}
+	a.Clear()
+}
+
+// Add folds one sparse gradient into the accumulator. Entries are applied in
+// slice order, so the floating-point accumulation order is exactly the order
+// in which (gi, gv) pairs were produced.
+func (a *GradAccumulator) Add(gi []int32, gv []float64) {
+	for i, idx := range gi {
+		if !a.mark[idx] {
+			a.mark[idx] = true
+			a.touched = append(a.touched, idx)
+		}
+		a.acc[idx] += gv[i]
+	}
+}
+
+// Gather scales the accumulated gradient by inv (1/batchSize for averaging)
+// and returns it in sparse form. The returned slices are valid until the
+// next Add, Gather, or Clear.
+func (a *GradAccumulator) Gather(inv float64) ([]int32, []float64) {
+	a.gv = a.gv[:0]
+	for _, idx := range a.touched {
+		a.gv = append(a.gv, a.acc[idx]*inv)
+	}
+	return a.touched, a.gv
+}
+
+// Clear zeroes the touched coordinates and empties the touched list, leaving
+// capacity in place for the next batch.
+func (a *GradAccumulator) Clear() {
+	for _, idx := range a.touched {
+		a.acc[idx] = 0
+		a.mark[idx] = false
+	}
+	a.touched = a.touched[:0]
+	a.gv = a.gv[:0]
+}
+
+// Step averages the accumulated gradient over count tuples, applies one
+// optimizer step to w, and clears the accumulator.
+func (a *GradAccumulator) Step(opt Optimizer, w []float64, count int) {
+	if count <= 0 {
+		return
+	}
+	gi, gv := a.Gather(1 / float64(count))
+	opt.Step(w, gi, gv)
+	a.Clear()
+}
+
+// gradShard is one worker's slice of a mini-batch plus its private gradient
+// scratch. Shards are fixed per engine and reused across batches.
+type gradShard struct {
+	ws     Workspace
+	gi     []int32
+	gv     []float64
+	losses []float64
+
+	// Per-batch inputs, set by Accumulate before dispatch.
+	w     []float64
+	batch []data.Tuple
+}
+
+// run computes the shard's per-tuple gradients at w, concatenated in tuple
+// order into gi/gv, with per-tuple losses recorded for order-exact reduction.
+func (s *gradShard) run(m Model) {
+	s.gi = s.gi[:0]
+	s.gv = s.gv[:0]
+	s.losses = s.losses[:0]
+	for i := range s.batch {
+		var loss float64
+		loss, s.gi, s.gv = GradWS(m, &s.ws, s.w, &s.batch[i], s.gi, s.gv)
+		s.losses = append(s.losses, loss)
+	}
+}
+
+// BatchEngine computes mini-batch gradients on a fixed pool of worker
+// goroutines — the compute side of the paper's Section 6.3 regime, where
+// buffered I/O keeps tuples flowing and per-step CPU becomes the limiting
+// factor.
+//
+// Determinism guarantee: the batch is split into contiguous shards and
+// reduced in shard order, so every floating-point addition — both into the
+// dense accumulator and into the loss sum — happens in exactly the global
+// tuple order, independent of the worker count. Identical inputs therefore
+// produce bit-for-bit identical updates at any Procs setting, including the
+// single-threaded inline path.
+type BatchEngine struct {
+	model  Model
+	procs  int
+	shards []gradShard
+
+	startOnce sync.Once
+	jobs      chan *gradShard
+	done      chan struct{}
+	closed    bool
+}
+
+// NewBatchEngine returns an engine for model using procs worker goroutines;
+// procs <= 0 selects runtime.GOMAXPROCS(0). With procs == 1 gradients are
+// computed inline and no goroutines are ever started.
+func NewBatchEngine(model Model, procs int) *BatchEngine {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	return &BatchEngine{model: model, procs: procs, shards: make([]gradShard, procs)}
+}
+
+// Procs returns the engine's worker count.
+func (e *BatchEngine) Procs() int { return e.procs }
+
+// start launches the fixed worker pool (first multi-shard batch only).
+func (e *BatchEngine) start() {
+	e.jobs = make(chan *gradShard, e.procs)
+	e.done = make(chan struct{}, e.procs)
+	for i := 0; i < e.procs; i++ {
+		go func() {
+			for s := range e.jobs {
+				s.run(e.model)
+				e.done <- struct{}{}
+			}
+		}()
+	}
+}
+
+// Accumulate computes the summed gradient of batch at w into acc and adds
+// the per-tuple losses, in global tuple order, to *lossSum. It returns the
+// number of tuples processed. Concurrent calls are not allowed (the engine
+// owns one set of shards); distinct engines are independent.
+func (e *BatchEngine) Accumulate(w []float64, batch []data.Tuple, acc *GradAccumulator, lossSum *float64) int {
+	n := len(batch)
+	if n == 0 {
+		return 0
+	}
+	k := e.procs
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		s := &e.shards[i]
+		s.w = w
+		s.batch = batch[i*n/k : (i+1)*n/k]
+	}
+	if k == 1 {
+		e.shards[0].run(e.model)
+	} else {
+		e.startOnce.Do(e.start)
+		for i := 0; i < k; i++ {
+			e.jobs <- &e.shards[i]
+		}
+		for i := 0; i < k; i++ {
+			<-e.done
+		}
+	}
+	// Deterministic reduce: shards are contiguous and visited in order, so
+	// gradient and loss accumulation follow the global tuple order exactly.
+	for i := 0; i < k; i++ {
+		s := &e.shards[i]
+		for _, l := range s.losses {
+			*lossSum += l
+		}
+		acc.Add(s.gi, s.gv)
+		s.w, s.batch = nil, nil
+	}
+	return n
+}
+
+// Close stops the worker pool. The engine must not be used afterwards.
+// Closing an engine whose pool never started is a no-op.
+func (e *BatchEngine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.jobs != nil {
+		close(e.jobs)
+	}
+}

@@ -1,0 +1,130 @@
+package ml
+
+import (
+	"testing"
+
+	"corgipile/internal/data"
+)
+
+// TestBatchEngineMatchesInline: the pooled engine must produce bit-for-bit
+// the same accumulated gradient and loss sum as the single-proc inline path.
+func TestBatchEngineMatchesInline(t *testing.T) {
+	ds := binaryData(256, data.OrderShuffled, 41)
+	batch := make([]data.Tuple, ds.Len())
+	for i := range batch {
+		batch[i] = *ds.At(i)
+	}
+	m := LogisticRegression{}
+	w := make([]float64, m.Dim(ds.Features))
+	for i := range w {
+		w[i] = 0.01 * float64(i%7)
+	}
+
+	ref := func(procs int) ([]int32, []float64, float64) {
+		eng := NewBatchEngine(m, procs)
+		defer eng.Close()
+		var acc GradAccumulator
+		acc.Reset(len(w))
+		var lossSum float64
+		if n := eng.Accumulate(w, batch, &acc, &lossSum); n != len(batch) {
+			t.Fatalf("procs=%d processed %d tuples, want %d", procs, n, len(batch))
+		}
+		gi, gv := acc.Gather(1 / float64(len(batch)))
+		giC := append([]int32(nil), gi...)
+		gvC := append([]float64(nil), gv...)
+		return giC, gvC, lossSum
+	}
+
+	gi1, gv1, loss1 := ref(1)
+	for _, procs := range []int{2, 3, 4, 7} {
+		gi, gv, loss := ref(procs)
+		if loss != loss1 {
+			t.Fatalf("procs=%d loss %v != inline %v", procs, loss, loss1)
+		}
+		if len(gi) != len(gi1) {
+			t.Fatalf("procs=%d touched %d coords, inline %d", procs, len(gi), len(gi1))
+		}
+		for k := range gi {
+			if gi[k] != gi1[k] || gv[k] != gv1[k] {
+				t.Fatalf("procs=%d gradient diverges at %d: (%d,%v) vs (%d,%v)",
+					procs, k, gi[k], gv[k], gi1[k], gv1[k])
+			}
+		}
+	}
+}
+
+// TestTrainerProcsInvariance: identical seed and data must give bit-for-bit
+// identical weights and loss regardless of the worker count — the guarantee
+// that makes -procs a pure performance knob.
+func TestTrainerProcsInvariance(t *testing.T) {
+	ds := binaryData(1000, data.OrderShuffled, 42)
+	run := func(procs int) ([]float64, []float64) {
+		m := SVM{}
+		tr := NewTrainer(m, NewSGD(0.05), 64)
+		tr.Procs = procs
+		defer tr.Close()
+		w := make([]float64, m.Dim(ds.Features))
+		tr.Opt.Reset(len(w))
+		var losses []float64
+		for epoch := 0; epoch < 3; epoch++ {
+			stats := tr.RunEpoch(w, SliceStream(ds))
+			losses = append(losses, stats.AvgLoss)
+		}
+		return w, losses
+	}
+	w1, l1 := run(1)
+	for _, procs := range []int{2, 4, 7} {
+		w, l := run(procs)
+		for i := range l1 {
+			if l[i] != l1[i] {
+				t.Fatalf("procs=%d epoch %d loss %v != single-proc %v", procs, i+1, l[i], l1[i])
+			}
+		}
+		for i := range w1 {
+			if w[i] != w1[i] {
+				t.Fatalf("procs=%d weight %d = %v != single-proc %v", procs, i, w[i], w1[i])
+			}
+		}
+	}
+}
+
+// TestTrainerReuseAfterClose: Close releases the pool, but a reused trainer
+// must transparently rebuild it on the next epoch.
+func TestTrainerReuseAfterClose(t *testing.T) {
+	ds := binaryData(200, data.OrderShuffled, 43)
+	m := SVM{}
+	tr := NewTrainer(m, NewSGD(0.05), 32)
+	tr.Procs = 4
+	w := make([]float64, m.Dim(ds.Features))
+	tr.RunEpoch(w, SliceStream(ds))
+	tr.Close()
+	stats := tr.RunEpoch(w, SliceStream(ds))
+	tr.Close()
+	if stats.Tuples != 200 {
+		t.Fatalf("epoch after Close consumed %d tuples, want 200", stats.Tuples)
+	}
+}
+
+// TestGradAccumulatorDedup: repeated indices within one batch must collapse
+// to a single optimizer-visible coordinate (so Adam's per-coordinate state
+// steps once per batch), with contributions summed in insertion order.
+func TestGradAccumulatorDedup(t *testing.T) {
+	var acc GradAccumulator
+	acc.Reset(10)
+	acc.Add([]int32{3, 5, 3}, []float64{1, 2, 3})
+	acc.Add([]int32{5, 1}, []float64{4, 8})
+	gi, gv := acc.Gather(0.5)
+	want := map[int32]float64{3: 2, 5: 3, 1: 4}
+	if len(gi) != 3 {
+		t.Fatalf("touched %d coords, want 3: %v", len(gi), gi)
+	}
+	for k, idx := range gi {
+		if gv[k] != want[idx] {
+			t.Fatalf("coord %d = %v, want %v", idx, gv[k], want[idx])
+		}
+	}
+	acc.Clear()
+	if gi, gv := acc.Gather(1); len(gi) != 0 || len(gv) != 0 {
+		t.Fatalf("accumulator not empty after Clear: %v %v", gi, gv)
+	}
+}

@@ -33,11 +33,10 @@ func classIndex(label float64, classes int) int {
 	return k
 }
 
-// logits computes the K class scores. The returned slice is freshly
-// allocated.
-func (s Softmax) logits(w []float64, t *data.Tuple) []float64 {
+// logits computes the K class scores into the workspace's scratch buffer.
+func (s Softmax) logits(ws *Workspace, w []float64, t *data.Tuple) []float64 {
 	row := len(w) / s.Classes
-	z := make([]float64, s.Classes)
+	z := f64(&ws.p, s.Classes)
 	for k := 0; k < s.Classes; k++ {
 		wk := w[k*row : (k+1)*row]
 		z[k] = t.Dot(wk[:row-1]) + wk[row-1]
@@ -65,7 +64,8 @@ func softmaxProbs(z []float64) {
 
 // Loss implements Model: −log p_y.
 func (s Softmax) Loss(w []float64, t *data.Tuple) float64 {
-	z := s.logits(w, t)
+	var ws Workspace
+	z := s.logits(&ws, w, t)
 	softmaxProbs(z)
 	p := z[classIndex(t.Label, s.Classes)]
 	if p < 1e-300 {
@@ -76,7 +76,14 @@ func (s Softmax) Loss(w []float64, t *data.Tuple) float64 {
 
 // Grad implements Model. The gradient row for class k is (p_k − 1{k=y})·x.
 func (s Softmax) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
-	z := s.logits(w, t)
+	var ws Workspace
+	return s.GradWS(&ws, w, t, gi, gv)
+}
+
+// GradWS implements WorkspaceGrader: Grad with the logit buffer in ws, so
+// steady-state calls are allocation-free.
+func (s Softmax) GradWS(ws *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	z := s.logits(ws, w, t)
 	softmaxProbs(z)
 	y := classIndex(t.Label, s.Classes)
 	p := z[y]
@@ -116,7 +123,8 @@ func (s Softmax) Grad(w []float64, t *data.Tuple, gi []int32, gv []float64) (flo
 
 // Predict implements Model, returning the argmax class index.
 func (s Softmax) Predict(w []float64, t *data.Tuple) float64 {
-	z := s.logits(w, t)
+	var ws Workspace
+	z := s.logits(&ws, w, t)
 	best, bestV := 0, z[0]
 	for k, v := range z[1:] {
 		if v > bestV {

@@ -1,6 +1,8 @@
 package ml
 
 import (
+	"runtime"
+
 	"corgipile/internal/data"
 	"corgipile/internal/obs"
 )
@@ -33,15 +35,21 @@ type EpochStats struct {
 }
 
 // Trainer runs SGD-style epochs of a Model with an Optimizer. It owns the
-// scratch state that makes per-tuple updates allocation-free and
-// deduplicates repeated gradient indices within a mini-batch so that Adam's
-// per-coordinate state is touched once per batch.
+// scratch state (a Workspace, a GradAccumulator, and — for parallel
+// mini-batches — a BatchEngine) that makes per-tuple updates allocation-free
+// and deduplicates repeated gradient indices within a mini-batch so that
+// Adam's per-coordinate state is touched once per batch.
 type Trainer struct {
 	Model Model
 	Opt   Optimizer
 	// BatchSize is the mini-batch size; 0 or 1 gives per-tuple updates
 	// (the paper's "standard SGD").
 	BatchSize int
+	// Procs is the number of gradient worker goroutines used for mini-batch
+	// steps (BatchSize > 1): 1 is single-threaded, 0 selects GOMAXPROCS.
+	// The loss trace and weight trajectory are bit-for-bit identical at
+	// every Procs setting (see BatchEngine). Per-tuple SGD ignores it.
+	Procs int
 	// OnTuple, when non-nil, is invoked for every consumed tuple — the hook
 	// the benchmark harness uses to charge simulated gradient-compute time.
 	OnTuple func(t *data.Tuple)
@@ -49,12 +57,12 @@ type Trainer struct {
 	// the obs.SGD* metric names and records the epoch's mean loss gauge.
 	Obs *obs.Registry
 
+	ws Workspace
 	gi []int32
 	gv []float64
 
-	acc     []float64 // dense accumulator for batch dedup
-	mark    []bool    // whether a coordinate is already in touched
-	touched []int32
+	acc    GradAccumulator
+	engine *BatchEngine
 }
 
 // NewTrainer returns a trainer for the model/optimizer pair.
@@ -62,86 +70,85 @@ func NewTrainer(m Model, opt Optimizer, batchSize int) *Trainer {
 	return &Trainer{Model: m, Opt: opt, BatchSize: batchSize}
 }
 
+// Close releases the trainer's worker pool, if one was started. The trainer
+// must not run further epochs afterwards.
+func (tr *Trainer) Close() {
+	if tr.engine != nil {
+		tr.engine.Close()
+		tr.engine = nil
+	}
+}
+
 // RunEpoch consumes the stream, applying updates to w, and returns epoch
 // statistics. With BatchSize > 1 the gradients of each batch are averaged
 // before a single optimizer step, matching mini-batch SGD; a final partial
-// batch is still applied.
+// batch is still applied. Batch gradients are computed by the trainer's
+// BatchEngine across Procs workers.
 func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 	batch := tr.BatchSize
 	if batch < 1 {
 		batch = 1
 	}
-	if tr.acc == nil || len(tr.acc) < len(w) {
-		tr.acc = make([]float64, len(w))
-		tr.mark = make([]bool, len(w))
-	}
 
 	var stats EpochStats
 	var lossSum float64
-	inBatch := 0
 
-	flush := func() {
-		if inBatch == 0 {
-			return
-		}
-		inv := 1 / float64(inBatch)
-		tr.gv = tr.gv[:0]
-		for _, idx := range tr.touched {
-			tr.gv = append(tr.gv, tr.acc[idx]*inv)
-		}
-		tr.Opt.Step(w, tr.touched, tr.gv)
-		tr.Obs.Inc(obs.SGDBatches)
-		for _, idx := range tr.touched {
-			tr.acc[idx] = 0
-			tr.mark[idx] = false
-		}
-		tr.touched = tr.touched[:0]
-		tr.gi = tr.gi[:0]
-		tr.gv = tr.gv[:0]
-		inBatch = 0
-	}
-
-	for {
-		t, ok := next()
-		if !ok {
-			break
-		}
-		if tr.OnTuple != nil {
-			tr.OnTuple(t)
-		}
-		stats.Tuples++
-
-		if batch == 1 {
+	if batch == 1 {
+		// Per-tuple SGD: allocation-free via the workspace path.
+		for {
+			t, ok := next()
+			if !ok {
+				break
+			}
+			if tr.OnTuple != nil {
+				tr.OnTuple(t)
+			}
+			stats.Tuples++
 			tr.gi = tr.gi[:0]
 			tr.gv = tr.gv[:0]
 			var loss float64
-			loss, tr.gi, tr.gv = tr.Model.Grad(w, t, tr.gi, tr.gv)
+			loss, tr.gi, tr.gv = GradWS(tr.Model, &tr.ws, w, t, tr.gi, tr.gv)
 			lossSum += loss
 			tr.Opt.Step(w, tr.gi, tr.gv)
 			tr.Obs.Inc(obs.SGDBatches)
-			continue
 		}
-
-		// Mini-batch: accumulate into the dense buffer, deduplicating
-		// indices via the touched list.
-		start := len(tr.gi)
-		var loss float64
-		loss, tr.gi, tr.gv = tr.Model.Grad(w, t, tr.gi, tr.gv)
-		lossSum += loss
-		for i := start; i < len(tr.gi); i++ {
-			idx := tr.gi[i]
-			if !tr.mark[idx] {
-				tr.mark[idx] = true
-				tr.touched = append(tr.touched, idx)
+	} else {
+		// Mini-batch SGD: gather shallow tuple copies (feature storage is
+		// dataset-owned and stable), then one engine step per full batch.
+		tr.acc.Reset(len(w))
+		if tr.engine == nil || tr.engine.Procs() != tr.procs() {
+			if tr.engine != nil {
+				tr.engine.Close()
 			}
-			tr.acc[idx] += tr.gv[i]
+			tr.engine = NewBatchEngine(tr.Model, tr.procs())
 		}
-		inBatch++
-		if inBatch >= batch {
-			flush()
+		buf := tr.ws.batch[:0]
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			count := tr.engine.Accumulate(w, buf, &tr.acc, &lossSum)
+			tr.acc.Step(tr.Opt, w, count)
+			tr.Obs.Inc(obs.SGDBatches)
+			buf = buf[:0]
 		}
+		for {
+			t, ok := next()
+			if !ok {
+				break
+			}
+			if tr.OnTuple != nil {
+				tr.OnTuple(t)
+			}
+			stats.Tuples++
+			buf = append(buf, *t)
+			if len(buf) >= batch {
+				flush()
+			}
+		}
+		flush()
+		tr.ws.batch = buf[:0]
 	}
-	flush()
 	tr.Opt.EndEpoch()
 
 	if stats.Tuples > 0 {
@@ -152,4 +159,15 @@ func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 		tr.Obs.SetGauge(obs.SGDLoss, stats.AvgLoss)
 	}
 	return stats
+}
+
+// procs resolves the Procs setting: 0 means GOMAXPROCS, negative means 1.
+func (tr *Trainer) procs() int {
+	switch {
+	case tr.Procs == 0:
+		return runtime.GOMAXPROCS(0)
+	case tr.Procs < 0:
+		return 1
+	}
+	return tr.Procs
 }

@@ -1,0 +1,56 @@
+package ml
+
+import "corgipile/internal/data"
+
+// Workspace holds per-goroutine scratch buffers for gradient evaluation, so
+// the innermost loop of training — one Grad call per tuple — performs no
+// heap allocation. Each concurrent gradient consumer (the Trainer, every
+// BatchEngine shard, every dist worker) owns one Workspace; a Workspace must
+// not be shared between goroutines.
+//
+// The zero value is ready to use: buffers grow on first use and are reused
+// afterwards.
+type Workspace struct {
+	// h, p, dh are the MLP's hidden activations, output probabilities, and
+	// hidden-layer backprop temporaries; p doubles as the Softmax logit
+	// buffer and dh as the FM per-factor sum buffer.
+	h, p, dh []float64
+
+	// batch and the slices below belong to the Trainer's mini-batch gather
+	// path: batch holds shallow tuple copies for the current mini-batch
+	// (feature storage is owned by the dataset or the storage codec and is
+	// stable, so value copies suffice — the same contract internal/dist
+	// relies on).
+	batch []data.Tuple
+}
+
+// f64 returns a scratch slice of length n backed by *buf, growing *buf's
+// capacity when needed. Contents are unspecified; callers that need zeros
+// must write them.
+func f64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// WorkspaceGrader is implemented by models whose gradient can be evaluated
+// allocation-free given Workspace scratch. All models in this package
+// implement it; the GradWS helper falls back to Model.Grad for external
+// models that do not.
+type WorkspaceGrader interface {
+	// GradWS is Model.Grad with caller-owned scratch: it must not allocate
+	// beyond growing ws's buffers and the gi/gv accumulators.
+	GradWS(ws *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64)
+}
+
+// GradWS evaluates m's example loss and gradient using ws as scratch when m
+// supports it, falling back to Model.Grad otherwise — the compatibility shim
+// that lets the allocation-free trainer run any Model.
+func GradWS(m Model, ws *Workspace, w []float64, t *data.Tuple, gi []int32, gv []float64) (float64, []int32, []float64) {
+	if g, ok := m.(WorkspaceGrader); ok {
+		return g.GradWS(ws, w, t, gi, gv)
+	}
+	return m.Grad(w, t, gi, gv)
+}
