@@ -21,10 +21,12 @@ race:
 
 check: build vet test race
 
-# bench runs the gradient hot-path micro-benchmark suite and writes the
-# JSON report artifact; bench-go runs the package-level Go benchmarks.
+# bench runs the gradient hot-path micro-benchmark suite and the
+# fault-injection sweep, writing the JSON report artifacts; bench-go runs
+# the package-level Go benchmarks.
 bench:
 	$(GO) run ./cmd/corgibench -hotpath -out BENCH_hotpath.json
+	$(GO) run ./cmd/corgibench -faults -out BENCH_faults.json
 
 bench-go:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

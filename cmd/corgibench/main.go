@@ -8,6 +8,7 @@
 //	           [-epochs 5] [-batch N] [-procs N] [-double] [-block N]
 //	           [-trace-out trace.jsonl]
 //	corgibench -hotpath [-out BENCH_hotpath.json]
+//	corgibench -faults [-out BENCH_faults.json]
 //
 // With no experiment arguments (or "all") it runs the full suite. Each
 // experiment prints the rows/series of the corresponding paper artifact;
@@ -36,7 +37,8 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		metrics  = flag.Bool("metrics", false, "run one instrumented pass and print the per-epoch time breakdown")
 		hotpath  = flag.Bool("hotpath", false, "run the gradient hot-path micro-benchmarks and exit")
-		outFile  = flag.String("out", "", "-hotpath: also write the JSON report to this file")
+		faults   = flag.Bool("faults", false, "run the fault-injection sweep (fault rate x retry budget) and exit")
+		outFile  = flag.String("out", "", "-hotpath/-faults: also write the JSON report to this file")
 		workload = flag.String("workload", "higgs", "-metrics: synthetic workload name")
 		strategy = flag.String("strategy", "corgipile", "-metrics: shuffle strategy")
 		device   = flag.String("device", "hdd", "-metrics: device profile (hdd, ssd, ram)")
@@ -57,7 +59,7 @@ func main() {
 		return
 	}
 
-	if *hotpath {
+	if *hotpath || *faults {
 		var out *os.File
 		if *outFile != "" {
 			f, err := os.Create(*outFile)
@@ -71,7 +73,11 @@ func main() {
 		if out != nil {
 			w = out
 		}
-		if err := bench.Hotpath(os.Stdout, w); err != nil {
+		runner := bench.Hotpath
+		if *faults {
+			runner = bench.FaultSweep
+		}
+		if err := runner(os.Stdout, w); err != nil {
 			fatal(err)
 		}
 		return

@@ -6,6 +6,7 @@
 //	corgitrain -file data.libsvm [-model svm] [-lr 0.05] [-epochs 10]
 //	           [-strategy corgipile] [-buffer 0.1] [-batch 1] [-test 0.2]
 //	           [-save model.json] [-metrics] [-trace-out trace.jsonl]
+//	           [-faults 'seed=7,read_err=0.01'] [-retries 3] [-on-corrupt skip]
 //
 // The training table is used as-is (no shuffling of the file), so a file
 // written in clustered order exercises exactly the pathology the paper
@@ -40,6 +41,12 @@ func main() {
 		save     = flag.String("save", "", "save the trained model to this JSON file via the SQL layer")
 		metrics  = flag.Bool("metrics", false, "print a per-epoch time breakdown after training")
 		traceOut = flag.String("trace-out", "", "write the JSONL event trace to this file")
+		device   = flag.String("device", "ssd", "simulated device for -faults runs: hdd, ssd, ram")
+		faults   = flag.String("faults", "", "fault-injection plan, e.g. 'seed=7,read_err=0.01,corrupt=3;17' (switches to simulated-device training)")
+		retries  = flag.Int("retries", 0, "retry attempts after a transient read error")
+		backoff  = flag.Duration("retry-backoff", 0, "base retry backoff charged to the simulated clock (default 1ms)")
+		corrupt  = flag.String("on-corrupt", "fail", "corrupt-block policy: fail or skip")
+		skipCap  = flag.Float64("skip-cap", 0, "max tuple fraction the skip policy may quarantine (default 0.05)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -77,20 +84,45 @@ func main() {
 			reg.StreamTo(f)
 		}
 	}
-	res, err := corgipile.Train(train, corgipile.TrainConfig{
-		Model:          *model,
-		LearningRate:   *lr,
-		Decay:          *decay,
-		Epochs:         *epochs,
-		BatchSize:      *batch,
-		Procs:          *procs,
-		Strategy:       corgipile.StrategyKind(*strategy),
-		BufferFraction: *buffer,
-		Seed:           *seed,
-		Metrics:        reg,
-	})
-	if err != nil {
-		fatal(err)
+	cfg := corgipile.TrainConfig{
+		Model:           *model,
+		LearningRate:    *lr,
+		Decay:           *decay,
+		Epochs:          *epochs,
+		BatchSize:       *batch,
+		Procs:           *procs,
+		Strategy:        corgipile.StrategyKind(*strategy),
+		BufferFraction:  *buffer,
+		Seed:            *seed,
+		Metrics:         reg,
+		Device:          *device,
+		Retries:         *retries,
+		RetryBackoff:    *backoff,
+		OnCorrupt:       *corrupt,
+		MaxSkipFraction: *skipCap,
+	}
+	var res *corgipile.Result
+	if *faults != "" {
+		// Fault injection needs a simulated device under the table; train
+		// through the storage stack instead of in memory.
+		plan, err := corgipile.ParseFaultPlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = &plan
+		var clock *corgipile.Clock
+		res, clock, err = corgipile.TrainOnDevice(train, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("faults: %s (simulated %s time %.2fs)\n",
+			res.Faults.String(), *device, clock.Now().Seconds())
+	} else {
+		var err error
+		res, err = corgipile.Train(train, cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *metrics {
 		if err := corgipile.WriteEpochBreakdown(os.Stdout, res.Breakdown); err != nil {

@@ -74,6 +74,13 @@ type (
 	Metrics = obs.Registry
 	// EpochMetrics is one epoch's cross-layer time breakdown.
 	EpochMetrics = obs.EpochMetrics
+	// FaultPlan is a deterministic storage fault-injection plan: seeded
+	// transient read errors, latency-spike stragglers, and corrupt blocks.
+	// Attach one via TrainConfig.Faults.
+	FaultPlan = iosim.FaultPlan
+	// FaultSummary records how a run coped with injected faults (retries,
+	// backoff time, quarantined blocks); see Result.Faults.
+	FaultSummary = shuffle.FaultSummary
 )
 
 // Tuple orders.
@@ -96,6 +103,10 @@ const (
 
 // NewSession opens an in-DB ML session with simulated HDD/SSD/RAM devices.
 func NewSession() *Session { return db.NewSession() }
+
+// ParseFaultPlan parses a fault-plan spec of the form
+// "seed=7,read_err=0.01,burst=3,err_ms=2,straggler=0.005,straggler_ms=50,corrupt=3;17".
+func ParseFaultPlan(spec string) (FaultPlan, error) { return iosim.ParseFaultPlan(spec) }
 
 // NewModel constructs a model by name: "lr", "svm", "linreg", "softmax",
 // "mlp". classes is used by the multi-class models.

@@ -56,6 +56,10 @@ type RunConfig struct {
 	// (shuffle.Options.Obs) to get the full I/O + shuffle + compute
 	// decomposition.
 	Obs *obs.Registry
+	// Faults, when non-nil, is the fault report the strategy's resilient
+	// source accumulates into (shuffle.Options.FaultReport); its summary is
+	// copied to Result.Faults when the run completes.
+	Faults *shuffle.FaultReport
 }
 
 // EpochPoint records the state after one epoch — one x-axis point of the
@@ -88,6 +92,9 @@ type Result struct {
 	// Breakdown holds one cross-layer metrics row per epoch when an
 	// obs.Registry was attached via RunConfig.Obs (nil otherwise).
 	Breakdown []obs.EpochMetrics
+	// Faults summarizes retry/quarantine/crash activity when a fault report
+	// was attached via RunConfig.Faults (zero value otherwise).
+	Faults shuffle.FaultSummary
 }
 
 // Final returns the last epoch point (zero value for an empty run).
@@ -184,6 +191,9 @@ func Run(cfg RunConfig) (*Result, error) {
 			cfg.Obs.EmitEpoch(m)
 			res.Breakdown = append(res.Breakdown, m)
 		}
+	}
+	if cfg.Faults != nil {
+		res.Faults = cfg.Faults.Summary()
 	}
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"corgipile/internal/core"
 	"corgipile/internal/data"
@@ -211,6 +212,19 @@ func (s *Session) execCreate(st *sqlparse.CreateTable) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("db: unknown device %q (hdd, ssd, ram)", devName)
 	}
+	if spec := st.With.Str("faults", ""); spec != "" {
+		// A faulty table gets its own device instance (same profile, same
+		// clock) so the injected faults never leak into other tables.
+		plan, err := iosim.ParseFaultPlan(spec)
+		if err != nil {
+			return nil, fmt.Errorf("db: %w", err)
+		}
+		prof, _ := iosim.ProfileByName(devName)
+		dev = iosim.NewDevice(prof, s.clock).WithCache(16 << 30).WithFaults(plan)
+		if s.obs != nil {
+			dev.WithObs(s.obs)
+		}
+	}
 	opts := storage.Options{
 		BlockSize: int64(st.With.Num("block_size", 10<<20)),
 		Compress:  st.With.Bool("compress", false),
@@ -267,11 +281,16 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 	}
 
 	seed := int64(st.Params.Num("seed", 1))
+	resil, err := trainResilience(st.Params, seed)
+	if err != nil {
+		return nil, err
+	}
 	cfg := executor.PlanConfig{
 		Shuffle:        kind,
 		BufferFraction: st.Params.Num("buffer_fraction", 0.1),
 		DoubleBuffer:   st.Params.Bool("double_buffer", true),
 		Seed:           seed,
+		Resilience:     resil,
 		Filter:         filter,
 		SGD: executor.SGDConfig{
 			Model:     model,
@@ -318,9 +337,15 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 		Breakdown: op.Breakdown,
 	}
 
+	msg := fmt.Sprintf("TRAIN: model %q stored", modelName)
+	if op.Faults != nil {
+		if sum := op.Faults.Summary(); sum.Degraded() {
+			msg += "; faults: " + sum.String()
+		}
+	}
 	res := &Result{
 		Columns:   []string{"epoch", "loss", "accuracy", "seconds", "tuples"},
-		Message:   fmt.Sprintf("TRAIN: model %q stored", modelName),
+		Message:   msg,
 		Breakdown: op.Breakdown,
 	}
 	for _, r := range rows {
@@ -333,6 +358,25 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// trainResilience builds the retry/degrade configuration from a TRAIN
+// statement's WITH-params: retries=N (extra attempts after the first),
+// retry_backoff_ms=M, on_corrupt=fail|skip, max_skip_fraction=F.
+func trainResilience(params sqlparse.Params, seed int64) (shuffle.Resilience, error) {
+	policy, err := shuffle.ParseFailurePolicy(params.Str("on_corrupt", ""))
+	if err != nil {
+		return shuffle.Resilience{}, fmt.Errorf("db: %w", err)
+	}
+	return shuffle.Resilience{
+		Retry: storage.RetryPolicy{
+			MaxAttempts: int(params.Num("retries", 0)) + 1,
+			Backoff:     time.Duration(params.Num("retry_backoff_ms", 0) * float64(time.Millisecond)),
+			Seed:        seed,
+		},
+		OnCorrupt:       policy,
+		MaxSkipFraction: params.Num("max_skip_fraction", 0),
+	}, nil
 }
 
 // predicateFunc compiles a parsed WHERE predicate to a tuple filter.
@@ -428,11 +472,17 @@ func (s *Session) trainPlanConfig(st *sqlparse.Train, tab *storage.Table) (execu
 	if sgd, ok := opt.(*ml.SGD); ok {
 		sgd.Decay = st.Params.Num("decay", 0.95)
 	}
+	seed := int64(st.Params.Num("seed", 1))
+	resil, err := trainResilience(st.Params, seed)
+	if err != nil {
+		return executor.PlanConfig{}, err
+	}
 	return executor.PlanConfig{
 		Shuffle:        shuffle.Kind(st.Params.Str("shuffle", string(shuffle.KindCorgiPile))),
 		BufferFraction: st.Params.Num("buffer_fraction", 0.1),
 		DoubleBuffer:   st.Params.Bool("double_buffer", true),
-		Seed:           int64(st.Params.Num("seed", 1)),
+		Seed:           seed,
+		Resilience:     resil,
 		SGD: executor.SGDConfig{
 			Model:     model,
 			Opt:       opt,

@@ -1,0 +1,74 @@
+package db
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrainThroughTransientFaultsViaSQL(t *testing.T) {
+	s := NewSession()
+	mustExec(t, s, `CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.1, order='clustered') WITH device='ssd', block_size=32KB, faults='seed=9,read_err=0.05'`)
+	// Without retries the first injected transient error kills the query.
+	if _, err := s.Exec(`SELECT * FROM t TRAIN BY svm MODEL bare WITH max_epoch_num=3`); err == nil {
+		t.Fatal("transient faults without retries should fail the query")
+	}
+	res := mustExec(t, s, `SELECT * FROM t TRAIN BY svm MODEL m WITH max_epoch_num=3, retries=4`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("train returned %d epoch rows, want 3", len(res.Rows))
+	}
+	if !strings.Contains(res.Message, "stored") {
+		t.Fatalf("message = %q", res.Message)
+	}
+}
+
+func TestSkipCorruptViaSQL(t *testing.T) {
+	s := NewSession()
+	mustExec(t, s, `CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.1, order='clustered') WITH device='ssd', block_size=32KB, faults='corrupt=2'`)
+	if _, err := s.Exec(`SELECT * FROM t TRAIN BY svm MODEL bare WITH max_epoch_num=2`); err == nil {
+		t.Fatal("corrupt block with fail-fast policy should fail the query")
+	}
+	res := mustExec(t, s, `SELECT * FROM t TRAIN BY svm MODEL m WITH max_epoch_num=2, on_corrupt='skip', max_skip_fraction=0.25`)
+	if !strings.Contains(res.Message, "faults:") || !strings.Contains(res.Message, "skipped") {
+		t.Fatalf("degraded TRAIN message lacks fault summary: %q", res.Message)
+	}
+}
+
+func TestFaultParamsDoNotLeakAcrossTables(t *testing.T) {
+	s := NewSession()
+	mustExec(t, s, `CREATE TABLE bad AS SYNTHETIC(workload='susy', scale=0.05) WITH device='ssd', block_size=32KB, faults='corrupt=0'`)
+	mustExec(t, s, `CREATE TABLE good AS SYNTHETIC(workload='susy', scale=0.05) WITH device='ssd', block_size=32KB`)
+	// The clean table shares the session's ssd device and must be unaffected
+	// by the faulty table's private device.
+	mustExec(t, s, `SELECT * FROM good TRAIN BY svm MODEL g WITH max_epoch_num=2`)
+}
+
+func TestExplainShowsResilience(t *testing.T) {
+	s := NewSession()
+	mustExec(t, s, `CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.02)`)
+	res := mustExec(t, s, `EXPLAIN SELECT * FROM t TRAIN BY svm WITH retries=3, on_corrupt='skip'`)
+	plan := ""
+	for _, row := range res.Rows {
+		plan += row[0] + "\n"
+	}
+	if !strings.Contains(plan, "Resilience: retries=3 on_corrupt=skip") {
+		t.Fatalf("EXPLAIN lacks resilience line:\n%s", plan)
+	}
+	// A plain TRAIN plan must not grow a resilience line.
+	res = mustExec(t, s, `EXPLAIN SELECT * FROM t TRAIN BY svm`)
+	for _, row := range res.Rows {
+		if strings.Contains(row[0], "Resilience") {
+			t.Fatalf("fault-free EXPLAIN shows resilience: %q", row[0])
+		}
+	}
+}
+
+func TestBadFaultParamsError(t *testing.T) {
+	s := NewSession()
+	if _, err := s.Exec(`CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.02) WITH faults='read_err=zebra'`); err == nil {
+		t.Fatal("bad fault spec should error")
+	}
+	mustExec(t, s, `CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.02)`)
+	if _, err := s.Exec(`SELECT * FROM t TRAIN BY svm WITH on_corrupt='shrug'`); err == nil {
+		t.Fatal("unknown on_corrupt policy should error")
+	}
+}

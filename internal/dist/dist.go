@@ -21,6 +21,7 @@ import (
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
+	"corgipile/internal/obs"
 )
 
 // Config configures a distributed training run.
@@ -75,6 +76,17 @@ type Config struct {
 
 	// Eval, when non-nil, is evaluated after each epoch.
 	Eval *data.Dataset
+
+	// Faults, when non-nil and enabled, injects deterministic worker
+	// crashes; see FaultPlan. Crash counts land in Result.Faults and, when
+	// Obs is attached, under obs.DistWorkerCrashes.
+	Faults *FaultPlan
+	// Obs, when non-nil, receives crash counters.
+	Obs *obs.Registry
+	// OnBatch, when non-nil, observes every optimizer step: the epoch
+	// (0-based), the batch index within it, and the tuples consumed. Tests
+	// use it to verify the global batch never shrinks under crashes.
+	OnBatch func(epoch, batch, tuples int)
 }
 
 // syncCostPerBatch returns the simulated gradient-synchronization time per
@@ -136,21 +148,57 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 		start = cfg.Clock.Now()
 	}
 
+	totalCrashes := 0
+	detect := time.Duration(0)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		detect = cfg.Faults.detectTimeout()
+	}
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		workers := makeWorkers(ds, cfg, epoch)
+		alive := make([]*worker, 0, len(workers))
 		var lossSum float64
 		var tuples int
 		var epochWall time.Duration // max over worker clocks
 		var syncTotal time.Duration
+		batch := 0
 
 		for {
-			// Each worker pulls its share of the batch and computes
-			// gradients concurrently at the shared weights.
-			var wg sync.WaitGroup
-			for i, wk := range workers {
-				wk.pull(workerShare(cfg.GlobalBatch, cfg.Workers, i))
-			}
+			// Crash detection happens at the synchronization barrier: a
+			// worker whose schedule says it died since the last batch is
+			// dropped here, charging the AllReduce detection timeout. The
+			// survivors then split the unchanged global batch between them
+			// (workerShare over len(alive)), so no optimizer step shrinks.
+			alive = alive[:0]
 			for _, wk := range workers {
+				if !wk.dead && wk.crashAt >= 0 && wk.consumed >= wk.crashAt {
+					wk.dead = true
+					totalCrashes++
+					syncTotal += detect
+					cfg.Obs.Inc(obs.DistWorkerCrashes)
+				}
+				if !wk.dead {
+					alive = append(alive, wk)
+				}
+			}
+			if len(alive) == 0 {
+				finishFaults(res, totalCrashes)
+				return res, fmt.Errorf("dist: epoch %d: all %d workers crashed: %w",
+					epoch+1, cfg.Workers, ErrWorkerLost)
+			}
+			if cfg.Faults != nil && cfg.Faults.MaxCrashes > 0 && totalCrashes > cfg.Faults.MaxCrashes {
+				finishFaults(res, totalCrashes)
+				return res, fmt.Errorf("dist: %d worker crashes exceed cap %d: %w",
+					totalCrashes, cfg.Faults.MaxCrashes, ErrWorkerLost)
+			}
+
+			// Each surviving worker pulls its share of the batch and
+			// computes gradients concurrently at the shared weights.
+			var wg sync.WaitGroup
+			for i, wk := range alive {
+				wk.pull(workerShare(cfg.GlobalBatch, len(alive), i))
+			}
+			for _, wk := range alive {
 				wg.Add(1)
 				go func(wk *worker) {
 					defer wg.Done()
@@ -161,7 +209,7 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 
 			// Deterministic reduce in worker order.
 			count := 0
-			for _, wk := range workers {
+			for _, wk := range alive {
 				count += len(wk.batch)
 				lossSum += wk.loss
 				acc.Add(wk.gi, wk.gv)
@@ -173,6 +221,10 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 			tuples += count
 			acc.Step(cfg.Opt, w, count)
 			syncTotal += syncPerBatch
+			if cfg.OnBatch != nil {
+				cfg.OnBatch(epoch, batch, count)
+			}
+			batch++
 		}
 		cfg.Opt.EndEpoch()
 
@@ -194,7 +246,13 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 		}
 		res.Points = append(res.Points, p)
 	}
+	finishFaults(res, totalCrashes)
 	return res, nil
+}
+
+// finishFaults records the crash count on a (possibly partial) result.
+func finishFaults(res *core.Result, crashes int) {
+	res.Faults.WorkerCrashes = crashes
 }
 
 // workerShare returns the number of tuples worker i contributes to one
@@ -222,6 +280,12 @@ type worker struct {
 	model        ml.Model
 	clock        time.Duration // private simulated time this epoch
 	computeScale float64
+
+	// Crash-injection state: the worker dies once it has consumed crashAt
+	// tuples (-1 = never); dead workers are dropped at the next barrier.
+	crashAt  int
+	consumed int
+	dead     bool
 }
 
 // pull fills the worker's batch with up to n tuples. Tuples are copied by
@@ -236,6 +300,7 @@ func (wk *worker) pull(n int) {
 		}
 		wk.batch = append(wk.batch, *t)
 	}
+	wk.consumed += len(wk.batch)
 }
 
 // grads computes the summed gradient of the worker's batch at w.
@@ -296,9 +361,45 @@ func makeWorkers(ds *data.Dataset, cfg Config, epoch int) []*worker {
 			},
 			model:        cfg.Model,
 			computeScale: computeScale,
+			crashAt:      -1,
 		}
 	}
+	scheduleCrashes(ds, cfg, epoch, workers)
 	return workers
+}
+
+// scheduleCrashes draws the epoch's deterministic crash schedule. Exactly
+// two random draws are consumed per worker regardless of the outcome, so
+// the schedule of worker i is independent of the other workers' fates and
+// stable across runs with the same fault seed.
+func scheduleCrashes(ds *data.Dataset, cfg Config, epoch int, workers []*worker) {
+	if cfg.Faults == nil || !cfg.Faults.Enabled() {
+		return
+	}
+	seed := cfg.Faults.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed + int64(epoch)*104729))
+	for _, wk := range workers {
+		crash := rng.Float64() < cfg.Faults.CrashProb
+		frac := rng.Float64()
+		if !crash {
+			continue
+		}
+		// The crash point is a fraction of the worker's epoch share, so
+		// crashes land anywhere from the first batch to the last.
+		share := 0
+		for _, b := range wk.it.blocks {
+			lo := b * cfg.BlockTuples
+			hi := lo + cfg.BlockTuples
+			if hi > ds.Len() {
+				hi = ds.Len()
+			}
+			share += hi - lo
+		}
+		wk.crashAt = int(frac * float64(share))
+	}
 }
 
 // workerIter is the per-worker CorgiPile iterator: local buffer of nBuf

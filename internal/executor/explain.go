@@ -52,5 +52,18 @@ func DescribePlan(src shuffle.Source, cfg PlanConfig) string {
 		fmt.Fprintf(&b, "└─ Strategy[%s] (buffer=%.0f%% of %d tuples)\n",
 			cfg.Shuffle, cfg.BufferFraction*100, src.NumTuples())
 	}
+	if cfg.Resilience.Enabled() {
+		r := cfg.Resilience
+		retries := r.Retry.MaxAttempts - 1
+		if retries < 0 {
+			retries = 0
+		}
+		cap := r.MaxSkipFraction
+		if cap <= 0 {
+			cap = shuffle.DefaultMaxSkipFraction
+		}
+		fmt.Fprintf(&b, "Resilience: retries=%d on_corrupt=%s max_skip=%.1f%%\n",
+			retries, r.OnCorrupt, cap*100)
+	}
 	return b.String()
 }

@@ -26,6 +26,10 @@ type PlanConfig struct {
 	// Filter, when non-nil, drops tuples failing the predicate (the WHERE
 	// clause), applied above the access path and below SGD.
 	Filter func(*data.Tuple) bool
+	// Resilience, when enabled, wraps the source with retry/backoff and the
+	// configured corrupt-block degrade policy below every access path; the
+	// resulting fault report is exposed as SGDOp.Faults.
+	Resilience shuffle.Resilience
 	// SGD carries the learner configuration.
 	SGD SGDConfig
 }
@@ -35,6 +39,13 @@ type PlanConfig struct {
 func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
 	if cfg.BufferFraction <= 0 {
 		cfg.BufferFraction = 0.1
+	}
+	var faults *shuffle.FaultReport
+	if cfg.Resilience.Enabled() {
+		// Wrap here, below the strategy switch, so every access path —
+		// Scan, BlockShuffle, the CorgiPile pipeline, and the fallback
+		// strategies — reads through the same retry/quarantine layer.
+		src, faults = shuffle.NewResilientSource(src, cfg.Resilience, cfg.SGD.Obs, nil)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var child Operator
@@ -75,7 +86,12 @@ func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
 	if cfg.Filter != nil {
 		child = NewFilter(child, cfg.Filter)
 	}
-	return NewSGD(child, cfg.SGD)
+	op, err := NewSGD(child, cfg.SGD)
+	if err != nil {
+		return nil, err
+	}
+	op.Faults = faults
+	return op, nil
 }
 
 // strategyOp adapts a shuffle.Strategy to the Operator interface so that

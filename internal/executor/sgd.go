@@ -8,6 +8,7 @@ import (
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
 	"corgipile/internal/obs"
+	"corgipile/internal/shuffle"
 )
 
 // EpochRow is the SGD operator's output: one row of training metrics per
@@ -49,6 +50,9 @@ type SGDOp struct {
 	// Breakdown holds one epoch-breakdown row per completed epoch when Obs
 	// is attached.
 	Breakdown []obs.EpochMetrics
+	// Faults, when the plan was built with resilience enabled, accumulates
+	// the run's retry and quarantine accounting (nil otherwise).
+	Faults *shuffle.FaultReport
 
 	epoch   int
 	start   time.Duration

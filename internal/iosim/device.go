@@ -1,6 +1,7 @@
 package iosim
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -16,6 +17,8 @@ type Stats struct {
 	BytesRead     int64
 	BytesWrit     int64
 	CacheHitBytes int64 // bytes served from the simulated OS cache (obs.IOCacheHitBytes)
+	Faults        int64 // transient read errors injected by the fault plan
+	Stragglers    int64 // reads that paid an injected latency spike
 }
 
 // Device is a simulated block-addressable storage device.
@@ -29,14 +32,15 @@ type Stats struct {
 //
 // Device is safe for concurrent use.
 type Device struct {
-	mu    sync.Mutex
-	prof  Profile
-	clock *Clock
-	pos   int64 // head position: offset just past the last access
-	cache *pageCache
-	trace *Trace
-	stats Stats
-	reg   *obs.Registry
+	mu     sync.Mutex
+	prof   Profile
+	clock  *Clock
+	pos    int64 // head position: offset just past the last access
+	cache  *pageCache
+	trace  *Trace
+	stats  Stats
+	reg    *obs.Registry
+	faults *faultInjector
 }
 
 // NewDevice returns a device with the given profile, charging time to clock.
@@ -64,6 +68,41 @@ func (d *Device) WithObs(reg *obs.Registry) *Device {
 	d.reg = reg
 	d.mu.Unlock()
 	return d
+}
+
+// WithFaults attaches a deterministic fault-injection plan to the device and
+// returns the device. Faults act only on TryReadAt — the checked read path
+// real data accesses use; pure cost-accounting calls (ReadAt, WriteAt,
+// ReadCost) never fail, so a zero plan leaves every existing timing
+// bit-for-bit unchanged.
+func (d *Device) WithFaults(p FaultPlan) *Device {
+	d.mu.Lock()
+	if p.Enabled() {
+		d.faults = newFaultInjector(p)
+	} else {
+		d.faults = nil
+	}
+	d.mu.Unlock()
+	return d
+}
+
+// FaultPlan returns the attached fault plan (zero when none).
+func (d *Device) FaultPlan() FaultPlan {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.faults == nil {
+		return FaultPlan{}
+	}
+	return d.faults.plan
+}
+
+// BlockCorrupt reports whether the fault plan marks storage block i as
+// permanently corrupt. The storage layer consults this on each block read
+// and flips a payload bit so its CRC check trips.
+func (d *Device) BlockCorrupt(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults != nil && d.faults.corrupt[i]
 }
 
 // Profile returns the device's performance profile.
@@ -105,6 +144,44 @@ func (d *Device) ReadAt(off, n int64) time.Duration {
 	d.mu.Unlock()
 	d.clock.Advance(cost)
 	return cost
+}
+
+// TryReadAt is the checked variant of ReadAt used by real data reads: it
+// consults the device's fault plan before transferring. A transient fault
+// charges the plan's error latency and returns an error wrapping
+// ErrTransient without moving the head or touching the cache (no data was
+// transferred); a straggler read succeeds but pays an extra latency spike.
+// With no fault plan attached, TryReadAt is exactly ReadAt.
+func (d *Device) TryReadAt(off, n int64) (time.Duration, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	d.mu.Lock()
+	if d.faults != nil && d.faults.readError() {
+		cost := d.faults.errorCost(d.prof)
+		d.stats.Faults++
+		if d.reg != nil {
+			d.reg.Inc(obs.IOFaultOps)
+			d.reg.AddDuration(obs.IOTimeNanos, cost)
+		}
+		d.mu.Unlock()
+		d.clock.Advance(cost)
+		return cost, fmt.Errorf("iosim: read %d bytes at %d: %w", n, off, ErrTransient)
+	}
+	cost := d.readCostLocked(off, n)
+	if d.faults != nil {
+		if extra, ok := d.faults.straggle(); ok {
+			cost += extra
+			d.stats.Stragglers++
+			if d.reg != nil {
+				d.reg.Inc(obs.IOStragglerOps)
+				d.reg.AddDuration(obs.IOTimeNanos, extra)
+			}
+		}
+	}
+	d.mu.Unlock()
+	d.clock.Advance(cost)
+	return cost, nil
 }
 
 // readCostLocked computes and accounts the cost of a read without touching

@@ -1,0 +1,210 @@
+package iosim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrTransient reports a read failure that a retry may resolve: a dropped
+// request, a timed-out command, a recoverable media error. Every transient
+// fault injected by a FaultPlan wraps this sentinel, so callers classify
+// with errors.Is(err, iosim.ErrTransient).
+var ErrTransient = errors.New("iosim: transient read error")
+
+// FaultPlan configures deterministic fault injection on a Device. All
+// randomness derives from Seed, so a given plan produces the same fault
+// sequence — and therefore the same simulated-clock trace — on every run.
+// The zero value injects nothing and costs nothing.
+//
+// Three fault classes are modelled:
+//
+//   - Transient read errors (ReadErrorProb / ErrorBurst): Device.TryReadAt
+//     fails with an error wrapping ErrTransient. Each failed attempt
+//     charges ErrorLatency to the clock, modelling the timed-out request.
+//   - Straggler reads (StragglerProb / StragglerDelay): the read succeeds
+//     but pays an additional latency spike, modelling a device stall or a
+//     contended disk.
+//   - Corrupt blocks (CorruptBlocks): the listed block indices return
+//     payloads with a flipped bit, tripping the storage layer's CRC check
+//     (storage.ErrCorrupt). Corruption is permanent: retries cannot clear
+//     it; only a degrade policy (shuffle.SkipCorrupt) can train past it.
+type FaultPlan struct {
+	// Seed seeds the injector's random choices (0 behaves like 1).
+	Seed int64
+	// ReadErrorProb is the per-read probability of starting a transient
+	// error burst.
+	ReadErrorProb float64
+	// ErrorBurst is the number of consecutive reads that fail once a burst
+	// starts (default 1), modelling error storms rather than isolated blips.
+	ErrorBurst int
+	// ErrorLatency is the simulated cost of one failed read attempt
+	// (default: the device profile's seek latency).
+	ErrorLatency time.Duration
+	// StragglerProb is the per-read probability of a latency spike.
+	StragglerProb float64
+	// StragglerDelay is the extra latency a straggler read pays
+	// (default 20ms).
+	StragglerDelay time.Duration
+	// CorruptBlocks lists storage block indices whose payload is returned
+	// bit-flipped (interpreted by storage.Table.ReadBlock).
+	CorruptBlocks []int
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p FaultPlan) Enabled() bool {
+	return p.ReadErrorProb > 0 || p.StragglerProb > 0 || len(p.CorruptBlocks) > 0
+}
+
+// faultInjector is the runtime state of a FaultPlan attached to a Device.
+// It is guarded by the owning Device's mutex.
+type faultInjector struct {
+	plan      FaultPlan
+	rng       *rand.Rand
+	burstLeft int
+	corrupt   map[int]bool
+}
+
+func newFaultInjector(p FaultPlan) *faultInjector {
+	if p.ErrorBurst < 1 {
+		p.ErrorBurst = 1
+	}
+	if p.StragglerDelay <= 0 {
+		p.StragglerDelay = 20 * time.Millisecond
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	inj := &faultInjector{plan: p, rng: rand.New(rand.NewSource(seed))}
+	if len(p.CorruptBlocks) > 0 {
+		inj.corrupt = make(map[int]bool, len(p.CorruptBlocks))
+		for _, b := range p.CorruptBlocks {
+			inj.corrupt[b] = true
+		}
+	}
+	return inj
+}
+
+// readError decides whether the next checked read fails, consuming exactly
+// one random draw per call so the fault sequence is independent of read
+// offsets and sizes.
+func (inj *faultInjector) readError() bool {
+	if inj.burstLeft > 0 {
+		inj.burstLeft--
+		return true
+	}
+	if inj.plan.ReadErrorProb > 0 && inj.rng.Float64() < inj.plan.ReadErrorProb {
+		inj.burstLeft = inj.plan.ErrorBurst - 1
+		return true
+	}
+	return false
+}
+
+// straggle decides whether a successful read pays a latency spike.
+func (inj *faultInjector) straggle() (time.Duration, bool) {
+	if inj.plan.StragglerProb > 0 && inj.rng.Float64() < inj.plan.StragglerProb {
+		return inj.plan.StragglerDelay, true
+	}
+	return 0, false
+}
+
+// errorCost is the simulated time one failed read attempt charges.
+func (inj *faultInjector) errorCost(prof Profile) time.Duration {
+	if inj.plan.ErrorLatency > 0 {
+		return inj.plan.ErrorLatency
+	}
+	return prof.SeekLatency
+}
+
+// ParseFaultPlan parses a compact comma-separated fault specification, the
+// format of the -faults command-line flags:
+//
+//	seed=7,read_err=0.01,burst=3,err_ms=2,straggler=0.005,straggler_ms=50,corrupt=3;17
+//
+// Unknown keys are rejected. An empty spec yields the zero plan.
+func ParseFaultPlan(spec string) (FaultPlan, error) {
+	var p FaultPlan
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return p, fmt.Errorf("iosim: bad fault spec field %q (want key=value)", field)
+		}
+		switch key {
+		case "corrupt":
+			for _, s := range strings.Split(val, ";") {
+				b, err := strconv.Atoi(s)
+				if err != nil || b < 0 {
+					return p, fmt.Errorf("iosim: bad corrupt block %q", s)
+				}
+				p.CorruptBlocks = append(p.CorruptBlocks, b)
+			}
+			sort.Ints(p.CorruptBlocks)
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return p, fmt.Errorf("iosim: bad fault spec value %q for %q", val, key)
+		}
+		switch key {
+		case "seed":
+			p.Seed = int64(f)
+		case "read_err":
+			p.ReadErrorProb = f
+		case "burst":
+			p.ErrorBurst = int(f)
+		case "err_ms":
+			p.ErrorLatency = time.Duration(f * float64(time.Millisecond))
+		case "straggler":
+			p.StragglerProb = f
+		case "straggler_ms":
+			p.StragglerDelay = time.Duration(f * float64(time.Millisecond))
+		default:
+			return p, fmt.Errorf("iosim: unknown fault spec key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan in the ParseFaultPlan format.
+func (p FaultPlan) String() string {
+	var parts []string
+	add := func(s string) { parts = append(parts, s) }
+	if p.Seed != 0 {
+		add(fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.ReadErrorProb > 0 {
+		add(fmt.Sprintf("read_err=%g", p.ReadErrorProb))
+	}
+	if p.ErrorBurst > 1 {
+		add(fmt.Sprintf("burst=%d", p.ErrorBurst))
+	}
+	if p.ErrorLatency > 0 {
+		add(fmt.Sprintf("err_ms=%g", float64(p.ErrorLatency)/float64(time.Millisecond)))
+	}
+	if p.StragglerProb > 0 {
+		add(fmt.Sprintf("straggler=%g", p.StragglerProb))
+	}
+	if p.StragglerDelay > 0 && p.StragglerProb > 0 {
+		add(fmt.Sprintf("straggler_ms=%g", float64(p.StragglerDelay)/float64(time.Millisecond)))
+	}
+	if len(p.CorruptBlocks) > 0 {
+		ss := make([]string, len(p.CorruptBlocks))
+		for i, b := range p.CorruptBlocks {
+			ss[i] = strconv.Itoa(b)
+		}
+		add("corrupt=" + strings.Join(ss, ";"))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,187 @@
+package iosim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"corgipile/internal/obs"
+)
+
+func TestZeroFaultPlanIsNoOp(t *testing.T) {
+	clock := NewClock()
+	plain := NewDevice(SSD, clock)
+	faulty := NewDevice(SSD, NewClock()).WithFaults(FaultPlan{})
+	for i := int64(0); i < 100; i++ {
+		cp := plain.ReadAt(i*4096, 4096)
+		cf, err := faulty.TryReadAt(i*4096, 4096)
+		if err != nil {
+			t.Fatalf("zero plan injected an error: %v", err)
+		}
+		if cp != cf {
+			t.Fatalf("read %d: cost %v with zero plan, want %v", i, cf, cp)
+		}
+	}
+	if s := faulty.Stats(); s.Faults != 0 || s.Stragglers != 0 {
+		t.Fatalf("zero plan counted faults: %+v", s)
+	}
+}
+
+func TestTryReadAtMatchesReadAtWithoutPlan(t *testing.T) {
+	a := NewDevice(HDD, NewClock())
+	b := NewDevice(HDD, NewClock())
+	offs := []int64{0, 8192, 4096, 1 << 20, 4096}
+	for _, off := range offs {
+		ca := a.ReadAt(off, 4096)
+		cb, err := b.TryReadAt(off, 4096)
+		if err != nil || ca != cb {
+			t.Fatalf("TryReadAt(%d) = (%v,%v), ReadAt = %v", off, cb, err, ca)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestTransientErrorsAreDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 7, ReadErrorProb: 0.2, ErrorLatency: time.Millisecond}
+	run := func() ([]bool, time.Duration) {
+		clock := NewClock()
+		dev := NewDevice(SSD, clock).WithFaults(plan)
+		var outcomes []bool
+		for i := int64(0); i < 200; i++ {
+			_, err := dev.TryReadAt(i*4096, 4096)
+			outcomes = append(outcomes, err != nil)
+			if err != nil && !errors.Is(err, ErrTransient) {
+				t.Fatalf("injected error %v does not wrap ErrTransient", err)
+			}
+		}
+		return outcomes, clock.Now()
+	}
+	o1, t1 := run()
+	o2, t2 := run()
+	if t1 != t2 {
+		t.Fatalf("clock traces differ: %v vs %v", t1, t2)
+	}
+	nFail := 0
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("fault sequence diverged at read %d", i)
+		}
+		if o1[i] {
+			nFail++
+		}
+	}
+	if nFail == 0 {
+		t.Fatal("20% error probability injected nothing in 200 reads")
+	}
+}
+
+func TestErrorBurst(t *testing.T) {
+	// Probability 1 with burst 3: every read fails, bursts chain.
+	dev := NewDevice(SSD, NewClock()).WithFaults(
+		FaultPlan{Seed: 1, ReadErrorProb: 1, ErrorBurst: 3})
+	for i := int64(0); i < 6; i++ {
+		if _, err := dev.TryReadAt(0, 4096); err == nil {
+			t.Fatalf("read %d should fail under prob-1 plan", i)
+		}
+	}
+	if got := dev.Stats().Faults; got != 6 {
+		t.Fatalf("Faults = %d, want 6", got)
+	}
+}
+
+func TestFailedReadChargesErrorLatencyOnly(t *testing.T) {
+	clock := NewClock()
+	dev := NewDevice(SSD, clock).WithFaults(
+		FaultPlan{Seed: 1, ReadErrorProb: 1, ErrorLatency: 5 * time.Millisecond})
+	if _, err := dev.TryReadAt(0, 1<<20); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if clock.Now() != 5*time.Millisecond {
+		t.Fatalf("failed read charged %v, want the 5ms error latency", clock.Now())
+	}
+	// The failed read must not move the head or count as a served read.
+	s := dev.Stats()
+	if s.Reads != 0 || s.BytesRead != 0 {
+		t.Fatalf("failed read counted as served: %+v", s)
+	}
+}
+
+func TestStragglerChargesExtraLatency(t *testing.T) {
+	plan := FaultPlan{Seed: 3, StragglerProb: 1, StragglerDelay: 50 * time.Millisecond}
+	clock := NewClock()
+	dev := NewDevice(SSD, clock).WithFaults(plan)
+	base := NewDevice(SSD, NewClock()).ReadAt(0, 4096)
+	cost, err := dev.TryReadAt(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base + 50*time.Millisecond; cost != want {
+		t.Fatalf("straggler read cost %v, want %v", cost, want)
+	}
+	if dev.Stats().Stragglers != 1 {
+		t.Fatalf("Stragglers = %d, want 1", dev.Stats().Stragglers)
+	}
+}
+
+func TestFaultObsReporting(t *testing.T) {
+	reg := obs.New()
+	dev := NewDevice(SSD, NewClock()).WithObs(reg).WithFaults(
+		FaultPlan{Seed: 1, ReadErrorProb: 1})
+	dev.TryReadAt(0, 4096)
+	if reg.Counter(obs.IOFaultOps) != 1 {
+		t.Fatalf("obs %s = %d, want 1", obs.IOFaultOps, reg.Counter(obs.IOFaultOps))
+	}
+}
+
+func TestBlockCorrupt(t *testing.T) {
+	dev := NewDevice(SSD, NewClock()).WithFaults(FaultPlan{CorruptBlocks: []int{2, 5}})
+	for i, want := range map[int]bool{0: false, 2: true, 5: true, 6: false} {
+		if got := dev.BlockCorrupt(i); got != want {
+			t.Fatalf("BlockCorrupt(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if NewDevice(SSD, NewClock()).BlockCorrupt(2) {
+		t.Fatal("device without plan reported corrupt block")
+	}
+}
+
+func TestParseFaultPlanRoundTrip(t *testing.T) {
+	spec := "seed=7,read_err=0.01,burst=3,err_ms=2,straggler=0.005,straggler_ms=50,corrupt=3;17"
+	p, err := ParseFaultPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.ReadErrorProb != 0.01 || p.ErrorBurst != 3 ||
+		p.ErrorLatency != 2*time.Millisecond || p.StragglerProb != 0.005 ||
+		p.StragglerDelay != 50*time.Millisecond ||
+		len(p.CorruptBlocks) != 2 || p.CorruptBlocks[0] != 3 || p.CorruptBlocks[1] != 17 {
+		t.Fatalf("parsed plan wrong: %+v", p)
+	}
+	if got := p.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	back, err := ParseFaultPlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != spec {
+		t.Fatalf("round trip changed plan: %q", back.String())
+	}
+}
+
+func TestParseFaultPlanErrors(t *testing.T) {
+	for _, spec := range []string{"bogus=1", "read_err", "read_err=x", "corrupt=-1", "corrupt=a"} {
+		if _, err := ParseFaultPlan(spec); err == nil {
+			t.Fatalf("spec %q should fail to parse", spec)
+		}
+	}
+	p, err := ParseFaultPlan("  ")
+	if err != nil || p.Enabled() {
+		t.Fatalf("blank spec should give disabled plan, got %+v, %v", p, err)
+	}
+	if p.String() != "none" {
+		t.Fatalf("zero plan String() = %q, want none", p.String())
+	}
+}

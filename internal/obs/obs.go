@@ -58,6 +58,16 @@ const (
 	IOCacheHitBytes = "io.cache.hit_bytes"
 	IOTimeNanos     = "io.time_ns" // total simulated device time, ns
 
+	// Fault-injection and resilience layers (internal/iosim FaultPlan,
+	// internal/shuffle ResilientSource).
+	IOFaultOps           = "io.fault.transient"        // injected transient read errors
+	IOStragglerOps       = "io.fault.stragglers"       // reads that paid a latency spike
+	StorageRetries       = "storage.retry.attempts"    // block-read retry attempts
+	StorageBackoffNanos  = "storage.retry.backoff_ns"  // simulated backoff time, ns
+	StorageSkippedBlocks = "storage.quarantine.blocks" // blocks quarantined by SkipCorrupt
+	StorageSkippedTuples = "storage.quarantine.tuples" // tuples lost to quarantined blocks
+	DistWorkerCrashes    = "dist.worker.crashes"       // injected worker crashes absorbed
+
 	// Shuffle layer (internal/shuffle, executor.TupleShuffleOp).
 	ShuffleRefills      = "shuffle.refills"    // buffer refill operations
 	ShuffleBlocks       = "shuffle.blocks"     // blocks pulled into buffers

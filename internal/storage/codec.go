@@ -69,20 +69,21 @@ func DecodeTuple(buf []byte) (data.Tuple, int, error) {
 	n := tupleHeaderSize
 	switch flags {
 	case flagDense:
-		need := n + count*8
-		if len(buf) < need {
+		// Overflow-safe: compare count against the space left, never n+count*8.
+		if count > (len(buf)-n)/8 {
 			return data.Tuple{}, 0, fmt.Errorf("%w: short dense payload", ErrCorrupt)
 		}
+		need := n + count*8
 		t.Dense = make([]float64, count)
 		for i := 0; i < count; i++ {
 			t.Dense[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[n+i*8:]))
 		}
 		n = need
 	case flagSparse:
-		need := n + count*12
-		if len(buf) < need {
+		if count > (len(buf)-n)/12 {
 			return data.Tuple{}, 0, fmt.Errorf("%w: short sparse payload", ErrCorrupt)
 		}
+		need := n + count*12
 		t.SparseIdx = make([]int32, count)
 		t.SparseVal = make([]float64, count)
 		for i := 0; i < count; i++ {

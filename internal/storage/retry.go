@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"corgipile/internal/iosim"
+)
+
+// RetryPolicy bounds how block reads respond to transient storage errors:
+// up to MaxAttempts total attempts, separated by exponential backoff with
+// deterministic jitter. Backoff time is charged to the simulated clock, so
+// a retried read is slower on the virtual timeline but yields exactly the
+// same bytes — training through a transient error storm that stays within
+// budget produces bit-for-bit the weights of a fault-free run.
+//
+// The zero value disables retrying (a single attempt, today's behaviour).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (<= 1 disables retrying).
+	MaxAttempts int
+	// Backoff is the base delay before the first retry (default 1ms).
+	Backoff time.Duration
+	// MaxBackoff caps the per-retry delay (default 100ms).
+	MaxBackoff time.Duration
+	// Multiplier grows the delay after each retry (default 2).
+	Multiplier float64
+	// Seed seeds the jitter; the jitter sequence restarts for every Do call
+	// so retry timing is deterministic per read, independent of history.
+	Seed int64
+}
+
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// IsTransient reports whether err is worth retrying. Transient device
+// errors (iosim.ErrTransient) are; corrupt payloads (ErrCorrupt) and
+// anything else are permanent.
+func IsTransient(err error) bool { return errors.Is(err, iosim.ErrTransient) }
+
+// Do runs fn up to p.MaxAttempts times, backing off between transient
+// failures and charging each backoff to clock (when non-nil). onRetry, when
+// non-nil, observes every backoff taken. Permanent errors return
+// immediately; the last error is returned when the budget is exhausted.
+func (p RetryPolicy) Do(clock *iosim.Clock, onRetry func(wait time.Duration), fn func() error) error {
+	p = p.withDefaults()
+	var rng *rand.Rand
+	wait := p.Backoff
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || !IsTransient(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		if rng == nil {
+			rng = rand.New(rand.NewSource(p.Seed))
+		}
+		// Equal jitter: half the window fixed, half uniformly random, so
+		// retries desynchronize while staying deterministic per seed.
+		d := wait/2 + time.Duration(rng.Int63n(int64(wait/2)+1))
+		if clock != nil {
+			clock.Advance(d)
+		}
+		if onRetry != nil {
+			onRetry(d)
+		}
+		wait = time.Duration(float64(wait) * p.Multiplier)
+		if wait > p.MaxBackoff {
+			wait = p.MaxBackoff
+		}
+	}
+}

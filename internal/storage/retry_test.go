@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"corgipile/internal/iosim"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	wrapped := fmt.Errorf("storage: block 3: %w", iosim.ErrTransient)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped ErrTransient must classify as transient")
+	}
+	if IsTransient(ErrCorrupt) || IsTransient(fmt.Errorf("x: %w", ErrCorrupt)) {
+		t.Fatal("ErrCorrupt must classify as permanent")
+	}
+	if IsTransient(errors.New("other")) || IsTransient(nil) {
+		t.Fatal("unrelated errors and nil must classify as permanent")
+	}
+}
+
+func TestRetryPolicyZeroValueDisabled(t *testing.T) {
+	var p RetryPolicy
+	if p.Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	calls := 0
+	err := p.Do(nil, nil, func() error {
+		calls++
+		return fmt.Errorf("fail: %w", iosim.ErrTransient)
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("disabled policy made %d calls (err %v), want exactly 1", calls, err)
+	}
+}
+
+func TestRetryDoRecoversWithinBudget(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond, Seed: 9}
+	clock := iosim.NewClock()
+	fails := 2
+	calls := 0
+	var waits []time.Duration
+	err := p.Do(clock, func(w time.Duration) { waits = append(waits, w) }, func() error {
+		calls++
+		if fails > 0 {
+			fails--
+			return fmt.Errorf("blip: %w", iosim.ErrTransient)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("observed %d backoffs, want 2", len(waits))
+	}
+	var total time.Duration
+	for _, w := range waits {
+		total += w
+	}
+	if clock.Now() != total {
+		t.Fatalf("clock charged %v, backoffs sum to %v", clock.Now(), total)
+	}
+	// Exponential growth: second window is [1ms, 2ms], first [0.5ms, 1ms].
+	if waits[0] < p.Backoff/2 || waits[0] > p.Backoff {
+		t.Fatalf("first backoff %v outside equal-jitter window", waits[0])
+	}
+	if waits[1] < p.Backoff || waits[1] > 2*p.Backoff {
+		t.Fatalf("second backoff %v outside doubled window", waits[1])
+	}
+}
+
+func TestRetryDoDeterministicBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, Backoff: time.Millisecond, Seed: 42}
+	trace := func() []time.Duration {
+		var waits []time.Duration
+		p.Do(nil, func(w time.Duration) { waits = append(waits, w) }, func() error {
+			return fmt.Errorf("always: %w", iosim.ErrTransient)
+		})
+		return waits
+	}
+	a, b := trace(), trace()
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("want 4 backoffs per exhausted run, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff %d differs between runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryDoPermanentErrorImmediate(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10}
+	calls := 0
+	err := p.Do(nil, nil, func() error {
+		calls++
+		return fmt.Errorf("bad block: %w", ErrCorrupt)
+	})
+	if calls != 1 || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("permanent error retried: %d calls, err %v", calls, err)
+	}
+}
+
+func TestRetryDoExhaustsBudget(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	calls := 0
+	err := p.Do(nil, nil, func() error {
+		calls++
+		return fmt.Errorf("storm: %w", iosim.ErrTransient)
+	})
+	if calls != 3 || !errors.Is(err, iosim.ErrTransient) {
+		t.Fatalf("budget exhaustion: %d calls, err %v", calls, err)
+	}
+}
+
+func TestReadBlockSurfacesTransientFault(t *testing.T) {
+	ds := testDataset(300, 8)
+	clock := iosim.NewClock()
+	dev := iosim.NewDevice(iosim.SSD, clock).WithFaults(
+		iosim.FaultPlan{Seed: 1, ReadErrorProb: 1})
+	tab, err := Build(dev, ds, Options{BlockSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tab.ReadBlock(0)
+	if !IsTransient(err) {
+		t.Fatalf("ReadBlock on prob-1 device returned %v, want transient", err)
+	}
+}
+
+func TestReadBlockCorruptInjection(t *testing.T) {
+	ds := testDataset(300, 8)
+	for _, compress := range []bool{false, true} {
+		clock := iosim.NewClock()
+		dev := iosim.NewDevice(iosim.SSD, clock).WithFaults(
+			iosim.FaultPlan{CorruptBlocks: []int{1}})
+		tab, err := Build(dev, ds, Options{BlockSize: 4 << 10, Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.ReadBlock(0); err != nil {
+			t.Fatalf("compress=%v: clean block failed: %v", compress, err)
+		}
+		_, err = tab.ReadBlock(1)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("compress=%v: injected corruption returned %v, want ErrCorrupt", compress, err)
+		}
+		if IsTransient(err) {
+			t.Fatalf("compress=%v: corruption must be permanent", compress)
+		}
+		// The underlying file is untouched: lifting the plan heals the block.
+		dev.WithFaults(iosim.FaultPlan{})
+		if _, err := tab.ReadBlock(1); err != nil {
+			t.Fatalf("compress=%v: block stayed corrupt after plan removed: %v", compress, err)
+		}
+	}
+}
+
+func TestRetriedReadBlockEventuallySucceeds(t *testing.T) {
+	ds := testDataset(300, 8)
+	clock := iosim.NewClock()
+	// Burst of 2 with prob 1 would never succeed; instead use a plan whose
+	// failures are probabilistic so retries can win.
+	dev := iosim.NewDevice(iosim.SSD, clock).WithFaults(
+		iosim.FaultPlan{Seed: 5, ReadErrorProb: 0.5})
+	tab, err := Build(dev, ds, Options{BlockSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RetryPolicy{MaxAttempts: 20, Backoff: time.Millisecond, Seed: 5}
+	for i := 0; i < tab.NumBlocks(); i++ {
+		err := p.Do(clock, nil, func() error {
+			_, e := tab.ReadBlock(i)
+			return e
+		})
+		if err != nil {
+			t.Fatalf("block %d not readable in 20 attempts: %v", i, err)
+		}
+	}
+}

@@ -197,29 +197,64 @@ func (t *Table) BlockTuples(i int) int { return t.meta[i].Tuples }
 
 // ReadBlock reads and decodes block i, charging the device (and therefore
 // the simulated clock) for the access. Compressed blocks additionally pay
-// the modelled decompression time.
+// the modelled decompression time. A device fault plan may make the read
+// fail transiently (an error wrapping iosim.ErrTransient) or return the
+// block's payload with a flipped bit, which the CRC check converts into a
+// permanent ErrCorrupt.
 func (t *Table) ReadBlock(i int) ([]data.Tuple, error) {
 	if i < 0 || i >= len(t.meta) {
 		return nil, fmt.Errorf("storage: block %d out of range [0,%d)", i, len(t.meta))
 	}
 	m := t.meta[i]
-	t.dev.ReadAt(m.Offset, m.Len)
+	if _, err := t.dev.TryReadAt(m.Offset, m.Len); err != nil {
+		return nil, fmt.Errorf("storage: block %d: %w", i, err)
+	}
+	if t.dev.BlockCorrupt(i) {
+		// Decode a copy with one payload bit flipped: the checksum trips
+		// exactly as it would for real media corruption.
+		buf := append([]byte(nil), t.file[m.Offset:m.Offset+m.Len]...)
+		if len(buf) > 24 {
+			buf[24] ^= 0x01
+		}
+		tuples, err := t.decodeBlockBytes(m, buf)
+		if err != nil {
+			return nil, fmt.Errorf("storage: block %d: %w", i, err)
+		}
+		return tuples, nil
+	}
 	return t.decodeBlock(m)
 }
 
 // decodeBlock decodes the tuples of block m from the in-memory file,
 // charging decompression time for compressed tables.
 func (t *Table) decodeBlock(m BlockMeta) ([]data.Tuple, error) {
-	buf := t.file[m.Offset : m.Offset+m.Len]
+	return t.decodeBlockBytes(m, t.file[m.Offset:m.Offset+m.Len])
+}
+
+// maxFlateRatio bounds flate's expansion: rawLen claims beyond this ratio
+// of the stored payload are rejected as corrupt before any allocation.
+const maxFlateRatio = 1032
+
+// decodeBlockBytes decodes the tuples of block m from buf. Every header
+// field is validated against m.Len and the actual payload before it is
+// trusted: a hostile or bit-flipped header yields ErrCorrupt, never a panic
+// or an unbounded allocation.
+func (t *Table) decodeBlockBytes(m BlockMeta, buf []byte) ([]data.Tuple, error) {
 	if len(buf) < 24 {
 		return nil, fmt.Errorf("%w: short block header", ErrCorrupt)
 	}
-	count := int(binary.LittleEndian.Uint32(buf[0:]))
+	count := int64(binary.LittleEndian.Uint32(buf[0:]))
 	rawLen := int64(binary.LittleEndian.Uint64(buf[4:]))
 	payLen := int64(binary.LittleEndian.Uint64(buf[12:]))
 	sum := binary.LittleEndian.Uint32(buf[20:])
-	if int64(len(buf)) < 24+payLen {
-		return nil, fmt.Errorf("%w: truncated block payload", ErrCorrupt)
+	if payLen < 0 || payLen > int64(len(buf))-24 {
+		return nil, fmt.Errorf("%w: payload length %d out of range for %d-byte block", ErrCorrupt, payLen, len(buf))
+	}
+	if rawLen < 0 || (!t.opts.Compress && rawLen != payLen) || rawLen > payLen*maxFlateRatio+64 {
+		return nil, fmt.Errorf("%w: raw length %d inconsistent with %d-byte payload", ErrCorrupt, rawLen, payLen)
+	}
+	if count*tupleHeaderSize > rawLen {
+		return nil, fmt.Errorf("%w: tuple count %d exceeds %d-byte raw payload", ErrCorrupt, count, rawLen)
 	}
 	payload := buf[24 : 24+payLen]
 	if got := crc32.ChecksumIEEE(payload); got != sum {
@@ -227,25 +262,34 @@ func (t *Table) decodeBlock(m BlockMeta) ([]data.Tuple, error) {
 	}
 	if t.opts.Compress {
 		fr := flate.NewReader(bytes.NewReader(payload))
-		raw, err := io.ReadAll(fr)
+		raw, err := io.ReadAll(io.LimitReader(fr, rawLen+1))
 		if err != nil {
 			return nil, fmt.Errorf("storage: decompress: %w", err)
 		}
 		if err := fr.Close(); err != nil {
 			return nil, fmt.Errorf("storage: decompress close: %w", err)
 		}
+		if int64(len(raw)) != rawLen {
+			return nil, fmt.Errorf("%w: decompressed %d bytes, header claims %d", ErrCorrupt, len(raw), rawLen)
+		}
 		payload = raw
 		// Charge modelled decompression time.
 		t.dev.Clock().Advance(time.Duration(float64(rawLen) / t.opts.DecompressRate * float64(time.Second)))
 	}
+	if maxTuples := int64(len(payload)) / tupleHeaderSize; count > maxTuples {
+		return nil, fmt.Errorf("%w: tuple count %d exceeds %d-byte payload", ErrCorrupt, count, len(payload))
+	}
 	tuples := make([]data.Tuple, 0, count)
-	for len(tuples) < count {
+	for int64(len(tuples)) < count {
 		tp, n, err := DecodeTuple(payload)
 		if err != nil {
 			return nil, err
 		}
 		tuples = append(tuples, tp)
 		payload = payload[n:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes after %d tuples", ErrCorrupt, len(payload), count)
 	}
 	return tuples, nil
 }

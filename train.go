@@ -50,6 +50,23 @@ type TrainConfig struct {
 	// Result.Breakdown then carries one per-epoch time-breakdown row. Create
 	// one with NewMetrics.
 	Metrics *Metrics
+	// Retries is the number of retry attempts after a transient block-read
+	// error (0 = fail on the first error, today's default). Backoff between
+	// attempts is exponential with deterministic jitter, charged to the
+	// simulated clock.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry (default 1ms).
+	RetryBackoff time.Duration
+	// OnCorrupt picks the degrade policy for permanently corrupt blocks:
+	// "fail" (default) aborts; "skip" quarantines the block and keeps
+	// training, recording the loss in Result.Faults.
+	OnCorrupt string
+	// MaxSkipFraction caps the tuple fraction "skip" may quarantine before
+	// aborting anyway (0 = 5%).
+	MaxSkipFraction float64
+	// Faults, when non-nil, attaches a deterministic fault-injection plan to
+	// the simulated device (TrainOnDevice only; Train has no device).
+	Faults *FaultPlan
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -105,6 +122,9 @@ func TrainOnDevice(ds *Dataset, cfg TrainConfig) (*Result, *Clock, error) {
 	clock := iosim.NewClock()
 	cfg.Metrics.WithClock(clock)
 	dev := iosim.NewDevice(prof, clock).WithCache(16 << 30).WithObs(cfg.Metrics)
+	if cfg.Faults != nil {
+		dev.WithFaults(*cfg.Faults)
+	}
 	tab, err := storage.Build(dev, ds, storage.Options{BlockSize: cfg.BlockSize})
 	if err != nil {
 		return nil, nil, err
@@ -132,11 +152,30 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		}
 		sgd.L2 = cfg.L2
 	}
+	policy, err := shuffle.ParseFailurePolicy(cfg.OnCorrupt)
+	if err != nil {
+		return nil, err
+	}
+	res := shuffle.Resilience{
+		Retry: storage.RetryPolicy{
+			MaxAttempts: cfg.Retries + 1,
+			Backoff:     cfg.RetryBackoff,
+			Seed:        cfg.Seed,
+		},
+		OnCorrupt:       policy,
+		MaxSkipFraction: cfg.MaxSkipFraction,
+	}
+	var report *shuffle.FaultReport
+	if res.Enabled() {
+		report = shuffle.NewFaultReport()
+	}
 	st, err := shuffle.New(cfg.Strategy, src, shuffle.Options{
 		BufferFraction: cfg.BufferFraction,
 		Seed:           cfg.Seed,
 		DoubleBuffer:   cfg.DoubleBuffer,
 		Obs:            cfg.Metrics,
+		Resilience:     res,
+		FaultReport:    report,
 	})
 	if err != nil {
 		return nil, err
@@ -153,6 +192,7 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		TrainEval: ds,
 		Seed:      cfg.Seed,
 		Obs:       cfg.Metrics,
+		Faults:    report,
 	}
 	if mlp, ok := model.(ml.MLP); ok {
 		rc.InitWeights = core.MLPInit(mlp, ds.Features, cfg.Seed)
