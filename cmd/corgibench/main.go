@@ -6,9 +6,11 @@
 //	corgibench [-scale 1.0] [-list] [experiment ...]
 //	corgibench -metrics [-workload higgs] [-strategy corgipile] [-device hdd]
 //	           [-epochs 5] [-batch N] [-procs N] [-double] [-block N]
-//	           [-trace-out trace.jsonl]
-//	corgibench -hotpath [-out BENCH_hotpath.json]
-//	corgibench -faults [-out BENCH_faults.json]
+//	           [-trace-out trace.jsonl] [-serve 127.0.0.1:0] [-diag]
+//	           [-run-dir DIR]
+//	corgibench -hotpath [-out BENCH_hotpath.json] [-stamp-time RFC3339]
+//	corgibench -faults [-out BENCH_faults.json] [-stamp-time RFC3339]
+//	corgibench -compare BENCH_hotpath.json [-tolerance 0.5]
 //
 // With no experiment arguments (or "all") it runs the full suite. Each
 // experiment prints the rows/series of the corresponding paper artifact;
@@ -18,7 +20,12 @@
 // the per-epoch cross-layer breakdown — I/O time, bytes read, seek
 // fraction, cache hit-rate, shuffle fill time, gradient-compute time, and
 // loss — followed by the run's raw counter totals. -trace-out additionally
-// streams the same data (plus every span) as JSONL for offline analysis.
+// streams the same data (plus every span) as JSONL for offline analysis;
+// -serve exposes the live run over HTTP (/metrics, /run, /debug/pprof/)
+// while it executes.
+//
+// With -compare it re-runs the suite behind a committed BENCH_*.json
+// baseline and exits 1 if any metric regressed.
 package main
 
 import (
@@ -26,31 +33,51 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"corgipile/internal/bench"
+	"corgipile/internal/core"
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 )
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full synthetic size)")
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		metrics  = flag.Bool("metrics", false, "run one instrumented pass and print the per-epoch time breakdown")
-		hotpath  = flag.Bool("hotpath", false, "run the gradient hot-path micro-benchmarks and exit")
-		faults   = flag.Bool("faults", false, "run the fault-injection sweep (fault rate x retry budget) and exit")
-		outFile  = flag.String("out", "", "-hotpath/-faults: also write the JSON report to this file")
-		workload = flag.String("workload", "higgs", "-metrics: synthetic workload name")
-		strategy = flag.String("strategy", "corgipile", "-metrics: shuffle strategy")
-		device   = flag.String("device", "hdd", "-metrics: device profile (hdd, ssd, ram)")
-		epochs   = flag.Int("epochs", 5, "-metrics: training epochs")
-		double   = flag.Bool("double", false, "-metrics: enable double buffering")
-		block    = flag.Int64("block", 0, "-metrics: block size in bytes (0 = auto)")
-		batch    = flag.Int("batch", 1, "-metrics: mini-batch size (1 = per-tuple SGD)")
-		procs    = flag.Int("procs", 0, "gradient worker goroutines for mini-batches (0 = GOMAXPROCS)")
-		seed     = flag.Int64("seed", 1, "-metrics: random seed")
-		traceOut = flag.String("trace-out", "", "write the JSONL event trace to this file")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full synthetic size)")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		metrics   = flag.Bool("metrics", false, "run one instrumented pass and print the per-epoch time breakdown")
+		hotpath   = flag.Bool("hotpath", false, "run the gradient hot-path micro-benchmarks and exit")
+		faults    = flag.Bool("faults", false, "run the fault-injection sweep (fault rate x retry budget) and exit")
+		outFile   = flag.String("out", "", "-hotpath/-faults: also write the JSON report to this file")
+		workload  = flag.String("workload", "higgs", "-metrics: synthetic workload name")
+		strategy  = flag.String("strategy", "corgipile", "-metrics: shuffle strategy")
+		device    = flag.String("device", "hdd", "-metrics: device profile (hdd, ssd, ram)")
+		epochs    = flag.Int("epochs", 5, "-metrics: training epochs")
+		double    = flag.Bool("double", false, "-metrics: enable double buffering")
+		block     = flag.Int64("block", 0, "-metrics: block size in bytes (0 = auto)")
+		batch     = flag.Int("batch", 1, "-metrics: mini-batch size (1 = per-tuple SGD)")
+		procs     = flag.Int("procs", 0, "gradient worker goroutines for mini-batches (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "-metrics: random seed")
+		traceOut  = flag.String("trace-out", "", "write the JSONL event trace to this file")
+		serve     = flag.String("serve", "", "serve live telemetry (/metrics, /run, /debug/pprof/) on this address during -metrics")
+		diag      = flag.Bool("diag", false, "-metrics: enable convergence diagnostics (grad norm, plateau/divergence verdict)")
+		runDir    = flag.String("run-dir", "", "-metrics: write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom) to this directory")
+		compare   = flag.String("compare", "", "re-run the suite behind this BENCH_*.json baseline and report regressions")
+		tolerance = flag.Float64("tolerance", 0, "-compare: relative wall-clock slack (0 = default 0.5)")
+		stampTime = flag.String("stamp-time", "", "-hotpath/-faults: RFC 3339 timestamp to stamp the report with (default: now)")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		regressions, err := bench.Compare(os.Stdout, *compare, *tolerance)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -73,11 +100,19 @@ func main() {
 		if out != nil {
 			w = out
 		}
+		now := time.Now()
+		if *stampTime != "" {
+			t, err := time.Parse(time.RFC3339, *stampTime)
+			if err != nil {
+				fatal(fmt.Errorf("-stamp-time: %w", err))
+			}
+			now = t
+		}
 		runner := bench.Hotpath
 		if *faults {
 			runner = bench.FaultSweep
 		}
-		if err := runner(os.Stdout, w); err != nil {
+		if err := runner(os.Stdout, w, bench.NewStamp(now)); err != nil {
 			fatal(err)
 		}
 		return
@@ -109,6 +144,22 @@ func main() {
 			}
 			defer f.Close()
 			opts.TraceOut = f
+		}
+		if *diag {
+			opts.Diag = &core.DiagConfig{}
+		}
+		opts.RunDir = *runDir
+		if *serve != "" {
+			reg := obs.New()
+			feed := obs.NewRunFeed()
+			srv, err := obs.Serve(obs.ServeConfig{Addr: *serve, Registry: reg, Feed: feed})
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "corgibench: telemetry on %s\n", srv.URL())
+			opts.Registry = reg
+			opts.Feed = feed
 		}
 		if err := bench.Profile(os.Stdout, opts); err != nil {
 			fatal(err)

@@ -5,11 +5,13 @@
 //
 //	corgisql              # interactive REPL
 //	corgisql -c "SQL..."  # run a script and exit
-//	corgisql -metrics [-trace-out trace.jsonl] ...
+//	corgisql -metrics [-trace-out trace.jsonl] [-serve 127.0.0.1:0] ...
 //
 // With -metrics every TRAIN statement additionally prints a per-epoch
 // cross-layer time breakdown (I/O, shuffle, gradient compute); -trace-out
-// streams the full JSONL event trace to a file.
+// streams the full JSONL event trace to a file. -serve exposes the session's
+// live telemetry over HTTP (/metrics, /run, /debug/pprof/) while TRAIN
+// statements execute.
 //
 // Example session:
 //
@@ -35,10 +37,11 @@ func main() {
 	script := flag.String("c", "", "execute the given SQL script and exit")
 	metrics := flag.Bool("metrics", false, "print a per-epoch time breakdown after each TRAIN")
 	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file")
+	serve := flag.String("serve", "", "serve live telemetry (/metrics, /run, /debug/pprof/) on this address")
 	flag.Parse()
 
 	session := db.NewSession()
-	if *metrics || *traceOut != "" {
+	if *metrics || *traceOut != "" || *serve != "" {
 		reg := obs.New()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -50,6 +53,17 @@ func main() {
 			reg.StreamTo(f)
 		}
 		session.WithMetrics(reg)
+	}
+	if *serve != "" {
+		feed := obs.NewRunFeed()
+		session.WithFeed(feed)
+		srv, err := obs.Serve(obs.ServeConfig{Addr: *serve, Registry: session.Metrics(), Feed: feed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corgisql:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "corgisql: telemetry on %s\n", srv.URL())
 	}
 	if *script != "" {
 		results, err := session.ExecScript(*script)

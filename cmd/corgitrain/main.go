@@ -7,10 +7,17 @@
 //	           [-strategy corgipile] [-buffer 0.1] [-batch 1] [-test 0.2]
 //	           [-save model.json] [-metrics] [-trace-out trace.jsonl]
 //	           [-faults 'seed=7,read_err=0.01'] [-retries 3] [-on-corrupt skip]
+//	           [-serve 127.0.0.1:0] [-diag] [-run-dir DIR]
+//	corgitrain -synthetic higgs [-scale 0.05] ...
 //
 // The training table is used as-is (no shuffling of the file), so a file
 // written in clustered order exercises exactly the pathology the paper
 // studies; compare -strategy no_shuffle against -strategy corgipile.
+//
+// -serve exposes live telemetry over HTTP while training: /metrics in
+// Prometheus text format, /run as a JSON snapshot or SSE stream, and
+// /debug/pprof/ for profiling. -synthetic trains on a generated workload
+// instead of a file, for smoke tests without data on disk.
 package main
 
 import (
@@ -23,47 +30,64 @@ import (
 	"corgipile/internal/data"
 	"corgipile/internal/db"
 	"corgipile/internal/ml"
+	"corgipile/internal/obs"
 )
 
 func main() {
 	var (
-		file     = flag.String("file", "", "LIBSVM input file (required)")
-		model    = flag.String("model", "svm", "model: lr, svm, linreg, softmax, mlp, fm")
-		lr       = flag.Float64("lr", 0.05, "initial learning rate")
-		decay    = flag.Float64("decay", 0.95, "per-epoch learning-rate decay")
-		epochs   = flag.Int("epochs", 10, "training epochs")
-		strategy = flag.String("strategy", "corgipile", "shuffle strategy: no_shuffle, shuffle_once, epoch_shuffle, sliding_window, mrs, block_only, corgipile")
-		buffer   = flag.Float64("buffer", 0.1, "buffer fraction for the shuffle strategies")
-		batch    = flag.Int("batch", 1, "mini-batch size (1 = per-tuple SGD)")
-		procs    = flag.Int("procs", 0, "gradient worker goroutines for mini-batches (0 = GOMAXPROCS)")
-		testFrac = flag.Float64("test", 0.2, "held-out test fraction")
-		seed     = flag.Int64("seed", 1, "random seed")
-		save     = flag.String("save", "", "save the trained model to this JSON file via the SQL layer")
-		metrics  = flag.Bool("metrics", false, "print a per-epoch time breakdown after training")
-		traceOut = flag.String("trace-out", "", "write the JSONL event trace to this file")
-		device   = flag.String("device", "ssd", "simulated device for -faults runs: hdd, ssd, ram")
-		faults   = flag.String("faults", "", "fault-injection plan, e.g. 'seed=7,read_err=0.01,corrupt=3;17' (switches to simulated-device training)")
-		retries  = flag.Int("retries", 0, "retry attempts after a transient read error")
-		backoff  = flag.Duration("retry-backoff", 0, "base retry backoff charged to the simulated clock (default 1ms)")
-		corrupt  = flag.String("on-corrupt", "fail", "corrupt-block policy: fail or skip")
-		skipCap  = flag.Float64("skip-cap", 0, "max tuple fraction the skip policy may quarantine (default 0.05)")
+		file      = flag.String("file", "", "LIBSVM input file (required)")
+		model     = flag.String("model", "svm", "model: lr, svm, linreg, softmax, mlp, fm")
+		lr        = flag.Float64("lr", 0.05, "initial learning rate")
+		decay     = flag.Float64("decay", 0.95, "per-epoch learning-rate decay")
+		epochs    = flag.Int("epochs", 10, "training epochs")
+		strategy  = flag.String("strategy", "corgipile", "shuffle strategy: no_shuffle, shuffle_once, epoch_shuffle, sliding_window, mrs, block_only, corgipile")
+		buffer    = flag.Float64("buffer", 0.1, "buffer fraction for the shuffle strategies")
+		batch     = flag.Int("batch", 1, "mini-batch size (1 = per-tuple SGD)")
+		procs     = flag.Int("procs", 0, "gradient worker goroutines for mini-batches (0 = GOMAXPROCS)")
+		testFrac  = flag.Float64("test", 0.2, "held-out test fraction")
+		seed      = flag.Int64("seed", 1, "random seed")
+		save      = flag.String("save", "", "save the trained model to this JSON file via the SQL layer")
+		metrics   = flag.Bool("metrics", false, "print a per-epoch time breakdown after training")
+		traceOut  = flag.String("trace-out", "", "write the JSONL event trace to this file")
+		device    = flag.String("device", "ssd", "simulated device for -faults runs: hdd, ssd, ram")
+		faults    = flag.String("faults", "", "fault-injection plan, e.g. 'seed=7,read_err=0.01,corrupt=3;17' (switches to simulated-device training)")
+		retries   = flag.Int("retries", 0, "retry attempts after a transient read error")
+		backoff   = flag.Duration("retry-backoff", 0, "base retry backoff charged to the simulated clock (default 1ms)")
+		corrupt   = flag.String("on-corrupt", "fail", "corrupt-block policy: fail or skip")
+		skipCap   = flag.Float64("skip-cap", 0, "max tuple fraction the skip policy may quarantine (default 0.05)")
+		serve     = flag.String("serve", "", "serve live telemetry (/metrics, /run, /debug/pprof/) on this address during training")
+		diag      = flag.Bool("diag", false, "enable convergence diagnostics (grad norm, plateau/divergence verdict)")
+		runDir    = flag.String("run-dir", "", "write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom) to this directory")
+		synthetic = flag.String("synthetic", "", "train on a generated workload (higgs, susy, ...) instead of -file")
+		scale     = flag.Float64("scale", 0.05, "-synthetic: dataset scale factor")
 	)
 	flag.Parse()
-	if *file == "" {
+	if *file == "" && *synthetic == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*file)
-	if err != nil {
-		fatal(err)
+	var ds *corgipile.Dataset
+	var source string
+	if *synthetic != "" {
+		ds = corgipile.Synthetic(*synthetic, *scale, corgipile.OrderClustered)
+		source = *synthetic
+		fmt.Printf("generated %s (scale %g): %d tuples, %d features, %s\n",
+			*synthetic, *scale, ds.Len(), ds.Features, ds.Task)
+	} else {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		ds, rerr = data.ReadLIBSVM(f, *file, 0)
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+		source = *file
+		fmt.Printf("loaded %s: %d tuples, %d features, %s\n", *file, ds.Len(), ds.Features, ds.Task)
 	}
-	ds, err := data.ReadLIBSVM(f, *file, 0)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("loaded %s: %d tuples, %d features, %s\n", *file, ds.Len(), ds.Features, ds.Task)
 
 	var test *corgipile.Dataset
 	train := ds
@@ -73,7 +97,7 @@ func main() {
 	}
 
 	var reg *corgipile.Metrics
-	if *metrics || *traceOut != "" {
+	if *metrics || *traceOut != "" || *serve != "" || *runDir != "" {
 		reg = corgipile.NewMetrics()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -83,6 +107,17 @@ func main() {
 			defer f.Close()
 			reg.StreamTo(f)
 		}
+	}
+	runName := fmt.Sprintf("corgitrain %s/%s", *model, source)
+	var feed *corgipile.RunFeed
+	if *serve != "" {
+		feed = corgipile.NewRunFeed()
+		srv, err := corgipile.ServeTelemetry(*serve, reg, feed)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on %s\n", srv.URL())
 	}
 	cfg := corgipile.TrainConfig{
 		Model:           *model,
@@ -100,6 +135,11 @@ func main() {
 		RetryBackoff:    *backoff,
 		OnCorrupt:       *corrupt,
 		MaxSkipFraction: *skipCap,
+		Feed:            feed,
+		RunName:         runName,
+	}
+	if *diag {
+		cfg.Diag = &corgipile.DiagConfig{}
 	}
 	var res *corgipile.Result
 	if *faults != "" {
@@ -133,7 +173,16 @@ func main() {
 	for _, p := range res.Points {
 		fmt.Printf("epoch %2d  loss %.5f  train %.4f\n", p.Epoch, p.AvgLoss, p.TrainAcc)
 	}
+	if *diag && res.Verdict != "" {
+		fmt.Printf("convergence verdict: %s\n", res.Verdict)
+	}
 	fmt.Printf("final train accuracy: %.4f\n", res.Final().TrainAcc)
+	if *runDir != "" {
+		if err := writeRunDir(*runDir, runName, cfg, res, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run artifacts written to %s\n", *runDir)
+	}
 	if test != nil {
 		m, err := ml.New(*model, train.Classes)
 		if err != nil {
@@ -155,6 +204,31 @@ func main() {
 		}
 		fmt.Printf("model saved to %s\n", *save)
 	}
+}
+
+// writeRunDir persists the durable artifacts of the run: the manifest
+// (config, seed, git SHA, command line), the per-epoch breakdown, and a
+// final Prometheus-format metrics snapshot.
+func writeRunDir(dir, runName string, cfg corgipile.TrainConfig, res *corgipile.Result, reg *corgipile.Metrics) error {
+	rd, err := obs.OpenRunDir(dir)
+	if err != nil {
+		return err
+	}
+	cfg.Metrics = nil // not serializable config
+	cfg.Feed = nil
+	if err := rd.WriteManifest(obs.Manifest{
+		Tool:   "corgitrain",
+		Run:    runName,
+		Seed:   cfg.Seed,
+		Config: cfg,
+		Args:   os.Args[1:],
+	}); err != nil {
+		return err
+	}
+	if err := rd.WriteEpochs(res.Breakdown); err != nil {
+		return err
+	}
+	return rd.WriteMetrics(reg)
 }
 
 // saveModel persists the weights in the db layer's model-file format, so

@@ -81,6 +81,22 @@ type (
 	// FaultSummary records how a run coped with injected faults (retries,
 	// backoff time, quarantined blocks); see Result.Faults.
 	FaultSummary = shuffle.FaultSummary
+	// RunFeed publishes live per-epoch RunStatus updates to subscribers;
+	// attach one via TrainConfig.Feed and serve it with ServeTelemetry.
+	RunFeed = obs.RunFeed
+	// RunStatus is one live status update of a training run.
+	RunStatus = obs.RunStatus
+	// TelemetryServer is the HTTP server behind ServeTelemetry: /metrics in
+	// Prometheus text format, /run as JSON or SSE, and /debug/pprof/.
+	TelemetryServer = obs.Server
+	// DiagConfig enables and tunes the convergence diagnostics; see
+	// TrainConfig.Diag.
+	DiagConfig = core.DiagConfig
+	// EpochDiag is one epoch's convergence diagnostics row.
+	EpochDiag = core.EpochDiag
+	// Verdict classifies a run's convergence health ("converging",
+	// "plateau", "diverging", "warmup").
+	Verdict = core.Verdict
 )
 
 // Tuple orders.
@@ -123,6 +139,20 @@ func NewAdam(lr float64) Optimizer { return ml.NewAdam(lr) }
 // TrainConfig.Metrics to collect a per-epoch breakdown of where training
 // time goes; stream its JSONL event trace anywhere with StreamTo.
 func NewMetrics() *Metrics { return obs.New() }
+
+// NewRunFeed returns an empty live-status feed. Pass it via TrainConfig.Feed
+// and to ServeTelemetry to watch a run over HTTP.
+func NewRunFeed() *RunFeed { return obs.NewRunFeed() }
+
+// ServeTelemetry starts the telemetry HTTP server on addr (host:port;
+// port 0 picks a free one — read the bound address with Addr). It serves
+// /metrics (Prometheus text format over reg), /run (live JSON or SSE from
+// feed), and /debug/pprof/. Attaching reg switches it into live mode: the
+// shuffle-buffer occupancy gauges and a runtime sampler (heap, goroutines,
+// GC pauses) start recording. Close the server to stop both.
+func ServeTelemetry(addr string, reg *Metrics, feed *RunFeed) (*TelemetryServer, error) {
+	return obs.Serve(obs.ServeConfig{Addr: addr, Registry: reg, Feed: feed})
+}
 
 // WriteEpochBreakdown renders per-epoch metrics rows (Result.Breakdown) as
 // an aligned text table.

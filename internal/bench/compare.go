@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Compare re-runs the benchmark suite behind a committed BENCH_*.json
+// baseline and reports per-metric regressions against it. The report kind is
+// detected from the JSON shape (rows → hotpath, grid → fault sweep). It
+// returns the number of regressions found; callers typically exit non-zero
+// when it is positive.
+//
+// Tolerance applies to wall-clock metrics only (ns/op, tuples/s), as a
+// relative slack: 0.5 allows the current run to be up to 50% slower before a
+// time regression fires. Zero or negative selects the default (0.5 — micro
+// benchmarks on shared machines are noisy). Allocation counts and the
+// simulated fault sweep are deterministic, so they are compared (near-)
+// exactly regardless of tolerance.
+func Compare(w io.Writer, path string, tolerance float64) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var probe struct {
+		Stamp Stamp             `json:"stamp"`
+		Rows  []json.RawMessage `json:"rows"`
+		Grid  []json.RawMessage `json:"grid"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return 0, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if probe.Stamp.GitSHA != "" {
+		fmt.Fprintf(w, "baseline %s: git %s, %s", path, probe.Stamp.GitSHA, probe.Stamp.GoVersion)
+		if probe.Stamp.Time != "" {
+			fmt.Fprintf(w, ", %s", probe.Stamp.Time)
+		}
+		fmt.Fprintln(w)
+	}
+	switch {
+	case probe.Rows != nil:
+		return compareHotpath(w, raw, tolerance)
+	case probe.Grid != nil:
+		return compareFaults(w, raw)
+	}
+	return 0, fmt.Errorf("bench: %s: neither a hotpath nor a fault-sweep report", path)
+}
+
+// compareHotpath re-measures the hot-path suite and compares row by row:
+// allocation counts and bytes strictly (the hot path is allocation-free by
+// construction, so any increase is a real leak), time within tolerance.
+func compareHotpath(w io.Writer, raw []byte, tolerance float64) (int, error) {
+	var base HotpathReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, err
+	}
+	if tolerance <= 0 {
+		tolerance = 0.5
+	}
+	cur := HotpathRun()
+	byName := make(map[string]HotpathRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		byName[r.Name] = r
+	}
+
+	regressions := 0
+	fail := func(format string, args ...any) {
+		regressions++
+		fmt.Fprintf(w, "  REGRESSION "+format+"\n", args...)
+	}
+	for _, b := range base.Rows {
+		c, ok := byName[b.Name]
+		if !ok {
+			fail("%s: benchmark missing from current suite", b.Name)
+			continue
+		}
+		okRow := true
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fail("%s: allocs/op %d -> %d", b.Name, b.AllocsPerOp, c.AllocsPerOp)
+			okRow = false
+		}
+		if c.BytesPerOp > b.BytesPerOp {
+			fail("%s: bytes/op %d -> %d", b.Name, b.BytesPerOp, c.BytesPerOp)
+			okRow = false
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			fail("%s: ns/op %.1f -> %.1f (>%.0f%% slower)",
+				b.Name, b.NsPerOp, c.NsPerOp, tolerance*100)
+			okRow = false
+		}
+		if okRow {
+			fmt.Fprintf(w, "  ok %-26s %12.1f ns/op  %3d allocs/op\n",
+				b.Name, c.NsPerOp, c.AllocsPerOp)
+		}
+	}
+	fmt.Fprintf(w, "hotpath compare: %d rows, %d regressions (time tolerance %.0f%%)\n",
+		len(base.Rows), regressions, tolerance*100)
+	return regressions, nil
+}
+
+// compareFaults re-runs the (fully simulated, deterministic) fault sweep and
+// compares every cell near-exactly.
+func compareFaults(w io.Writer, raw []byte) (int, error) {
+	var base FaultSweepReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, err
+	}
+	cur, err := FaultSweepRun(io.Discard)
+	if err != nil {
+		return 0, err
+	}
+
+	regressions := 0
+	fail := func(format string, args ...any) {
+		regressions++
+		fmt.Fprintf(w, "  REGRESSION "+format+"\n", args...)
+	}
+	if !closeEnough(base.CleanAcc, cur.CleanAcc) {
+		fail("clean_acc %.6f -> %.6f", base.CleanAcc, cur.CleanAcc)
+	}
+	if len(base.Grid) != len(cur.Grid) {
+		fail("grid size %d -> %d", len(base.Grid), len(cur.Grid))
+	} else {
+		for i := range base.Grid {
+			regressions += compareCell(w, fmt.Sprintf("grid[%d]", i), base.Grid[i], cur.Grid[i])
+		}
+	}
+	regressions += compareCell(w, "corrupt_skip_scenario", base.Corrupt, cur.Corrupt)
+	fmt.Fprintf(w, "fault-sweep compare: %d cells, %d regressions\n",
+		len(base.Grid)+1, regressions)
+	return regressions, nil
+}
+
+// compareCell compares one fault-sweep cell and returns the number of
+// mismatches it printed.
+func compareCell(w io.Writer, name string, b, c FaultCell) int {
+	n := 0
+	fail := func(format string, args ...any) {
+		n++
+		fmt.Fprintf(w, "  REGRESSION %s (err=%.2f retries=%d): "+format+"\n",
+			append([]any{name, b.ReadErrorProb, b.Retries}, args...)...)
+	}
+	if b.Completed != c.Completed {
+		fail("completed %v -> %v (%s)", b.Completed, c.Completed, c.Error)
+	}
+	if b.Completed && c.Completed {
+		if !closeEnough(b.FinalLoss, c.FinalLoss) {
+			fail("final_loss %.6f -> %.6f", b.FinalLoss, c.FinalLoss)
+		}
+		if !closeEnough(b.FinalAcc, c.FinalAcc) {
+			fail("final_acc %.6f -> %.6f", b.FinalAcc, c.FinalAcc)
+		}
+	}
+	if b.TransientErrors != c.TransientErrors {
+		fail("transient_errors %d -> %d", b.TransientErrors, c.TransientErrors)
+	}
+	if b.RetriesUsed != c.RetriesUsed {
+		fail("retries_used %d -> %d", b.RetriesUsed, c.RetriesUsed)
+	}
+	if b.SkippedTuples != c.SkippedTuples {
+		fail("skipped_tuples %d -> %d", b.SkippedTuples, c.SkippedTuples)
+	}
+	if !closeEnough(b.SimSeconds, c.SimSeconds) {
+		fail("sim_seconds %.6f -> %.6f", b.SimSeconds, c.SimSeconds)
+	}
+	return n
+}
+
+// closeEnough compares two floats with a tiny relative epsilon — the sweep is
+// deterministic, so this only absorbs formatting round-trips.
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}

@@ -45,6 +45,9 @@ type FaultCell struct {
 // scenario. CleanAcc is the fault-free baseline the degraded runs compare
 // against.
 type FaultSweepReport struct {
+	// Stamp records the git revision, Go version and (when injected)
+	// timestamp of the run that produced the report.
+	Stamp    Stamp       `json:"stamp"`
 	Workload string      `json:"workload"`
 	Epochs   int         `json:"epochs"`
 	CleanAcc float64     `json:"clean_acc"`
@@ -116,15 +119,36 @@ func faultRun(ds *data.Dataset, epochs int, plan iosim.FaultPlan, resil shuffle.
 // FaultSweep measures training through injected storage faults: a read-error
 // rate x retry budget grid, plus a corrupt-block quarantine scenario. It
 // prints a human-readable table to w and, when out is non-nil, writes the
-// JSON report (the BENCH_faults.json artifact) to out.
-func FaultSweep(w io.Writer, out io.Writer) error {
+// JSON report (the BENCH_faults.json artifact) to out. The stamp is embedded
+// in the report.
+func FaultSweep(w io.Writer, out io.Writer, stamp Stamp) error {
+	rep, err := FaultSweepRun(w)
+	if err != nil {
+		return err
+	}
+	rep.Stamp = stamp
+	if out != nil {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultSweepRun runs the sweep, printing the human-readable table to w, and
+// returns the (unstamped) report. The sweep is fully simulated, so repeated
+// runs on any machine produce identical numbers — the -compare mode relies
+// on that.
+func FaultSweepRun(w io.Writer) (FaultSweepReport, error) {
 	const epochs = 5
 	ds := data.Generate("susy", 0.2, data.OrderClustered)
 	rep := FaultSweepReport{Workload: "susy", Epochs: epochs}
 
 	clean := faultRun(ds, epochs, iosim.FaultPlan{}, shuffle.Resilience{})
 	if clean.Error != "" {
-		return fmt.Errorf("bench: clean baseline failed: %s", clean.Error)
+		return rep, fmt.Errorf("bench: clean baseline failed: %s", clean.Error)
 	}
 	rep.CleanAcc = clean.FinalAcc
 
@@ -157,12 +181,5 @@ func FaultSweep(w io.Writer, out io.Writer) error {
 	fmt.Fprintf(w, "  corrupt blocks %v, on_corrupt=skip: completed=%v acc=%.4f (clean %.4f), %d tuples quarantined\n",
 		c.SkippedBlocks, c.Completed, c.FinalAcc, rep.CleanAcc, c.SkippedTuples)
 
-	if out != nil {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			return err
-		}
-	}
-	return nil
+	return rep, nil
 }

@@ -30,6 +30,9 @@ type HotpathRow struct {
 // BENCH_hotpath.json. CPUs and Gomaxprocs record the measurement machine:
 // multi-proc speedups are only observable when Gomaxprocs > 1.
 type HotpathReport struct {
+	// Stamp records the git revision, Go version and (when injected)
+	// timestamp of the run that produced the report.
+	Stamp      Stamp        `json:"stamp"`
 	CPUs       int          `json:"cpus"`
 	Gomaxprocs int          `json:"gomaxprocs"`
 	Rows       []HotpathRow `json:"rows"`
@@ -92,7 +95,34 @@ func row(name string, r testing.BenchmarkResult, tuplesPerOp int) HotpathRow {
 // Hotpath runs the gradient hot-path micro-benchmark suite via
 // testing.Benchmark, prints a human-readable table to w, and, when out is
 // non-nil, writes the JSON report (the BENCH_hotpath.json artifact) to out.
-func Hotpath(w io.Writer, out io.Writer) error {
+// The stamp is embedded in the report.
+func Hotpath(w io.Writer, out io.Writer, stamp Stamp) error {
+	rep := HotpathRun()
+	rep.Stamp = stamp
+
+	fmt.Fprintf(w, "hot path (cpus=%d gomaxprocs=%d)\n", rep.CPUs, rep.Gomaxprocs)
+	for _, h := range rep.Rows {
+		fmt.Fprintf(w, "  %-26s %12.1f ns/op  %3d allocs/op", h.Name, h.NsPerOp, h.AllocsPerOp)
+		if h.TuplesPerSec > 0 {
+			fmt.Fprintf(w, "  %10.0f tuples/s", h.TuplesPerSec)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "epoch speedup, 4 procs vs 1: %.2fx\n", rep.EpochSpeedup4)
+
+	if out != nil {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HotpathRun measures the hot-path suite and returns the (unstamped) report;
+// the -compare mode uses it to regenerate current numbers silently.
+func HotpathRun() HotpathReport {
 	rep := HotpathReport{CPUs: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0)}
 
 	// Per-model gradient evaluation: the innermost operation.
@@ -195,23 +225,5 @@ func Hotpath(w io.Writer, out io.Writer) error {
 	if ns4 > 0 {
 		rep.EpochSpeedup4 = ns1 / ns4
 	}
-
-	fmt.Fprintf(w, "hot path (cpus=%d gomaxprocs=%d)\n", rep.CPUs, rep.Gomaxprocs)
-	for _, h := range rep.Rows {
-		fmt.Fprintf(w, "  %-26s %12.1f ns/op  %3d allocs/op", h.Name, h.NsPerOp, h.AllocsPerOp)
-		if h.TuplesPerSec > 0 {
-			fmt.Fprintf(w, "  %10.0f tuples/s", h.TuplesPerSec)
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprintf(w, "epoch speedup, 4 procs vs 1: %.2fx\n", rep.EpochSpeedup4)
-
-	if out != nil {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			return err
-		}
-	}
-	return nil
+	return rep
 }

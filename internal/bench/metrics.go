@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"corgipile/internal/core"
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
 	"corgipile/internal/obs"
@@ -40,6 +41,17 @@ type ProfileOptions struct {
 	// TraceOut, when non-nil, additionally receives the JSONL event stream
 	// (span ends, per-epoch breakdowns, and a final snapshot).
 	TraceOut io.Writer
+	// Registry, when non-nil, is used instead of a fresh one — the telemetry
+	// server scrapes it while the run is live.
+	Registry *obs.Registry
+	// Feed, when non-nil, receives one live status update per epoch.
+	Feed *obs.RunFeed
+	// Diag, when non-nil, enables the convergence diagnostics; the verdict is
+	// printed after the breakdown table.
+	Diag *core.DiagConfig
+	// RunDir, when non-empty, receives durable run artifacts: manifest.json,
+	// epochs.jsonl and a final metrics snapshot.
+	RunDir string
 }
 
 func (o ProfileOptions) withDefaults() ProfileOptions {
@@ -71,10 +83,14 @@ func Profile(w io.Writer, opts ProfileOptions) error {
 	if opts.Strategy == "" {
 		opts.Strategy = shuffle.KindCorgiPile
 	}
-	reg := obs.New()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.New()
+	}
 	if opts.TraceOut != nil {
 		reg.StreamTo(opts.TraceOut)
 	}
+	runName := fmt.Sprintf("corgibench %s/%s/%s", opts.Workload, opts.Strategy, opts.Device)
 	o, err := run(spec{
 		workload:  opts.Workload,
 		order:     data.OrderClustered,
@@ -89,6 +105,9 @@ func Profile(w io.Writer, opts ProfileOptions) error {
 		blockSize: opts.BlockSize,
 		seed:      opts.Seed,
 		reg:       reg,
+		feed:      opts.Feed,
+		runName:   runName,
+		diag:      opts.Diag,
 	})
 	if err != nil {
 		return err
@@ -102,6 +121,37 @@ func Profile(w io.Writer, opts ProfileOptions) error {
 	if err := reg.WriteCounterTable(w, "run totals"); err != nil {
 		return err
 	}
+	if opts.Diag != nil && o.res.Verdict != "" {
+		fmt.Fprintf(w, "convergence verdict: %s\n", o.res.Verdict)
+	}
 	reg.EmitSnapshot("final")
+	if opts.RunDir != "" {
+		if err := writeRunDir(opts.RunDir, runName, opts, o.res.Breakdown, reg); err != nil {
+			return fmt.Errorf("bench: run dir: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeRunDir persists the durable artifacts of one profiled run.
+func writeRunDir(dir, runName string, opts ProfileOptions, rows []obs.EpochMetrics, reg *obs.Registry) error {
+	rd, err := obs.OpenRunDir(dir)
+	if err != nil {
+		return err
+	}
+	opts.TraceOut = nil // not serializable config
+	opts.Registry = nil
+	opts.Feed = nil
+	if err := rd.WriteManifest(obs.Manifest{
+		Tool:   "corgibench",
+		Run:    runName,
+		Seed:   opts.Seed,
+		Config: opts,
+	}); err != nil {
+		return err
+	}
+	if err := rd.WriteEpochs(rows); err != nil {
+		return err
+	}
+	return rd.WriteMetrics(reg)
 }

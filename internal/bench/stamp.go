@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"corgipile/internal/obs"
+)
+
+// Stamp records the provenance of a benchmark artifact: the git revision and
+// Go toolchain that produced it, plus an optional timestamp. Committed
+// BENCH_*.json baselines carry one so a -compare run can report what it is
+// comparing against.
+type Stamp struct {
+	GitSHA    string `json:"git_sha"`
+	GoVersion string `json:"go_version"`
+	Time      string `json:"time,omitempty"`
+}
+
+// NewStamp returns a stamp for the current build. The timestamp is injected
+// by the caller (zero time omits it) so report generation itself stays
+// deterministic.
+func NewStamp(now time.Time) Stamp {
+	s := Stamp{GitSHA: obs.GitSHA(), GoVersion: runtime.Version()}
+	if !now.IsZero() {
+		s.Time = now.UTC().Format(time.RFC3339)
+	}
+	return s
+}

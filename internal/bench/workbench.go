@@ -44,6 +44,12 @@ type spec struct {
 	// simulated clock, the device, the shuffle strategy, and the training
 	// loop, so out.res.Breakdown carries one row per epoch.
 	reg *obs.Registry
+	// feed, when non-nil, receives one live status update per epoch; runName
+	// labels the updates.
+	feed    *obs.RunFeed
+	runName string
+	// diag, when non-nil, enables the convergence diagnostics.
+	diag *core.DiagConfig
 }
 
 func (s spec) withDefaults() spec {
@@ -204,6 +210,9 @@ func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 		TestEval:     test,
 		ComputeScale: s.computeScale,
 		Obs:          s.reg,
+		Diag:         s.diag,
+		Feed:         s.feed,
+		RunName:      s.runName,
 	}
 	if mlp, ok := model.(ml.MLP); ok {
 		cfg.InitWeights = core.MLPInit(mlp, ds.Features, s.seed)

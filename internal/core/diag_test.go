@@ -1,0 +1,269 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"corgipile/internal/data"
+	"corgipile/internal/ml"
+	"corgipile/internal/obs"
+	"corgipile/internal/shuffle"
+)
+
+// TestDiagTrackerSequences drives the plateau/divergence detector through
+// canonical loss trajectories and checks the verdict after each epoch.
+func TestDiagTrackerSequences(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		cfg    DiagConfig
+		losses []float64
+		want   []Verdict
+	}{
+		{
+			name:   "converging",
+			losses: []float64{1.0, 0.8, 0.6, 0.5},
+			want:   []Verdict{VerdictWarmup, VerdictConverging, VerdictConverging, VerdictConverging},
+		},
+		{
+			name:   "plateau after window",
+			losses: []float64{1.0, 1.0, 1.0, 1.0},
+			want:   []Verdict{VerdictWarmup, VerdictConverging, VerdictConverging, VerdictPlateau},
+		},
+		{
+			name:   "diverging after window",
+			losses: []float64{1.0, 1.1, 1.2, 1.3},
+			want:   []Verdict{VerdictWarmup, VerdictConverging, VerdictConverging, VerdictDiverging},
+		},
+		{
+			name:   "non-finite loss diverges immediately",
+			losses: []float64{nan},
+			want:   []Verdict{VerdictDiverging},
+		},
+		{
+			name:   "recovery resets the rise run",
+			losses: []float64{1.0, 1.1, 1.2, 0.9, 0.8},
+			want:   []Verdict{VerdictWarmup, VerdictConverging, VerdictConverging, VerdictConverging, VerdictConverging},
+		},
+		{
+			name:   "custom window of 2",
+			cfg:    DiagConfig{Window: 2},
+			losses: []float64{1.0, 1.1, 1.2},
+			want:   []Verdict{VerdictWarmup, VerdictConverging, VerdictDiverging},
+		},
+		{
+			name: "tight tolerance keeps slow progress converging",
+			cfg:  DiagConfig{PlateauTol: 1e-6},
+			// 0.1% improvements: a plateau under the default 1e-3
+			// tolerance, still converging under 1e-6.
+			losses: []float64{1.0, 0.999, 0.998, 0.997, 0.996},
+			want:   []Verdict{VerdictWarmup, VerdictConverging, VerdictConverging, VerdictConverging, VerdictConverging},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &diagTracker{cfg: tc.cfg}
+			for i, loss := range tc.losses {
+				delta, v := tr.observe(loss)
+				if v != tc.want[i] {
+					t.Fatalf("epoch %d (loss %v): verdict %q, want %q", i+1, loss, v, tc.want[i])
+				}
+				if i == 0 && delta != 0 {
+					t.Fatalf("first epoch loss delta %v, want 0", delta)
+				}
+			}
+		})
+	}
+}
+
+// diagRun trains a small SVM with the given diagnostics config and feed
+// attached, returning the result.
+func diagRun(t *testing.T, ds *data.Dataset, diag *DiagConfig, feed *obs.RunFeed, reg *obs.Registry) *Result {
+	t.Helper()
+	src := shuffle.NewMemSource(ds, 50)
+	st, err := shuffle.New(shuffle.KindCorgiPile, src, shuffle.Options{
+		Seed: 7, BufferFraction: 0.1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Strategy:  st,
+		Model:     ml.SVM{},
+		Opt:       ml.NewSGD(0.05),
+		Features:  ds.Features,
+		Epochs:    5,
+		BatchSize: 1,
+		TrainEval: ds,
+		Obs:       reg,
+		Diag:      diag,
+		Feed:      feed,
+		RunName:   "diag-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func diagDataset() *data.Dataset {
+	return data.SyntheticBinary(data.SyntheticConfig{
+		Tuples: 2000, Features: 8, Separation: 1.5, Noise: 1.0,
+		Order: data.OrderClustered, Seed: 33})
+}
+
+// TestDiagReadOnly is the central invariant: enabling diagnostics must not
+// perturb the weight trajectory or the loss trace by a single bit.
+func TestDiagReadOnly(t *testing.T) {
+	ds := diagDataset()
+	plain := diagRun(t, ds, nil, nil, nil)
+	diag := diagRun(t, ds, &DiagConfig{}, nil, nil)
+
+	if len(plain.Points) != len(diag.Points) {
+		t.Fatalf("epoch count changed: %d vs %d", len(plain.Points), len(diag.Points))
+	}
+	for i := range plain.Points {
+		p, d := plain.Points[i], diag.Points[i]
+		if p.AvgLoss != d.AvgLoss || p.TrainAcc != d.TrainAcc || p.Tuples != d.Tuples {
+			t.Fatalf("epoch %d trace changed with diagnostics on: %+v vs %+v", i+1, p, d)
+		}
+	}
+	for i := range plain.W {
+		if plain.W[i] != diag.W[i] {
+			t.Fatalf("weight %d changed with diagnostics on: %v vs %v", i, plain.W[i], diag.W[i])
+		}
+	}
+
+	if plain.Verdict != "" || plain.Diag != nil {
+		t.Fatalf("diagnostics populated without Diag config: %q %v", plain.Verdict, plain.Diag)
+	}
+	if len(diag.Diag) != len(diag.Points) {
+		t.Fatalf("diag rows %d, want one per epoch (%d)", len(diag.Diag), len(diag.Points))
+	}
+	if diag.Diag[0].Verdict != VerdictWarmup {
+		t.Fatalf("first epoch verdict %q, want warmup", diag.Diag[0].Verdict)
+	}
+	if diag.Verdict == "" || diag.Verdict != diag.Diag[len(diag.Diag)-1].Verdict {
+		t.Fatalf("final verdict %q does not match last row %q",
+			diag.Verdict, diag.Diag[len(diag.Diag)-1].Verdict)
+	}
+	for _, row := range diag.Diag {
+		if row.GradNorm <= 0 {
+			t.Fatalf("epoch %d grad norm %v, want > 0", row.Epoch, row.GradNorm)
+		}
+		if row.UpdateNorm <= 0 {
+			t.Fatalf("epoch %d update norm %v, want > 0", row.Epoch, row.UpdateNorm)
+		}
+	}
+}
+
+// TestRunPublishesFeed checks that an attached RunFeed receives one status
+// per epoch, consistent with the result's trace, with Done on the last.
+func TestRunPublishesFeed(t *testing.T) {
+	ds := diagDataset()
+	feed := obs.NewRunFeed()
+	ch, cancel := feed.Subscribe()
+	defer cancel()
+
+	res := diagRun(t, ds, &DiagConfig{}, feed, nil)
+
+	st, seq := feed.Status()
+	if seq != int64(len(res.Points)) {
+		t.Fatalf("published %d updates, want one per epoch (%d)", seq, len(res.Points))
+	}
+	if !st.Done {
+		t.Fatal("final status must have Done set")
+	}
+	if st.Run != "diag-test" {
+		t.Fatalf("run name %q", st.Run)
+	}
+	final := res.Final()
+	if st.Loss != final.AvgLoss || st.Epoch != final.Epoch {
+		t.Fatalf("final status %+v does not match trace point %+v", st, final)
+	}
+	if st.Verdict == "" {
+		t.Fatalf("final status missing diagnostics verdict")
+	}
+	if st.Tuples != int64(len(res.Points))*int64(ds.Len()) {
+		t.Fatalf("cumulative tuples %d, want %d", st.Tuples, len(res.Points)*ds.Len())
+	}
+	// The subscriber saw the early epochs too (buffer is deeper than the
+	// epoch count here).
+	first := <-ch
+	if !bytes.Contains(first, []byte(`"epoch":1`)) {
+		t.Fatalf("first subscriber update %s", first)
+	}
+}
+
+// staticClock pins the registry's span clock so JSONL traces carry no
+// wall-time noise and can be compared byte-for-byte.
+type staticClock struct{}
+
+func (staticClock) Now() time.Duration { return 0 }
+
+// passiveTrace runs training with a JSONL sink attached and returns the
+// exact trace bytes. live and feed model a telemetry server being attached;
+// neither may change the passive trace.
+func passiveTrace(t *testing.T, ds *data.Dataset, live bool, withFeed bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	reg := obs.New().WithClock(staticClock{}).StreamTo(&buf)
+	if live {
+		reg.EnableLive()
+	}
+	var feed *obs.RunFeed
+	if withFeed {
+		feed = obs.NewRunFeed()
+	}
+	diagRun(t, ds, nil, feed, reg)
+	return buf.Bytes()
+}
+
+// TestTracePurity: the JSONL event trace of a passive run must be
+// bit-for-bit identical whether or not live telemetry (feed, live-mode
+// gauges) is attached — the PR's hard compatibility constraint.
+func TestTracePurity(t *testing.T) {
+	ds := diagDataset()
+	base := passiveTrace(t, ds, false, false)
+	if len(base) == 0 {
+		t.Fatal("no trace emitted")
+	}
+	if bytes.Contains(base, []byte("shuffle.buffer")) {
+		t.Fatal("passive trace mentions live-only buffer gauges")
+	}
+	if bytes.Contains(base, []byte(`"name":"diag"`)) {
+		t.Fatal("passive trace contains diag events without Diag config")
+	}
+	withFeed := passiveTrace(t, ds, false, true)
+	if !bytes.Equal(base, withFeed) {
+		t.Fatal("attaching a RunFeed changed the JSONL trace")
+	}
+	withLive := passiveTrace(t, ds, true, true)
+	if !bytes.Equal(base, withLive) {
+		t.Fatal("enabling live mode changed the JSONL trace")
+	}
+}
+
+// TestLiveGaugesGatedDuringRun: a passive run leaves the live-only buffer
+// gauges untouched; a live (serve-attached) run records them.
+func TestLiveGaugesGatedDuringRun(t *testing.T) {
+	ds := diagDataset()
+
+	passive := obs.New()
+	diagRun(t, ds, nil, nil, passive)
+	if v := passive.Gauge(obs.ShuffleBufferTuples); v != 0 {
+		t.Fatalf("passive run recorded buffer gauge %v", v)
+	}
+
+	live := obs.New()
+	live.EnableLive()
+	diagRun(t, ds, nil, nil, live)
+	if v := live.Gauge(obs.ShuffleBufferTuples); v <= 0 {
+		t.Fatalf("live run buffer-tuples gauge %v, want > 0", v)
+	}
+	occ := live.Gauge(obs.ShuffleBufferOccupancy)
+	if occ <= 0 || occ > 1 {
+		t.Fatalf("live run buffer occupancy %v, want in (0, 1]", occ)
+	}
+}

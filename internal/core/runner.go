@@ -56,6 +56,17 @@ type RunConfig struct {
 	// (shuffle.Options.Obs) to get the full I/O + shuffle + compute
 	// decomposition.
 	Obs *obs.Registry
+	// Diag, when non-nil, enables the convergence diagnostics: per-epoch
+	// gradient-norm, update-norm and loss-delta tracking plus the
+	// plateau/divergence detector. Result.Diag and Result.Verdict carry
+	// the outcome. Diagnostics are read-only: the loss trace and weight
+	// trajectory are bit-for-bit identical with or without them.
+	Diag *DiagConfig
+	// Feed, when non-nil, receives one live RunStatus update per epoch
+	// (plus a final one with Done set) — the telemetry server's /run data.
+	Feed *obs.RunFeed
+	// RunName labels feed updates (free-form, e.g. "corgitrain svm/higgs").
+	RunName string
 	// Faults, when non-nil, is the fault report the strategy's resilient
 	// source accumulates into (shuffle.Options.FaultReport); its summary is
 	// copied to Result.Faults when the run completes.
@@ -95,6 +106,11 @@ type Result struct {
 	// Faults summarizes retry/quarantine/crash activity when a fault report
 	// was attached via RunConfig.Faults (zero value otherwise).
 	Faults shuffle.FaultSummary
+	// Diag holds one diagnostics row per epoch and Verdict the detector's
+	// final state when diagnostics were enabled via RunConfig.Diag
+	// (nil / empty otherwise).
+	Diag    []EpochDiag
+	Verdict Verdict
 }
 
 // Final returns the last epoch point (zero value for an empty run).
@@ -120,6 +136,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	trainer := ml.NewTrainer(cfg.Model, cfg.Opt, cfg.BatchSize)
 	trainer.Procs = cfg.Procs
 	trainer.Obs = cfg.Obs
+	trainer.TrackGradNorm = cfg.Diag != nil
 	defer trainer.Close()
 	var start time.Duration
 	if cfg.Clock != nil {
@@ -151,7 +168,18 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Clock != nil {
 		lastNow = start
 	}
+	var tracker *diagTracker
+	var wPrev []float64
+	if cfg.Diag != nil {
+		tracker = &diagTracker{cfg: *cfg.Diag}
+		wPrev = make([]float64, len(w))
+	}
+	wallStart := time.Now()
+	var totalTuples int64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if tracker != nil {
+			copy(wPrev, w)
+		}
 		var before obs.Snapshot
 		if cfg.Obs != nil {
 			before = cfg.Obs.Snapshot()
@@ -191,11 +219,52 @@ func Run(cfg RunConfig) (*Result, error) {
 			cfg.Obs.EmitEpoch(m)
 			res.Breakdown = append(res.Breakdown, m)
 		}
+		var d EpochDiag
+		if tracker != nil {
+			delta, verdict := tracker.observe(stats.AvgLoss)
+			d = EpochDiag{
+				Epoch:      epoch + 1,
+				GradNorm:   stats.GradNorm(),
+				UpdateNorm: l2Delta(w, wPrev),
+				LossDelta:  delta,
+				Verdict:    verdict,
+			}
+			res.Diag = append(res.Diag, d)
+			res.Verdict = verdict
+			emitDiag(cfg.Obs, d)
+		}
+		totalTuples += int64(stats.Tuples)
+		publishStatus(cfg, p, d, totalTuples, wallStart, epoch+1 == cfg.Epochs)
 	}
 	if cfg.Faults != nil {
 		res.Faults = cfg.Faults.Summary()
 	}
 	return res, nil
+}
+
+// publishStatus pushes one epoch's live status to the run feed, folding in
+// the shuffle-buffer gauges and fault counters the registry holds.
+func publishStatus(cfg RunConfig, p EpochPoint, d EpochDiag, tuples int64, wallStart time.Time, done bool) {
+	if cfg.Feed == nil {
+		return
+	}
+	st := obs.RunStatus{
+		Run:         cfg.RunName,
+		Epoch:       p.Epoch,
+		Epochs:      cfg.Epochs,
+		Loss:        p.AvgLoss,
+		TrainAcc:    p.TrainAcc,
+		GradNorm:    d.GradNorm,
+		UpdateNorm:  d.UpdateNorm,
+		LossDelta:   d.LossDelta,
+		Verdict:     string(d.Verdict),
+		Tuples:      tuples,
+		SimSeconds:  p.Seconds,
+		WallSeconds: time.Since(wallStart).Seconds(),
+		Done:        done,
+	}
+	st.FillFromRegistry(cfg.Obs)
+	cfg.Feed.Publish(st)
 }
 
 // evalMetric returns accuracy for classification datasets and R² for

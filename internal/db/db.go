@@ -68,6 +68,7 @@ type Session struct {
 	tables  map[string]*TableEntry
 	models  map[string]*ModelEntry
 	obs     *obs.Registry
+	feed    *obs.RunFeed
 	nextID  int
 }
 
@@ -106,6 +107,14 @@ func (s *Session) WithMetrics(reg *obs.Registry) *Session {
 
 // Metrics returns the session's metrics registry (nil when none attached).
 func (s *Session) Metrics() *obs.Registry { return s.obs }
+
+// WithFeed attaches a live run feed: every TRAIN statement publishes one
+// RunStatus update per epoch to it (the telemetry server's /run source).
+// It returns the session.
+func (s *Session) WithFeed(feed *obs.RunFeed) *Session {
+	s.feed = feed
+	return s
+}
 
 // Table returns the named table entry.
 func (s *Session) Table(name string) (*TableEntry, bool) {
@@ -302,6 +311,8 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 			Clock:     s.clock,
 			Eval:      evalDS,
 			Obs:       s.obs,
+			Feed:      s.feed,
+			RunName:   "train " + strings.ToLower(st.ModelName),
 		},
 	}
 	if mlp, ok := model.(ml.MLP); ok {

@@ -154,8 +154,22 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 		detect = cfg.Faults.detectTimeout()
 	}
 
+	// deadPrev tracks which workers ended the previous epoch crashed; they
+	// come back with the fresh per-epoch worker set (the rebuilt process
+	// re-reads its partition), which we surface as a rejoin.
+	deadPrev := make([]bool, cfg.Workers)
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		workers := makeWorkers(ds, cfg, epoch)
+		for i := range deadPrev {
+			if deadPrev[i] {
+				deadPrev[i] = false
+				cfg.Obs.Inc(obs.DistWorkerRejoins)
+				cfg.Obs.EmitEvent("dist.worker.rejoin", map[string]any{
+					"worker": i, "epoch": epoch + 1,
+				})
+			}
+		}
 		alive := make([]*worker, 0, len(workers))
 		var lossSum float64
 		var tuples int
@@ -170,12 +184,16 @@ func Train(ds *data.Dataset, cfg Config) (*core.Result, error) {
 			// survivors then split the unchanged global batch between them
 			// (workerShare over len(alive)), so no optimizer step shrinks.
 			alive = alive[:0]
-			for _, wk := range workers {
+			for i, wk := range workers {
 				if !wk.dead && wk.crashAt >= 0 && wk.consumed >= wk.crashAt {
 					wk.dead = true
+					deadPrev[i] = true
 					totalCrashes++
 					syncTotal += detect
 					cfg.Obs.Inc(obs.DistWorkerCrashes)
+					cfg.Obs.EmitEvent("dist.worker.crash", map[string]any{
+						"worker": i, "epoch": epoch + 1, "consumed": wk.consumed,
+					})
 				}
 				if !wk.dead {
 					alive = append(alive, wk)

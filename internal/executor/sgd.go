@@ -53,10 +53,17 @@ type SGDOp struct {
 	// Faults, when the plan was built with resilience enabled, accumulates
 	// the run's retry and quarantine accounting (nil otherwise).
 	Faults *shuffle.FaultReport
+	// Feed, when non-nil, receives one live RunStatus update per epoch —
+	// the telemetry server's /run data for SQL-driven training.
+	Feed *obs.RunFeed
+	// RunName labels feed updates (e.g. the TRAIN statement's model name).
+	RunName string
 
-	epoch   int
-	start   time.Duration
-	lastNow time.Duration
+	epoch     int
+	start     time.Duration
+	lastNow   time.Duration
+	tuples    int64
+	wallStart time.Time
 }
 
 // SGDConfig configures an SGD operator.
@@ -74,6 +81,10 @@ type SGDConfig struct {
 	InitWeights func(w []float64)
 	// Obs, when non-nil, receives per-epoch spans and training counters.
 	Obs *obs.Registry
+	// Feed, when non-nil, receives one live RunStatus update per epoch.
+	Feed *obs.RunFeed
+	// RunName labels feed updates.
+	RunName string
 }
 
 // NewSGD returns an SGD operator over the child pipeline.
@@ -98,6 +109,8 @@ func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
 		Clock:   cfg.Clock,
 		Eval:    cfg.Eval,
 		Obs:     cfg.Obs,
+		Feed:    cfg.Feed,
+		RunName: cfg.RunName,
 	}
 	op.trainer.Procs = cfg.Procs
 	op.trainer.Obs = cfg.Obs
@@ -123,6 +136,8 @@ func (op *SGDOp) Init() error {
 		op.lastNow = op.start
 	}
 	op.epoch = 0
+	op.tuples = 0
+	op.wallStart = time.Now()
 	op.Breakdown = op.Breakdown[:0]
 	return nil
 }
@@ -181,6 +196,22 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 		} else {
 			row.Accuracy = ml.Accuracy(op.trainer.Model, op.W, op.Eval)
 		}
+	}
+	op.tuples += int64(row.Tuples)
+	if op.Feed != nil {
+		st := obs.RunStatus{
+			Run:         op.RunName,
+			Epoch:       row.Epoch,
+			Epochs:      op.Epochs,
+			Loss:        row.Loss,
+			TrainAcc:    row.Accuracy,
+			Tuples:      op.tuples,
+			SimSeconds:  row.Seconds,
+			WallSeconds: time.Since(op.wallStart).Seconds(),
+			Done:        op.epoch == op.Epochs,
+		}
+		st.FillFromRegistry(op.Obs)
+		op.Feed.Publish(st)
 	}
 	return row, true, nil
 }

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"math"
 	"runtime"
 
 	"corgipile/internal/data"
@@ -32,6 +33,21 @@ type EpochStats struct {
 	// AvgLoss is the mean per-example loss observed while training (i.e.
 	// evaluated at the then-current weights, the usual streaming metric).
 	AvgLoss float64
+	// Steps is the number of optimizer steps taken.
+	Steps int
+	// GradSqSum is the sum over optimizer steps of the squared L2 norm of
+	// the step's (batch-averaged) gradient. Populated only when the
+	// trainer's TrackGradNorm is set; sqrt(GradSqSum/Steps) is the RMS
+	// per-step gradient norm the convergence diagnostics report.
+	GradSqSum float64
+}
+
+// GradNorm returns the RMS per-step gradient norm (0 without tracking).
+func (s EpochStats) GradNorm() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return math.Sqrt(s.GradSqSum / float64(s.Steps))
 }
 
 // Trainer runs SGD-style epochs of a Model with an Optimizer. It owns the
@@ -56,6 +72,11 @@ type Trainer struct {
 	// Obs, when non-nil, counts consumed tuples and optimizer steps under
 	// the obs.SGD* metric names and records the epoch's mean loss gauge.
 	Obs *obs.Registry
+	// TrackGradNorm enables per-step gradient-norm accumulation
+	// (EpochStats.GradSqSum) for the convergence diagnostics. Tracking is
+	// read-only — it never perturbs the update sequence, so the loss trace
+	// and weight trajectory are bit-for-bit identical either way.
+	TrackGradNorm bool
 
 	ws Workspace
 	gi []int32
@@ -109,7 +130,11 @@ func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 			var loss float64
 			loss, tr.gi, tr.gv = GradWS(tr.Model, &tr.ws, w, t, tr.gi, tr.gv)
 			lossSum += loss
+			if tr.TrackGradNorm {
+				stats.GradSqSum += sqNorm(tr.gv)
+			}
 			tr.Opt.Step(w, tr.gi, tr.gv)
+			stats.Steps++
 			tr.Obs.Inc(obs.SGDBatches)
 		}
 	} else {
@@ -128,7 +153,14 @@ func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 				return
 			}
 			count := tr.engine.Accumulate(w, buf, &tr.acc, &lossSum)
+			if tr.TrackGradNorm && count > 0 {
+				// Gather is repeatable until Clear, so peeking at the
+				// averaged batch gradient does not disturb the step below.
+				_, gv := tr.acc.Gather(1 / float64(count))
+				stats.GradSqSum += sqNorm(gv)
+			}
 			tr.acc.Step(tr.Opt, w, count)
+			stats.Steps++
 			tr.Obs.Inc(obs.SGDBatches)
 			buf = buf[:0]
 		}
@@ -159,6 +191,15 @@ func (tr *Trainer) RunEpoch(w []float64, next Stream) EpochStats {
 		tr.Obs.SetGauge(obs.SGDLoss, stats.AvgLoss)
 	}
 	return stats
+}
+
+// sqNorm returns the squared L2 norm of a gradient value slice.
+func sqNorm(gv []float64) float64 {
+	var s float64
+	for _, v := range gv {
+		s += v * v
+	}
+	return s
 }
 
 // procs resolves the Procs setting: 0 means GOMAXPROCS, negative means 1.

@@ -85,6 +85,24 @@ func (r *Registry) EmitEpoch(m EpochMetrics) {
 	}{"epoch", m})
 }
 
+// EmitEvent streams a named point event with arbitrary fields (e.g.
+// "dist.worker.crash" with the worker index, or a convergence-diagnostics
+// verdict). Field keys are merged into the event object; "ev" and "name"
+// are reserved. No-op without a sink, like every emitter.
+func (r *Registry) EmitEvent(name string, fields map[string]any) {
+	sink := r.getSink()
+	if sink == nil {
+		return
+	}
+	ev := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		ev[k] = v
+	}
+	ev["ev"] = "event"
+	ev["name"] = name
+	sink.emit(ev)
+}
+
 // EmitSnapshot streams the registry's full current state under a label
 // (e.g. "final"), for offline analysis of totals.
 func (r *Registry) EmitSnapshot(label string) {
@@ -137,6 +155,15 @@ type EpochMetrics struct {
 	Tuples int64 `json:"tuples"`
 	// AvgLoss is the epoch's mean streaming loss.
 	AvgLoss float64 `json:"avg_loss"`
+
+	// RefillP50S, RefillP95S and RefillP99S are quantiles (seconds) of the
+	// epoch's shuffle-buffer refill durations, estimated from the refill
+	// span histogram's per-epoch bucket delta. They are excluded from the
+	// JSON encoding so existing JSONL traces stay byte-identical; the
+	// epoch-table exporter and the live telemetry plane render them.
+	RefillP50S float64 `json:"-"`
+	RefillP95S float64 `json:"-"`
+	RefillP99S float64 `json:"-"`
 }
 
 // EpochFromDelta assembles an epoch breakdown row from a snapshot delta
@@ -162,15 +189,22 @@ func EpochFromDelta(epoch int, seconds, avgLoss float64, d Snapshot) EpochMetric
 	if m.BytesRead > 0 {
 		m.CacheHitRate = float64(d.Counters[IOCacheHitBytes]) / float64(m.BytesRead)
 	}
+	if h, ok := d.Hists[SpanRefill]; ok && h.Count > 0 {
+		m.RefillP50S = h.Quantile(0.50).Seconds()
+		m.RefillP95S = h.Quantile(0.95).Seconds()
+		m.RefillP99S = h.Quantile(0.99).Seconds()
+	}
 	return m
 }
 
 // WriteEpochTable renders epoch breakdown rows as an aligned text table —
-// the human-readable exporter, built on internal/stats.
+// the human-readable exporter, built on internal/stats. Alongside the
+// per-epoch totals it prints the refill-duration histogram quantiles
+// (p50/p95/p99), so tail latencies are visible next to the sums.
 func WriteEpochTable(w io.Writer, title string, rows []EpochMetrics) error {
 	t := stats.NewTable(title,
 		"epoch", "time", "io", "read MB", "seek%", "cache%",
-		"shuffle", "grad", "loss", "tuples")
+		"shuffle", "fill p50", "p95", "p99", "grad", "loss", "tuples")
 	for _, m := range rows {
 		t.AddRow(
 			m.Epoch,
@@ -180,6 +214,9 @@ func WriteEpochTable(w io.Writer, title string, rows []EpochMetrics) error {
 			fmt.Sprintf("%.1f", m.SeekFraction*100),
 			fmt.Sprintf("%.1f", m.CacheHitRate*100),
 			fmtSeconds(m.ShuffleSeconds),
+			fmtSeconds(m.RefillP50S),
+			fmtSeconds(m.RefillP95S),
+			fmtSeconds(m.RefillP99S),
 			fmtSeconds(m.GradSeconds),
 			fmt.Sprintf("%.5f", m.AvgLoss),
 			m.Tuples,

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// RunStatus is one point-in-time view of a training run — the payload of
+// the telemetry server's /run endpoint and of each SSE event. The training
+// loop publishes one update per epoch (plus a final one with Done set).
+type RunStatus struct {
+	// Run labels the run (tool name plus workload/model, free-form).
+	Run string `json:"run,omitempty"`
+	// Epoch is the last completed epoch (1-based); Epochs the configured
+	// total.
+	Epoch  int `json:"epoch"`
+	Epochs int `json:"epochs,omitempty"`
+	// Loss is the epoch's mean streaming loss; TrainAcc the train-set
+	// accuracy when evaluated.
+	Loss     float64 `json:"loss"`
+	TrainAcc float64 `json:"train_acc,omitempty"`
+	// GradNorm, UpdateNorm, LossDelta and Verdict carry the convergence
+	// diagnostics when enabled (see core.DiagConfig).
+	GradNorm   float64 `json:"grad_norm,omitempty"`
+	UpdateNorm float64 `json:"update_norm,omitempty"`
+	LossDelta  float64 `json:"loss_delta,omitempty"`
+	Verdict    string  `json:"verdict,omitempty"`
+	// Tuples counts examples consumed so far across the run.
+	Tuples int64 `json:"tuples"`
+	// BufferTuples and BufferOccupancy mirror the shuffle-buffer live
+	// gauges at publish time.
+	BufferTuples    int64   `json:"buffer_tuples,omitempty"`
+	BufferOccupancy float64 `json:"buffer_occupancy,omitempty"`
+	// Faults aggregates the fault counters (transient errors, retries,
+	// quarantined blocks, worker crashes) present at publish time.
+	Faults map[string]int64 `json:"faults,omitempty"`
+	// SimSeconds is simulated elapsed time (0 when training in memory);
+	// WallSeconds is real elapsed time since the run started.
+	SimSeconds  float64 `json:"sim_seconds,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Done marks the final update of a run.
+	Done bool `json:"done,omitempty"`
+}
+
+// faultCounterNames are the registry counters folded into
+// RunStatus.Faults by FillFromRegistry.
+var faultCounterNames = []string{
+	IOFaultOps, IOStragglerOps, StorageRetries,
+	StorageSkippedBlocks, StorageSkippedTuples,
+	DistWorkerCrashes, DistWorkerRejoins,
+}
+
+// FillFromRegistry populates the shuffle-buffer gauges and the non-zero
+// fault counters from r — the registry-derived half of a status update.
+func (st *RunStatus) FillFromRegistry(r *Registry) {
+	if r == nil {
+		return
+	}
+	st.BufferTuples = int64(r.Gauge(ShuffleBufferTuples))
+	st.BufferOccupancy = r.Gauge(ShuffleBufferOccupancy)
+	for _, name := range faultCounterNames {
+		if v := r.Counter(name); v != 0 {
+			if st.Faults == nil {
+				st.Faults = make(map[string]int64)
+			}
+			st.Faults[name] = v
+		}
+	}
+}
+
+// RunFeed publishes live RunStatus updates to any number of subscribers —
+// the bridge between the training loop (one Publish per epoch) and the
+// telemetry server's /run SSE stream. All methods are safe for concurrent
+// use and no-ops on a nil feed, so instrumented code needs no conditionals.
+type RunFeed struct {
+	mu     sync.Mutex
+	cur    RunStatus
+	seq    int64
+	closed bool
+	subs   map[chan []byte]struct{}
+}
+
+// NewRunFeed returns an empty feed.
+func NewRunFeed() *RunFeed {
+	return &RunFeed{subs: make(map[chan []byte]struct{})}
+}
+
+// Publish records st as the current status and fans it out to all
+// subscribers. Slow subscribers drop updates rather than block the
+// training loop.
+func (f *RunFeed) Publish(st RunStatus) {
+	if f == nil {
+		return
+	}
+	msg, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	f.cur = st
+	f.seq++
+	for ch := range f.subs {
+		select {
+		case ch <- msg:
+		default: // subscriber is behind; it still holds older updates
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Status returns the most recently published status and the number of
+// updates published so far.
+func (f *RunFeed) Status() (RunStatus, int64) {
+	if f == nil {
+		return RunStatus{}, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur, f.seq
+}
+
+// Subscribe registers a new subscriber and returns its update channel plus
+// a cancel function. The channel is closed when cancel is called or the
+// feed is shut down; updates that arrive while the subscriber is behind
+// are dropped (the channel buffers a few).
+func (f *RunFeed) Subscribe() (<-chan []byte, func()) {
+	if f == nil {
+		ch := make(chan []byte)
+		close(ch)
+		return ch, func() {}
+	}
+	ch := make(chan []byte, 8)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	f.subs[ch] = struct{}{}
+	f.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			f.mu.Lock()
+			if _, ok := f.subs[ch]; ok {
+				delete(f.subs, ch)
+				close(ch)
+			}
+			f.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Close shuts the feed down: every subscriber channel is closed and future
+// Subscribe calls return an already-closed channel. Publish becomes a
+// recording-only no-op (the current status is still updated).
+func (f *RunFeed) Close() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		for ch := range f.subs {
+			delete(f.subs, ch)
+			close(ch)
+		}
+	}
+	f.mu.Unlock()
+}

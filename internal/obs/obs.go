@@ -68,11 +68,25 @@ const (
 	StorageSkippedTuples = "storage.quarantine.tuples" // tuples lost to quarantined blocks
 	DistWorkerCrashes    = "dist.worker.crashes"       // injected worker crashes absorbed
 
+	// Distributed layer (internal/dist). Rejoins count workers that came
+	// back at an epoch boundary after crashing in a previous epoch.
+	DistWorkerRejoins = "dist.worker.rejoins"
+
 	// Shuffle layer (internal/shuffle, executor.TupleShuffleOp).
 	ShuffleRefills      = "shuffle.refills"    // buffer refill operations
 	ShuffleBlocks       = "shuffle.blocks"     // blocks pulled into buffers
 	ShuffleFillNanos    = "shuffle.fill_ns"    // time spent filling buffers
 	ShuffleConsumeNanos = "shuffle.consume_ns" // time consumers spent draining
+
+	// Live-only gauges (recorded via SetLiveGauge, so passive traces stay
+	// byte-identical when no telemetry server is attached).
+	ShuffleBufferTuples    = "shuffle.buffer.tuples"    // tuples in the shuffle buffer after the last refill
+	ShuffleBufferOccupancy = "shuffle.buffer.occupancy" // filled fraction of the buffer budget
+
+	// Convergence diagnostics (internal/core, enabled via RunConfig.Diag).
+	SGDGradNorm   = "sgd.grad_norm"   // gauge: last epoch's RMS per-step gradient norm
+	SGDUpdateNorm = "sgd.update_norm" // gauge: last epoch's weight-delta L2 norm
+	SGDLossDelta  = "sgd.loss_delta"  // gauge: previous epoch loss minus last epoch loss
 
 	// Training layer (internal/core, executor.SGDOp, ml.Trainer).
 	SGDTuples    = "sgd.tuples"
@@ -127,6 +141,7 @@ type Registry struct {
 	hists    map[string]*hist
 	spanSeq  int64
 	spans    []int64 // stack of active span ids (parent inference)
+	live     bool
 
 	sink *jsonlSink
 }
@@ -203,6 +218,44 @@ func (r *Registry) SetGauge(name string, v float64) {
 	}
 	r.mu.Lock()
 	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// EnableLive switches the registry into live-telemetry mode: SetLiveGauge
+// calls start recording. The telemetry server (Serve) enables it on the
+// registry it exposes; passive runs never enter live mode, which keeps
+// their JSONL traces and snapshot exports byte-identical.
+func (r *Registry) EnableLive() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.live = true
+	r.mu.Unlock()
+}
+
+// Live reports whether live-telemetry mode is enabled.
+func (r *Registry) Live() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live
+}
+
+// SetLiveGauge sets the named gauge only in live mode. Components on hot
+// paths use it for metrics that only a live scraper consumes (buffer
+// occupancy, runtime stats), so that attaching a passive trace sink never
+// changes the set of exported metrics.
+func (r *Registry) SetLiveGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.live {
+		r.gauges[name] = v
+	}
 	r.mu.Unlock()
 }
 

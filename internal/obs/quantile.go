@@ -1,0 +1,61 @@
+package obs
+
+import "time"
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// durations from the histogram's log2 buckets. The estimate locates the
+// bucket holding the nearest-rank observation and interpolates linearly
+// inside it, clamped to the recorded [Min, Max] envelope, so p50/p95/p99
+// are exact to within one power-of-two bucket. An empty histogram yields 0.
+//
+// Bucket semantics follow hist.observe: bucket 0 holds sub-nanosecond
+// observations, bucket i (i ≥ 1) holds durations in [2^(i-1), 2^i) ns.
+func (h HistSnapshot) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	// Nearest-rank: the smallest rank r (1-based) with r ≥ q·count.
+	rank := int64(q * float64(h.Count))
+	if float64(rank) < q*float64(h.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketBounds(i)
+			// Interpolate by the rank's position among this bucket's
+			// observations.
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			est := time.Duration(float64(lo) + frac*float64(hi-lo))
+			if est < h.Min {
+				est = h.Min
+			}
+			if est > h.Max {
+				est = h.Max
+			}
+			return est
+		}
+		cum += c
+	}
+	return h.Max
+}
+
+// bucketBounds returns the [lo, hi) nanosecond range of bucket i.
+func bucketBounds(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}

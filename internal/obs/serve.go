@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements the live telemetry plane: an HTTP server exposing
+//
+//	/metrics       the Registry in Prometheus text exposition format
+//	/debug/pprof/  the standard Go profiling endpoints
+//	/run           the current RunStatus as JSON, or a live SSE stream
+//	               (Accept: text/event-stream or ?stream=1)
+//	/              a plain-text index of the above
+//
+// The server owns nothing but views: the Registry keeps being written by
+// the training run, the RunFeed by the training loop. Serving enables the
+// registry's live mode (buffer-occupancy and runtime gauges start
+// recording) and starts a RuntimeSampler, so a process that never calls
+// Serve produces byte-identical passive traces.
+
+// ServeConfig configures a telemetry server.
+type ServeConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9090"; port 0 picks a
+	// free port (read it back from Server.Addr).
+	Addr string
+	// Registry is rendered by /metrics. Serving enables its live mode.
+	Registry *Registry
+	// Feed, when non-nil, backs the /run endpoint.
+	Feed *RunFeed
+	// SampleEvery is the runtime-sampler tick (0 = 1s, negative disables
+	// the sampler).
+	SampleEvery time.Duration
+}
+
+// Server is a running telemetry HTTP server. Close shuts it down without
+// leaking goroutines: the sampler stops, SSE subscribers are disconnected,
+// and in-flight handlers finish.
+type Server struct {
+	ln      net.Listener
+	srv     *http.Server
+	sampler *RuntimeSampler
+	feed    *RunFeed
+	reg     *Registry
+
+	mu     sync.Mutex
+	closed bool
+	served chan struct{} // closed when the serve goroutine exits
+}
+
+// Serve starts a telemetry server on cfg.Addr. It returns once the
+// listener is bound; requests are handled on a background goroutine.
+func Serve(cfg ServeConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listen on %s: %w", cfg.Addr, err)
+	}
+	cfg.Registry.EnableLive()
+	s := &Server{ln: ln, feed: cfg.Feed, reg: cfg.Registry, served: make(chan struct{})}
+	if cfg.SampleEvery >= 0 && cfg.Registry != nil {
+		s.sampler = StartRuntimeSampler(cfg.Registry, cfg.SampleEvery)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.served)
+		// ErrServerClosed is the normal shutdown path; anything else is
+		// reported through the registry so a scraper would have seen it.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close shuts the server down: the runtime sampler stops, SSE subscribers
+// are disconnected (the shared feed is closed), the listener closes, and
+// Close waits for the serve goroutine to exit. Safe to call twice and on
+// a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.sampler.Stop()
+	s.feed.Close()
+	err := s.srv.Close()
+	<-s.served
+	return err
+}
+
+// handleIndex lists the endpoints.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "corgipile telemetry\n\n"+
+		"/metrics       Prometheus text exposition of the metrics registry\n"+
+		"/run           current run status (JSON); ?stream=1 for SSE\n"+
+		"/debug/pprof/  Go profiling endpoints\n")
+}
+
+// handleMetrics renders the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Connection-level failure; nothing useful left to send.
+		return
+	}
+}
+
+// handleRun serves the live run feed: a JSON snapshot by default, an SSE
+// stream when the client asks for text/event-stream (or ?stream=1).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.feed == nil {
+		http.Error(w, "no run feed attached", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("stream") != "" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamRun(w, r)
+		return
+	}
+	st, seq := s.feed.Status()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		RunStatus
+		Updates int64 `json:"updates"`
+	}{st, seq})
+}
+
+// streamRun streams run updates as server-sent events until the client
+// disconnects or the feed closes (server shutdown).
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers immediately: an SSE client must see the stream open
+	// before the first epoch publishes, not block until it does.
+	fl.Flush()
+
+	// Subscribe before reading the current state so no update published in
+	// between is missed (a duplicate initial event is harmless; a gap is a
+	// stall). Then send the current state so a late subscriber sees
+	// something immediately.
+	ch, cancel := s.feed.Subscribe()
+	defer cancel()
+	if st, seq := s.feed.Status(); seq > 0 {
+		if msg, err := json.Marshal(st); err == nil {
+			fmt.Fprintf(w, "data: %s\n\n", msg)
+			fl.Flush()
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case msg, ok := <-ch:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", msg)
+			fl.Flush()
+		}
+	}
+}

@@ -50,6 +50,7 @@ func (s *corgiPile) StartEpoch(int) (Iterator, error) {
 		src:    s.src,
 		perm:   perm,
 		nBuf:   n,
+		bufCap: s.opts.bufferTuples(total),
 		rng:    s.rng,
 		clock:  s.src.Clock(),
 		copyC:  s.opts.PerTupleCopyCost,
@@ -63,17 +64,18 @@ func (s *corgiPile) StartEpoch(int) (Iterator, error) {
 }
 
 type corgiIter struct {
-	src   Source
-	perm  []int
-	next  int // next position in perm
-	nBuf  int // blocks per buffer (the paper's n)
-	buf   []data.Tuple
-	pos   int
-	rng   *rand.Rand
-	clock *iosim.Clock
-	reg   *obs.Registry
-	copyC time.Duration
-	err   error
+	src    Source
+	perm   []int
+	next   int // next position in perm
+	nBuf   int // blocks per buffer (the paper's n)
+	bufCap int // tuple budget of one buffer, for the occupancy gauge
+	buf    []data.Tuple
+	pos    int
+	rng    *rand.Rand
+	clock  *iosim.Clock
+	reg    *obs.Registry
+	copyC  time.Duration
+	err    error
 
 	double    bool
 	pipe      *iosim.Pipeline
@@ -141,6 +143,13 @@ func (it *corgiIter) refill() {
 	sp.End()
 	it.reg.Inc(obs.ShuffleRefills)
 	it.reg.Add(obs.ShuffleBlocks, int64(blocks))
+	// Live-only gauges: recorded when a telemetry server enabled live mode,
+	// so passive traces are unchanged.
+	it.reg.SetLiveGauge(obs.ShuffleBufferTuples, float64(len(it.buf)))
+	if it.bufCap > 0 {
+		it.reg.SetLiveGauge(obs.ShuffleBufferOccupancy,
+			float64(len(it.buf))/float64(it.bufCap))
+	}
 	if it.clock != nil {
 		it.reg.AddDuration(obs.ShuffleFillNanos, it.clock.Now()-fillStartNow)
 	}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Telemetry end-to-end smoke: boot a real training run with -serve, scrape
+# /metrics and /run over HTTP while it executes, and hold the committed
+# fault-sweep baseline with corgibench -compare. Fails on any missing
+# endpoint, malformed exposition output, or benchmark regression.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill $trainpid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/corgitrain" ./cmd/corgitrain
+go build -o "$workdir/corgibench" ./cmd/corgibench
+
+# A run long enough (~wall seconds) to scrape mid-flight: large synthetic
+# dataset, many epochs. -serve 127.0.0.1:0 picks a free port and prints it.
+"$workdir/corgitrain" -synthetic higgs -scale 20 -epochs 500 -diag \
+    -serve 127.0.0.1:0 >"$workdir/train.log" 2>&1 &
+trainpid=$!
+
+# Wait for the server to come up and read its address from the log.
+url=""
+for _ in $(seq 1 50); do
+    url=$(sed -n 's/^telemetry on //p' "$workdir/train.log" | head -n 1)
+    [ -n "$url" ] && break
+    kill -0 $trainpid || { cat "$workdir/train.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$url" ] || { echo "telemetry server never started" >&2; cat "$workdir/train.log"; exit 1; }
+
+# Give the run a moment to publish its first epoch, then scrape.
+sleep 2
+curl -sf "$url/metrics" >"$workdir/metrics.prom"
+grep -q '^# TYPE corgipile_sgd_tuples counter' "$workdir/metrics.prom"
+grep -q '^corgipile_epoch_seconds{quantile="0.99"}' "$workdir/metrics.prom"
+grep -q '^corgipile_runtime_goroutines' "$workdir/metrics.prom"
+
+curl -sf "$url/run" >"$workdir/run.json"
+grep -q '"run": "corgitrain svm/higgs"' "$workdir/run.json"
+grep -q '"epoch"' "$workdir/run.json"
+grep -q '"verdict"' "$workdir/run.json"
+
+# The SSE stream must deliver at least one per-epoch event.
+curl -sN --max-time 10 "$url/run?stream=1" | head -n 1 | grep -q '^data: {'
+
+# pprof is mounted and serves a real profile.
+curl -sf "$url/debug/pprof/profile?seconds=1" >"$workdir/cpu.pprof"
+[ -s "$workdir/cpu.pprof" ]
+
+kill $trainpid 2>/dev/null || true
+wait $trainpid 2>/dev/null || true
+
+# Durable run artifacts: a short run must leave a stamped manifest, the
+# per-epoch breakdown, and a final Prometheus snapshot behind.
+"$workdir/corgitrain" -synthetic higgs -epochs 3 -metrics \
+    -run-dir "$workdir/run" >/dev/null
+grep -q '"git_sha"' "$workdir/run/manifest.json"
+grep -q '"tool": "corgitrain"' "$workdir/run/manifest.json"
+grep -q '"epoch":1' "$workdir/run/epochs.jsonl"
+grep -q '^corgipile_sgd_tuples' "$workdir/run/metrics.prom"
+
+# Regression gate: the simulated fault sweep is deterministic, so the
+# committed baseline must reproduce near-exactly on any machine.
+"$workdir/corgibench" -compare BENCH_faults.json
+
+echo "telemetry smoke: OK"

@@ -67,6 +67,16 @@ type TrainConfig struct {
 	// Faults, when non-nil, attaches a deterministic fault-injection plan to
 	// the simulated device (TrainOnDevice only; Train has no device).
 	Faults *FaultPlan
+	// Diag, when non-nil, enables the convergence diagnostics (per-epoch
+	// gradient norm, update norm, loss delta, plateau/divergence verdict);
+	// Result.Diag and Result.Verdict carry the outcome. Diagnostics are
+	// read-only: the loss trace is bit-for-bit identical with or without.
+	Diag *DiagConfig
+	// Feed, when non-nil, receives one live RunStatus update per epoch —
+	// serve it over HTTP with ServeTelemetry.
+	Feed *RunFeed
+	// RunName labels feed updates (free-form).
+	RunName string
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -193,6 +203,9 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		Seed:      cfg.Seed,
 		Obs:       cfg.Metrics,
 		Faults:    report,
+		Diag:      cfg.Diag,
+		Feed:      cfg.Feed,
+		RunName:   cfg.RunName,
 	}
 	if mlp, ok := model.(ml.MLP); ok {
 		rc.InitWeights = core.MLPInit(mlp, ds.Features, cfg.Seed)
