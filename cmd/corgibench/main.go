@@ -7,7 +7,7 @@
 //	corgibench -metrics [-workload higgs] [-strategy corgipile] [-device hdd]
 //	           [-epochs 5] [-batch N] [-procs N] [-double] [-block N]
 //	           [-trace-out trace.jsonl] [-serve 127.0.0.1:0] [-diag]
-//	           [-run-dir DIR]
+//	           [-explain] [-run-dir DIR]
 //	corgibench -hotpath [-out BENCH_hotpath.json] [-stamp-time RFC3339]
 //	corgibench -faults [-out BENCH_faults.json] [-stamp-time RFC3339]
 //	corgibench -compare BENCH_hotpath.json [-tolerance 0.5]
@@ -61,6 +61,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the JSONL event trace to this file")
 		serve     = flag.String("serve", "", "serve live telemetry (/metrics, /run, /debug/pprof/) on this address during -metrics")
 		diag      = flag.Bool("diag", false, "-metrics: enable convergence diagnostics (grad norm, plateau/divergence verdict)")
+		explain   = flag.Bool("explain", false, "-metrics: profile the executor plan and print the annotated EXPLAIN ANALYZE tree")
 		runDir    = flag.String("run-dir", "", "-metrics: write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom) to this directory")
 		compare   = flag.String("compare", "", "re-run the suite behind this BENCH_*.json baseline and report regressions")
 		tolerance = flag.Float64("tolerance", 0, "-compare: relative wall-clock slack (0 = default 0.5)")
@@ -148,6 +149,7 @@ func main() {
 		if *diag {
 			opts.Diag = &core.DiagConfig{}
 		}
+		opts.Explain = *explain
 		opts.RunDir = *runDir
 		if *serve != "" {
 			reg := obs.New()

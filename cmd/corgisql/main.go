@@ -5,13 +5,17 @@
 //
 //	corgisql              # interactive REPL
 //	corgisql -c "SQL..."  # run a script and exit
-//	corgisql -metrics [-trace-out trace.jsonl] [-serve 127.0.0.1:0] ...
+//	corgisql -metrics [-trace-out trace.jsonl] [-serve 127.0.0.1:0]
+//	         [-diag] [-run-dir DIR] ...
 //
 // With -metrics every TRAIN statement additionally prints a per-epoch
 // cross-layer time breakdown (I/O, shuffle, gradient compute); -trace-out
 // streams the full JSONL event trace to a file. -serve exposes the session's
 // live telemetry over HTTP (/metrics, /run, /debug/pprof/) while TRAIN
-// statements execute.
+// statements execute. -diag tracks convergence diagnostics on every TRAIN
+// and reports the verdict in the result message; -run-dir persists the last
+// training statement's artifacts (manifest.json, epochs.jsonl, metrics.prom,
+// and plan.json for EXPLAIN ANALYZE) on exit.
 //
 // Example session:
 //
@@ -29,6 +33,7 @@ import (
 	"os"
 	"strings"
 
+	"corgipile/internal/core"
 	"corgipile/internal/db"
 	"corgipile/internal/obs"
 )
@@ -38,10 +43,12 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a per-epoch time breakdown after each TRAIN")
 	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file")
 	serve := flag.String("serve", "", "serve live telemetry (/metrics, /run, /debug/pprof/) on this address")
+	diag := flag.Bool("diag", false, "enable convergence diagnostics on every TRAIN (verdict in the result message and live feed)")
+	runDir := flag.String("run-dir", "", "write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom, plan.json) for the last TRAIN to this directory")
 	flag.Parse()
 
 	session := db.NewSession()
-	if *metrics || *traceOut != "" || *serve != "" {
+	if *metrics || *traceOut != "" || *serve != "" || *runDir != "" {
 		reg := obs.New()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -53,6 +60,29 @@ func main() {
 			reg.StreamTo(f)
 		}
 		session.WithMetrics(reg)
+	}
+	if *diag {
+		session.WithDiag(&core.DiagConfig{})
+	}
+	// last tracks the most recent result carrying training artifacts (a
+	// TRAIN breakdown or an EXPLAIN ANALYZE plan) for -run-dir.
+	var last *db.Result
+	record := func(results []*db.Result) {
+		for _, r := range results {
+			if len(r.Breakdown) > 0 || r.Plan != nil {
+				last = r
+			}
+		}
+	}
+	writeArtifacts := func() {
+		if *runDir == "" {
+			return
+		}
+		if err := writeRunDir(*runDir, session, last); err != nil {
+			fmt.Fprintln(os.Stderr, "corgisql:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "corgisql: run artifacts written to %s\n", *runDir)
 	}
 	if *serve != "" {
 		feed := obs.NewRunFeed()
@@ -67,9 +97,11 @@ func main() {
 	}
 	if *script != "" {
 		results, err := session.ExecScript(*script)
+		record(results)
 		for _, r := range results {
 			printResult(r)
 		}
+		writeArtifacts()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "corgisql:", err)
 			os.Exit(1)
@@ -96,9 +128,11 @@ func main() {
 		pending.Reset()
 		switch strings.ToLower(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))) {
 		case "quit", "exit", `\q`:
+			writeArtifacts()
 			return
 		}
 		results, err := session.ExecScript(sql)
+		record(results)
 		for _, r := range results {
 			printResult(r)
 		}
@@ -107,6 +141,32 @@ func main() {
 		}
 		fmt.Printf("[%s]\n> ", session.Clock())
 	}
+	writeArtifacts()
+}
+
+// writeRunDir persists the durable artifacts of the session's most recent
+// training statement: the manifest, the per-epoch breakdown, the executed
+// plan (for EXPLAIN ANALYZE) and a final metrics snapshot.
+func writeRunDir(dir string, session *db.Session, last *db.Result) error {
+	rd, err := obs.OpenRunDir(dir)
+	if err != nil {
+		return err
+	}
+	if err := rd.WriteManifest(obs.Manifest{
+		Tool: "corgisql",
+		Args: os.Args[1:],
+	}); err != nil {
+		return err
+	}
+	if last != nil {
+		if err := rd.WriteEpochs(last.Breakdown); err != nil {
+			return err
+		}
+		if err := rd.WritePlan(last.Plan); err != nil {
+			return err
+		}
+	}
+	return rd.WriteMetrics(session.Metrics())
 }
 
 func printResult(r *db.Result) {

@@ -7,7 +7,7 @@
 //	           [-strategy corgipile] [-buffer 0.1] [-batch 1] [-test 0.2]
 //	           [-save model.json] [-metrics] [-trace-out trace.jsonl]
 //	           [-faults 'seed=7,read_err=0.01'] [-retries 3] [-on-corrupt skip]
-//	           [-serve 127.0.0.1:0] [-diag] [-run-dir DIR]
+//	           [-serve 127.0.0.1:0] [-diag] [-explain] [-run-dir DIR]
 //	corgitrain -synthetic higgs [-scale 0.05] ...
 //
 // The training table is used as-is (no shuffling of the file), so a file
@@ -57,6 +57,7 @@ func main() {
 		skipCap   = flag.Float64("skip-cap", 0, "max tuple fraction the skip policy may quarantine (default 0.05)")
 		serve     = flag.String("serve", "", "serve live telemetry (/metrics, /run, /debug/pprof/) on this address during training")
 		diag      = flag.Bool("diag", false, "enable convergence diagnostics (grad norm, plateau/divergence verdict)")
+		explain   = flag.Bool("explain", false, "profile the executor plan and print the annotated EXPLAIN ANALYZE tree after training")
 		runDir    = flag.String("run-dir", "", "write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom) to this directory")
 		synthetic = flag.String("synthetic", "", "train on a generated workload (higgs, susy, ...) instead of -file")
 		scale     = flag.Float64("scale", 0.05, "-synthetic: dataset scale factor")
@@ -137,6 +138,7 @@ func main() {
 		MaxSkipFraction: *skipCap,
 		Feed:            feed,
 		RunName:         runName,
+		Explain:         *explain,
 	}
 	if *diag {
 		cfg.Diag = &corgipile.DiagConfig{}
@@ -175,6 +177,9 @@ func main() {
 	}
 	if *diag && res.Verdict != "" {
 		fmt.Printf("convergence verdict: %s\n", res.Verdict)
+	}
+	if *explain && res.Plan != nil {
+		fmt.Printf("\nexecuted plan (EXPLAIN ANALYZE):\n%s", res.Plan.Text(true))
 	}
 	fmt.Printf("final train accuracy: %.4f\n", res.Final().TrainAcc)
 	if *runDir != "" {
@@ -226,6 +231,9 @@ func writeRunDir(dir, runName string, cfg corgipile.TrainConfig, res *corgipile.
 		return err
 	}
 	if err := rd.WriteEpochs(res.Breakdown); err != nil {
+		return err
+	}
+	if err := rd.WritePlan(res.Plan); err != nil {
 		return err
 	}
 	return rd.WriteMetrics(reg)

@@ -94,6 +94,11 @@ type (
 	DiagConfig = core.DiagConfig
 	// EpochDiag is one epoch's convergence diagnostics row.
 	EpochDiag = core.EpochDiag
+	// PlanStats is an annotated physical-plan tree: one node per executor
+	// operator, carrying rows, self/total time on both clocks, and I/O
+	// statistics. Result.Plan holds one for TrainConfig.Explain runs; render
+	// it with Text(true) or JSON().
+	PlanStats = obs.PlanStats
 	// Verdict classifies a run's convergence health ("converging",
 	// "plateau", "diverging", "warmup").
 	Verdict = core.Verdict

@@ -50,8 +50,14 @@ type ProfileOptions struct {
 	// printed after the breakdown table.
 	Diag *core.DiagConfig
 	// RunDir, when non-empty, receives durable run artifacts: manifest.json,
-	// epochs.jsonl and a final metrics snapshot.
+	// epochs.jsonl and a final metrics snapshot (plus plan.json when
+	// Explain is set).
 	RunDir string
+	// Explain routes the run through the Volcano executor with per-operator
+	// profiling and prints the annotated plan tree after the breakdown
+	// tables; the tree also streams through Feed and lands in RunDir as
+	// plan.json.
+	Explain bool
 }
 
 func (o ProfileOptions) withDefaults() ProfileOptions {
@@ -108,6 +114,7 @@ func Profile(w io.Writer, opts ProfileOptions) error {
 		feed:      opts.Feed,
 		runName:   runName,
 		diag:      opts.Diag,
+		explain:   opts.Explain,
 	})
 	if err != nil {
 		return err
@@ -124,9 +131,13 @@ func Profile(w io.Writer, opts ProfileOptions) error {
 	if opts.Diag != nil && o.res.Verdict != "" {
 		fmt.Fprintf(w, "convergence verdict: %s\n", o.res.Verdict)
 	}
+	if opts.Explain && o.res.Plan != nil {
+		fmt.Fprintf(w, "\nexecuted plan (EXPLAIN ANALYZE):\n")
+		o.res.Plan.WriteText(w, true)
+	}
 	reg.EmitSnapshot("final")
 	if opts.RunDir != "" {
-		if err := writeRunDir(opts.RunDir, runName, opts, o.res.Breakdown, reg); err != nil {
+		if err := writeRunDir(opts.RunDir, runName, opts, o.res.Breakdown, reg, o.res.Plan); err != nil {
 			return fmt.Errorf("bench: run dir: %w", err)
 		}
 	}
@@ -134,7 +145,7 @@ func Profile(w io.Writer, opts ProfileOptions) error {
 }
 
 // writeRunDir persists the durable artifacts of one profiled run.
-func writeRunDir(dir, runName string, opts ProfileOptions, rows []obs.EpochMetrics, reg *obs.Registry) error {
+func writeRunDir(dir, runName string, opts ProfileOptions, rows []obs.EpochMetrics, reg *obs.Registry, plan *obs.PlanStats) error {
 	rd, err := obs.OpenRunDir(dir)
 	if err != nil {
 		return err
@@ -151,6 +162,9 @@ func writeRunDir(dir, runName string, opts ProfileOptions, rows []obs.EpochMetri
 		return err
 	}
 	if err := rd.WriteEpochs(rows); err != nil {
+		return err
+	}
+	if err := rd.WritePlan(plan); err != nil {
 		return err
 	}
 	return rd.WriteMetrics(reg)

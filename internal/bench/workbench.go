@@ -7,6 +7,7 @@ import (
 
 	"corgipile/internal/core"
 	"corgipile/internal/data"
+	"corgipile/internal/executor"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
 	"corgipile/internal/obs"
@@ -50,6 +51,10 @@ type spec struct {
 	runName string
 	// diag, when non-nil, enables the convergence diagnostics.
 	diag *core.DiagConfig
+	// explain routes the run through the Volcano executor with per-operator
+	// profiling; out.res.Plan then carries the annotated plan tree. The
+	// executor engine ignores computeScale and test-set evaluation.
+	explain bool
 }
 
 func (s spec) withDefaults() spec {
@@ -175,17 +180,6 @@ func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 		src = shuffle.TableSource(tab)
 	}
 
-	st, err := shuffle.New(s.kind, src, shuffle.Options{
-		BufferFraction: s.bufferFrac,
-		Seed:           s.seed,
-		DoubleBuffer:   s.double,
-		Obs:            s.reg,
-	})
-	if err != nil {
-		return nil, err
-	}
-	prep := clock.Now().Seconds() // Shuffle Once pays its sort here.
-
 	model, err := ml.New(s.model, ds.Classes)
 	if err != nil {
 		return nil, err
@@ -197,29 +191,79 @@ func runOnDataset(ds *data.Dataset, s spec, test *data.Dataset) (*out, error) {
 	if sgd, ok := opt.(*ml.SGD); ok {
 		sgd.Decay = s.decay
 	}
-	cfg := core.RunConfig{
-		Strategy:     st,
-		Model:        model,
-		Opt:          opt,
-		Features:     ds.Features,
-		Epochs:       s.epochs,
-		BatchSize:    s.batch,
-		Procs:        s.procs,
-		Clock:        clock,
-		TrainEval:    ds,
-		TestEval:     test,
-		ComputeScale: s.computeScale,
-		Obs:          s.reg,
-		Diag:         s.diag,
-		Feed:         s.feed,
-		RunName:      s.runName,
-	}
-	if mlp, ok := model.(ml.MLP); ok {
-		cfg.InitWeights = core.MLPInit(mlp, ds.Features, s.seed)
-	}
-	res, err := core.Run(cfg)
-	if err != nil {
-		return nil, err
+
+	var res *core.Result
+	var prep float64
+	if s.explain {
+		pc := executor.PlanConfig{
+			Shuffle:        s.kind,
+			BufferFraction: s.bufferFrac,
+			DoubleBuffer:   s.double,
+			Seed:           s.seed,
+			Profile:        true,
+			SGD: executor.SGDConfig{
+				Model:     model,
+				Opt:       opt,
+				Features:  ds.Features,
+				Epochs:    s.epochs,
+				BatchSize: s.batch,
+				Procs:     s.procs,
+				Clock:     clock,
+				Eval:      ds,
+				Obs:       s.reg,
+				Feed:      s.feed,
+				Diag:      s.diag,
+				RunName:   s.runName,
+			},
+		}
+		if mlp, ok := model.(ml.MLP); ok {
+			pc.SGD.InitWeights = core.MLPInit(mlp, ds.Features, s.seed)
+		}
+		op, err := executor.BuildSGDPlan(src, pc)
+		if err != nil {
+			return nil, err
+		}
+		prep = clock.Now().Seconds() // Shuffle Once pays its sort at build.
+		res, err = op.RunResult()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st, err := shuffle.New(s.kind, src, shuffle.Options{
+			BufferFraction: s.bufferFrac,
+			Seed:           s.seed,
+			DoubleBuffer:   s.double,
+			Obs:            s.reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prep = clock.Now().Seconds() // Shuffle Once pays its sort here.
+
+		cfg := core.RunConfig{
+			Strategy:     st,
+			Model:        model,
+			Opt:          opt,
+			Features:     ds.Features,
+			Epochs:       s.epochs,
+			BatchSize:    s.batch,
+			Procs:        s.procs,
+			Clock:        clock,
+			TrainEval:    ds,
+			TestEval:     test,
+			ComputeScale: s.computeScale,
+			Obs:          s.reg,
+			Diag:         s.diag,
+			Feed:         s.feed,
+			RunName:      s.runName,
+		}
+		if mlp, ok := model.(ml.MLP); ok {
+			cfg.InitWeights = core.MLPInit(mlp, ds.Features, s.seed)
+		}
+		res, err = core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	o := &out{res: res, prep: prep, total: clock.Now().Seconds(), ds: ds}

@@ -72,8 +72,9 @@ type EpochDiag struct {
 	Verdict Verdict `json:"verdict"`
 }
 
-// diagTracker folds per-epoch losses into a running verdict.
-type diagTracker struct {
+// DiagTracker folds per-epoch losses into a running verdict. It is shared
+// by core.Run and the executor's SGD operator.
+type DiagTracker struct {
 	cfg      DiagConfig
 	prevLoss float64
 	epochs   int
@@ -81,9 +82,12 @@ type diagTracker struct {
 	riseRun  int // consecutive epochs with rising (or non-finite) loss
 }
 
-// observe ingests one epoch's loss and returns the loss delta and the
+// NewDiagTracker returns a tracker with the given configuration.
+func NewDiagTracker(cfg DiagConfig) *DiagTracker { return &DiagTracker{cfg: cfg} }
+
+// Observe ingests one epoch's loss and returns the loss delta and the
 // verdict after this epoch.
-func (d *diagTracker) observe(loss float64) (lossDelta float64, v Verdict) {
+func (d *DiagTracker) Observe(loss float64) (lossDelta float64, v Verdict) {
 	d.epochs++
 	if d.epochs == 1 {
 		d.prevLoss = loss
@@ -125,8 +129,8 @@ func (d *diagTracker) observe(loss float64) (lossDelta float64, v Verdict) {
 // isFinite reports whether f is neither NaN nor ±Inf.
 func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
-// l2Delta returns ||a-b||₂ (slices must be equal length).
-func l2Delta(a, b []float64) float64 {
+// L2Delta returns ||a-b||₂ (slices must be equal length).
+func L2Delta(a, b []float64) float64 {
 	var s float64
 	for i := range a {
 		d := a[i] - b[i]
@@ -135,9 +139,9 @@ func l2Delta(a, b []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// emitDiag records one epoch's diagnostics into the registry: gauges under
+// EmitDiag records one epoch's diagnostics into the registry: gauges under
 // the sgd.* names plus a "diag" trace event when a sink is attached.
-func emitDiag(reg *obs.Registry, d EpochDiag) {
+func EmitDiag(reg *obs.Registry, d EpochDiag) {
 	reg.SetGauge(obs.SGDGradNorm, d.GradNorm)
 	reg.SetGauge(obs.SGDUpdateNorm, d.UpdateNorm)
 	reg.SetGauge(obs.SGDLossDelta, d.LossDelta)

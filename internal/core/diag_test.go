@@ -64,9 +64,9 @@ func TestDiagTrackerSequences(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			tr := &diagTracker{cfg: tc.cfg}
+			tr := NewDiagTracker(tc.cfg)
 			for i, loss := range tc.losses {
-				delta, v := tr.observe(loss)
+				delta, v := tr.Observe(loss)
 				if v != tc.want[i] {
 					t.Fatalf("epoch %d (loss %v): verdict %q, want %q", i+1, loss, v, tc.want[i])
 				}
@@ -234,6 +234,10 @@ func TestTracePurity(t *testing.T) {
 	}
 	if bytes.Contains(base, []byte(`"name":"diag"`)) {
 		t.Fatal("passive trace contains diag events without Diag config")
+	}
+	if bytes.Contains(base, []byte(`"plan`)) {
+		t.Fatal("passive trace contains plan-profile events without Profile; " +
+			"see the executor's TestProfiledTraceBytesIdentical for the profiled case")
 	}
 	withFeed := passiveTrace(t, ds, false, true)
 	if !bytes.Equal(base, withFeed) {

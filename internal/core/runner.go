@@ -111,6 +111,10 @@ type Result struct {
 	// (nil / empty otherwise).
 	Diag    []EpochDiag
 	Verdict Verdict
+	// Plan holds the executed plan's per-operator profile when the run went
+	// through the instrumented executor (TrainConfig.Explain, EXPLAIN
+	// ANALYZE); nil for strategy-iterator runs.
+	Plan *obs.PlanStats
 }
 
 // Final returns the last epoch point (zero value for an empty run).
@@ -168,10 +172,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Clock != nil {
 		lastNow = start
 	}
-	var tracker *diagTracker
+	var tracker *DiagTracker
 	var wPrev []float64
 	if cfg.Diag != nil {
-		tracker = &diagTracker{cfg: *cfg.Diag}
+		tracker = NewDiagTracker(*cfg.Diag)
 		wPrev = make([]float64, len(w))
 	}
 	wallStart := time.Now()
@@ -221,17 +225,17 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 		var d EpochDiag
 		if tracker != nil {
-			delta, verdict := tracker.observe(stats.AvgLoss)
+			delta, verdict := tracker.Observe(stats.AvgLoss)
 			d = EpochDiag{
 				Epoch:      epoch + 1,
 				GradNorm:   stats.GradNorm(),
-				UpdateNorm: l2Delta(w, wPrev),
+				UpdateNorm: L2Delta(w, wPrev),
 				LossDelta:  delta,
 				Verdict:    verdict,
 			}
 			res.Diag = append(res.Diag, d)
 			res.Verdict = verdict
-			emitDiag(cfg.Obs, d)
+			EmitDiag(cfg.Obs, d)
 		}
 		totalTuples += int64(stats.Tuples)
 		publishStatus(cfg, p, d, totalTuples, wallStart, epoch+1 == cfg.Epochs)

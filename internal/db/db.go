@@ -47,6 +47,9 @@ type ModelEntry struct {
 	// Breakdown holds the per-epoch cross-layer time breakdown when the
 	// session has a metrics registry attached (nil otherwise).
 	Breakdown []obs.EpochMetrics
+	// Plan holds the executed plan's per-operator profile when the model
+	// was trained through EXPLAIN ANALYZE (nil otherwise).
+	Plan *obs.PlanStats
 }
 
 // Result is the tabular output of a statement.
@@ -58,6 +61,9 @@ type Result struct {
 	// Breakdown carries a TRAIN statement's per-epoch cross-layer time
 	// breakdown when the session has a metrics registry attached.
 	Breakdown []obs.EpochMetrics
+	// Plan carries the executed plan's per-operator profile for EXPLAIN
+	// ANALYZE statements (nil otherwise).
+	Plan *obs.PlanStats
 }
 
 // Session executes statements against a private catalog, simulated devices,
@@ -69,6 +75,7 @@ type Session struct {
 	models  map[string]*ModelEntry
 	obs     *obs.Registry
 	feed    *obs.RunFeed
+	diag    *core.DiagConfig
 	nextID  int
 }
 
@@ -113,6 +120,15 @@ func (s *Session) Metrics() *obs.Registry { return s.obs }
 // It returns the session.
 func (s *Session) WithFeed(feed *obs.RunFeed) *Session {
 	s.feed = feed
+	return s
+}
+
+// WithDiag attaches a convergence-diagnostics configuration: every TRAIN
+// statement tracks gradient/update norms and the plateau/divergence
+// verdict (read-only; the loss trace is unchanged). It returns the
+// session.
+func (s *Session) WithDiag(d *core.DiagConfig) *Session {
+	s.diag = d
 	return s
 }
 
@@ -248,115 +264,13 @@ func (s *Session) execCreate(st *sqlparse.CreateTable) (*Result, error) {
 }
 
 func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
-	entry, ok := s.Table(st.Table)
-	if !ok {
-		return nil, fmt.Errorf("db: unknown table %q", st.Table)
-	}
-	tab := entry.Table
-
-	model, err := ml.New(st.ModelType, tab.Classes())
+	op, rows, modelName, err := s.runTrain(st, false)
 	if err != nil {
 		return nil, err
-	}
-	lr := st.Params.Num("learning_rate", 0.05)
-	opt, err := ml.NewOptimizer(st.Params.Str("optimizer", "sgd"), lr)
-	if err != nil {
-		return nil, err
-	}
-	if sgd, ok := opt.(*ml.SGD); ok {
-		sgd.Decay = st.Params.Num("decay", 0.95)
-	}
-	kind := shuffle.Kind(st.Params.Str("shuffle", string(shuffle.KindCorgiPile)))
-
-	// Evaluation set: the table contents, decoded out-of-band, restricted
-	// to the WHERE predicate when one is given.
-	eval, err := tab.DecodeAll()
-	if err != nil {
-		return nil, err
-	}
-	filter := predicateFunc(st.Where)
-	if filter != nil {
-		kept := eval[:0]
-		for i := range eval {
-			if filter(&eval[i]) {
-				kept = append(kept, eval[i])
-			}
-		}
-		eval = kept
-	}
-	evalDS := &data.Dataset{
-		Name: entry.Name, Task: tab.Task(),
-		Features: tab.Features(), Classes: tab.Classes(), Tuples: eval,
-	}
-
-	seed := int64(st.Params.Num("seed", 1))
-	resil, err := trainResilience(st.Params, seed)
-	if err != nil {
-		return nil, err
-	}
-	cfg := executor.PlanConfig{
-		Shuffle:        kind,
-		BufferFraction: st.Params.Num("buffer_fraction", 0.1),
-		DoubleBuffer:   st.Params.Bool("double_buffer", true),
-		Seed:           seed,
-		Resilience:     resil,
-		Filter:         filter,
-		SGD: executor.SGDConfig{
-			Model:     model,
-			Opt:       opt,
-			Features:  tab.Features(),
-			Epochs:    int(st.Params.Num("max_epoch_num", 20)),
-			BatchSize: int(st.Params.Num("batch_size", 1)),
-			Procs:     int(st.Params.Num("procs", 1)),
-			Clock:     s.clock,
-			Eval:      evalDS,
-			Obs:       s.obs,
-			Feed:      s.feed,
-			RunName:   "train " + strings.ToLower(st.ModelName),
-		},
-	}
-	if mlp, ok := model.(ml.MLP); ok {
-		feats := tab.Features()
-		cfg.SGD.InitWeights = func(w []float64) {
-			mlp.InitWeights(w, feats, rand.New(rand.NewSource(seed)))
-		}
-	}
-	if fm, ok := model.(ml.FactorizationMachine); ok {
-		feats := tab.Features()
-		cfg.SGD.InitWeights = func(w []float64) {
-			fm.InitWeights(w, feats, 0.01, rand.New(rand.NewSource(seed)))
-		}
-	}
-
-	op, err := executor.BuildSGDPlan(shuffle.TableSource(tab), cfg)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := op.Run()
-	if err != nil {
-		return nil, err
-	}
-
-	modelName := strings.ToLower(st.ModelName)
-	if modelName == "" {
-		s.nextID++
-		modelName = fmt.Sprintf("model%d", s.nextID)
-	}
-	s.models[modelName] = &ModelEntry{
-		Name: modelName, Kind: st.ModelType, Model: model, W: op.W,
-		Features: tab.Features(), Classes: tab.Classes(), Epochs: rows,
-		Breakdown: op.Breakdown,
-	}
-
-	msg := fmt.Sprintf("TRAIN: model %q stored", modelName)
-	if op.Faults != nil {
-		if sum := op.Faults.Summary(); sum.Degraded() {
-			msg += "; faults: " + sum.String()
-		}
 	}
 	res := &Result{
 		Columns:   []string{"epoch", "loss", "accuracy", "seconds", "tuples"},
-		Message:   msg,
+		Message:   trainMessage("TRAIN", modelName, op),
 		Breakdown: op.Breakdown,
 	}
 	for _, r := range rows {
@@ -369,6 +283,58 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// runTrain builds the full plan for a TRAIN statement, executes it, and
+// stores the trained model in the catalog. profile enables the per-operator
+// runtime profile (EXPLAIN ANALYZE); a plain TRAIN leaves it off so the
+// executor hot path is untouched.
+func (s *Session) runTrain(st *sqlparse.Train, profile bool) (*executor.SGDOp, []executor.EpochRow, string, error) {
+	entry, ok := s.Table(st.Table)
+	if !ok {
+		return nil, nil, "", fmt.Errorf("db: unknown table %q", st.Table)
+	}
+	cfg, err := s.trainPlanConfig(st, entry, true, profile)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	op, err := executor.BuildSGDPlan(shuffle.TableSource(entry.Table), cfg)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	rows, err := op.Run()
+	if err != nil {
+		return nil, nil, "", err
+	}
+
+	modelName := strings.ToLower(st.ModelName)
+	if modelName == "" {
+		s.nextID++
+		modelName = fmt.Sprintf("model%d", s.nextID)
+	}
+	s.models[modelName] = &ModelEntry{
+		Name: modelName, Kind: st.ModelType, Model: cfg.SGD.Model, W: op.W,
+		Features: entry.Table.Features(), Classes: entry.Table.Classes(), Epochs: rows,
+		Breakdown: op.Breakdown,
+		Plan:      op.Plan(),
+	}
+	return op, rows, modelName, nil
+}
+
+// trainMessage formats the statement's status line, appending the fault
+// summary when the run degraded and the convergence verdict when the
+// session tracks diagnostics.
+func trainMessage(verb, modelName string, op *executor.SGDOp) string {
+	msg := fmt.Sprintf("%s: model %q stored", verb, modelName)
+	if op.Faults != nil {
+		if sum := op.Faults.Summary(); sum.Degraded() {
+			msg += "; faults: " + sum.String()
+		}
+	}
+	if op.Verdict != "" {
+		msg += "; verdict: " + string(op.Verdict)
+	}
+	return msg
 }
 
 // trainResilience builds the retry/degrade configuration from a TRAIN
@@ -469,8 +435,12 @@ func (s *Session) execPredict(st *sqlparse.Predict) (*Result, error) {
 }
 
 // trainPlanConfig builds the executor plan configuration a TRAIN statement
-// describes, without running it. Shared by execTrain and execExplain.
-func (s *Session) trainPlanConfig(st *sqlparse.Train, tab *storage.Table) (executor.PlanConfig, error) {
+// describes. Shared by execTrain (withEval=true: the evaluation set is the
+// table decoded out-of-band, restricted to the WHERE predicate) and
+// execExplain (withEval=false: only the plan shape matters, so the decode
+// is skipped). profile turns on the per-operator runtime profile.
+func (s *Session) trainPlanConfig(st *sqlparse.Train, entry *TableEntry, withEval, profile bool) (executor.PlanConfig, error) {
+	tab := entry.Table
 	model, err := ml.New(st.ModelType, tab.Classes())
 	if err != nil {
 		return executor.PlanConfig{}, err
@@ -488,12 +458,16 @@ func (s *Session) trainPlanConfig(st *sqlparse.Train, tab *storage.Table) (execu
 	if err != nil {
 		return executor.PlanConfig{}, err
 	}
-	return executor.PlanConfig{
+	filter := predicateFunc(st.Where)
+	cfg := executor.PlanConfig{
 		Shuffle:        shuffle.Kind(st.Params.Str("shuffle", string(shuffle.KindCorgiPile))),
 		BufferFraction: st.Params.Num("buffer_fraction", 0.1),
 		DoubleBuffer:   st.Params.Bool("double_buffer", true),
 		Seed:           seed,
 		Resilience:     resil,
+		Filter:         filter,
+		FilterDesc:     predicateDesc(st.Where),
+		Profile:        profile,
 		SGD: executor.SGDConfig{
 			Model:     model,
 			Opt:       opt,
@@ -502,26 +476,113 @@ func (s *Session) trainPlanConfig(st *sqlparse.Train, tab *storage.Table) (execu
 			BatchSize: int(st.Params.Num("batch_size", 1)),
 			Procs:     int(st.Params.Num("procs", 1)),
 			Clock:     s.clock,
+			Obs:       s.obs,
+			Feed:      s.feed,
+			Diag:      s.diag,
+			RunName:   "train " + strings.ToLower(st.ModelName),
 		},
-	}, nil
+	}
+	if withEval {
+		eval, err := tab.DecodeAll()
+		if err != nil {
+			return executor.PlanConfig{}, err
+		}
+		if filter != nil {
+			kept := eval[:0]
+			for i := range eval {
+				if filter(&eval[i]) {
+					kept = append(kept, eval[i])
+				}
+			}
+			eval = kept
+		}
+		cfg.SGD.Eval = &data.Dataset{
+			Name: entry.Name, Task: tab.Task(),
+			Features: tab.Features(), Classes: tab.Classes(), Tuples: eval,
+		}
+	}
+	if mlp, ok := model.(ml.MLP); ok {
+		feats := tab.Features()
+		cfg.SGD.InitWeights = func(w []float64) {
+			mlp.InitWeights(w, feats, rand.New(rand.NewSource(seed)))
+		}
+	}
+	if fm, ok := model.(ml.FactorizationMachine); ok {
+		feats := tab.Features()
+		cfg.SGD.InitWeights = func(w []float64) {
+			fm.InitWeights(w, feats, 0.01, rand.New(rand.NewSource(seed)))
+		}
+	}
+	return cfg, nil
 }
 
-// execExplain renders the physical plan of a TRAIN query.
+// predicateDesc renders a WHERE predicate for plan display.
+func predicateDesc(p *sqlparse.Predicate) string {
+	if p == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s %s %g", p.Column, p.Op, p.Value)
+}
+
+// execExplain renders the physical plan of a TRAIN query. Plain EXPLAIN
+// prints the static plan shape; EXPLAIN ANALYZE executes the statement —
+// storing the model exactly like TRAIN would — and annotates every node
+// with its measured row counts, self/total times and I/O statistics.
+// FORMAT JSON emits the same tree as an indented JSON document.
 func (s *Session) execExplain(st *sqlparse.Explain) (*Result, error) {
+	if st.Analyze {
+		return s.execExplainAnalyze(st)
+	}
 	entry, ok := s.Table(st.Train.Table)
 	if !ok {
 		return nil, fmt.Errorf("db: unknown table %q", st.Train.Table)
 	}
-	cfg, err := s.trainPlanConfig(st.Train, entry.Table)
+	cfg, err := s.trainPlanConfig(st.Train, entry, false, false)
 	if err != nil {
 		return nil, err
 	}
-	plan := executor.DescribePlan(shuffle.TableSource(entry.Table), cfg)
-	res := &Result{Columns: []string{"physical plan"}}
-	for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+	shape := executor.PlanShape(shuffle.TableSource(entry.Table), cfg)
+	if st.Format == "json" {
+		out, err := shape.JSON()
+		if err != nil {
+			return nil, err
+		}
+		return planResult(string(out), nil), nil
+	}
+	return planResult(shape.Text(false), nil), nil
+}
+
+// execExplainAnalyze runs the wrapped TRAIN with profiling enabled and
+// renders the annotated plan.
+func (s *Session) execExplainAnalyze(st *sqlparse.Explain) (*Result, error) {
+	op, _, modelName, err := s.runTrain(st.Train, true)
+	if err != nil {
+		return nil, err
+	}
+	plan := op.Plan()
+	var text string
+	if st.Format == "json" {
+		out, err := plan.JSON()
+		if err != nil {
+			return nil, err
+		}
+		text = string(out)
+	} else {
+		text = plan.Text(true)
+	}
+	res := planResult(text, plan)
+	res.Message = trainMessage("EXPLAIN ANALYZE", modelName, op)
+	res.Breakdown = op.Breakdown
+	return res, nil
+}
+
+// planResult wraps rendered plan text (one row per line) in a Result.
+func planResult(text string, plan *obs.PlanStats) *Result {
+	res := &Result{Columns: []string{"physical plan"}, Plan: plan}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		res.Rows = append(res.Rows, []string{line})
 	}
-	return res, nil
+	return res
 }
 
 // execAnalyze estimates the table's cluster factor h_D and gradient

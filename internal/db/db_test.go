@@ -1,7 +1,9 @@
 package db
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -9,6 +11,7 @@ import (
 	"testing"
 
 	"corgipile/internal/data"
+	"corgipile/internal/obs"
 	"corgipile/internal/sqlparse"
 )
 
@@ -238,6 +241,51 @@ func TestExplainTrainPlan(t *testing.T) {
 	}
 	if _, err := s.Exec(`EXPLAIN SELECT * FROM t PREDICT BY m`); err == nil {
 		t.Fatal("explain of predict should be rejected")
+	}
+}
+
+func TestExplainAnalyzeTrain(t *testing.T) {
+	s := NewSession()
+	mustExec(t, s, `CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.05) WITH block_size=16KB`)
+	res := mustExec(t, s, `EXPLAIN ANALYZE SELECT * FROM t TRAIN BY svm WITH shuffle='corgipile', buffer_fraction=0.1, max_epoch_num=2`)
+	if res.Plan == nil {
+		t.Fatal("EXPLAIN ANALYZE result carries no PlanStats")
+	}
+	text := ""
+	for _, row := range res.Rows {
+		text += row[0] + "\n"
+	}
+	for _, needle := range []string{
+		"SGD (model=svm", "TupleShuffle", "BlockShuffle", "(actual: rows=", "read=",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("analyze plan missing %q:\n%s", needle, text)
+		}
+	}
+	// The exclusive-time attribution invariant holds through the SQL layer.
+	sum, total := res.Plan.SelfSimSum(), res.Plan.TotalSimSeconds
+	if total <= 0 || math.Abs(sum-total) > 0.001*total {
+		t.Fatalf("exclusive times sum to %v, epoch total %v", sum, total)
+	}
+	if !strings.Contains(res.Message, "EXPLAIN ANALYZE: model") {
+		t.Fatalf("message = %q", res.Message)
+	}
+	// ANALYZE really executes: the trained model is stored and usable.
+	if models := mustExec(t, s, `SHOW MODELS`); len(models.Rows) != 1 {
+		t.Fatalf("models after EXPLAIN ANALYZE = %v", models.Rows)
+	}
+
+	res = mustExec(t, s, `EXPLAIN ANALYZE FORMAT JSON SELECT * FROM t TRAIN BY svm WITH shuffle='corgipile', max_epoch_num=2`)
+	joined := ""
+	for _, row := range res.Rows {
+		joined += row[0] + "\n"
+	}
+	var p obs.PlanStats
+	if err := json.Unmarshal([]byte(joined), &p); err != nil {
+		t.Fatalf("FORMAT JSON output not valid JSON: %v\n%s", err, joined)
+	}
+	if p.Name != "SGD" || p.Rows == 0 {
+		t.Fatalf("decoded plan root %+v", p)
 	}
 }
 

@@ -2,20 +2,27 @@ package executor
 
 import (
 	"fmt"
-	"strings"
 
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 )
 
-// DescribePlan renders the physical operator tree a PlanConfig would build
-// over src, in EXPLAIN style. The CorgiPile plan is the paper's
-// SGD → TupleShuffle → BlockShuffle pipeline; other strategies show their
-// access path.
-func DescribePlan(src shuffle.Source, cfg PlanConfig) string {
+// planShape is the static plan tree plus direct handles to its nodes, so
+// BuildSGDPlan can attach profiling measurements to the exact nodes the
+// renderer will print.
+type planShape struct {
+	root   *obs.PlanStats // SGD
+	filter *obs.PlanStats // nil without a WHERE predicate
+	access *obs.PlanStats // top access-path node
+	inner  *obs.PlanStats // BlockShuffle under TupleShuffle (CorgiPile only)
+}
+
+// buildShape constructs the operator tree a PlanConfig would build over
+// src, without building any operators.
+func buildShape(src shuffle.Source, cfg PlanConfig) planShape {
 	if cfg.BufferFraction <= 0 {
 		cfg.BufferFraction = 0.1
 	}
-	var b strings.Builder
 	model := "?"
 	if cfg.SGD.Model != nil {
 		model = cfg.SGD.Model.Name()
@@ -28,14 +35,34 @@ func DescribePlan(src shuffle.Source, cfg PlanConfig) string {
 	if batch < 1 {
 		batch = 1
 	}
-	fmt.Fprintf(&b, "SGD (model=%s optimizer=%s epochs=%d batch=%d)\n",
-		model, opt, cfg.SGD.Epochs, batch)
+	sh := planShape{root: &obs.PlanStats{
+		Name: "SGD",
+		Detail: fmt.Sprintf("model=%s optimizer=%s epochs=%d batch=%d",
+			model, opt, cfg.SGD.Epochs, batch),
+	}}
+
+	parent := sh.root
+	if cfg.Filter != nil {
+		desc := cfg.FilterDesc
+		if desc == "" {
+			desc = "predicate"
+		}
+		sh.filter = &obs.PlanStats{Name: "Filter", Detail: desc}
+		parent.Children = append(parent.Children, sh.filter)
+		parent = sh.filter
+	}
 
 	switch cfg.Shuffle {
 	case shuffle.KindNoShuffle:
-		fmt.Fprintf(&b, "└─ Scan (blocks=%d, sequential)\n", src.NumBlocks())
+		sh.access = &obs.PlanStats{
+			Name:   "Scan",
+			Detail: fmt.Sprintf("blocks=%d, sequential", src.NumBlocks()),
+		}
 	case shuffle.KindBlockOnly:
-		fmt.Fprintf(&b, "└─ BlockShuffle (blocks=%d, reshuffled per epoch)\n", src.NumBlocks())
+		sh.access = &obs.PlanStats{
+			Name:   "BlockShuffle",
+			Detail: fmt.Sprintf("blocks=%d, reshuffled per epoch", src.NumBlocks()),
+		}
 	case shuffle.KindCorgiPile, "":
 		capTuples := int(cfg.BufferFraction * float64(src.NumTuples()))
 		if capTuples < 1 {
@@ -45,13 +72,26 @@ func DescribePlan(src shuffle.Source, cfg PlanConfig) string {
 		if cfg.DoubleBuffer {
 			mode = "double-buffer"
 		}
-		fmt.Fprintf(&b, "└─ TupleShuffle (buffer=%d tuples ≈ %.0f%%, %s)\n",
-			capTuples, cfg.BufferFraction*100, mode)
-		fmt.Fprintf(&b, "   └─ BlockShuffle (blocks=%d, reshuffled per epoch)\n", src.NumBlocks())
+		sh.access = &obs.PlanStats{
+			Name: "TupleShuffle",
+			Detail: fmt.Sprintf("buffer=%d tuples ≈ %.0f%%, %s",
+				capTuples, cfg.BufferFraction*100, mode),
+			BufferCap: capTuples,
+		}
+		sh.inner = &obs.PlanStats{
+			Name:   "BlockShuffle",
+			Detail: fmt.Sprintf("blocks=%d, reshuffled per epoch", src.NumBlocks()),
+		}
+		sh.access.Children = append(sh.access.Children, sh.inner)
 	default:
-		fmt.Fprintf(&b, "└─ Strategy[%s] (buffer=%.0f%% of %d tuples)\n",
-			cfg.Shuffle, cfg.BufferFraction*100, src.NumTuples())
+		sh.access = &obs.PlanStats{
+			Name: fmt.Sprintf("Strategy[%s]", cfg.Shuffle),
+			Detail: fmt.Sprintf("buffer=%.0f%% of %d tuples",
+				cfg.BufferFraction*100, src.NumTuples()),
+		}
 	}
+	parent.Children = append(parent.Children, sh.access)
+
 	if cfg.Resilience.Enabled() {
 		r := cfg.Resilience
 		retries := r.Retry.MaxAttempts - 1
@@ -62,8 +102,24 @@ func DescribePlan(src shuffle.Source, cfg PlanConfig) string {
 		if cap <= 0 {
 			cap = shuffle.DefaultMaxSkipFraction
 		}
-		fmt.Fprintf(&b, "Resilience: retries=%d on_corrupt=%s max_skip=%.1f%%\n",
+		sh.root.Resilience = fmt.Sprintf("Resilience: retries=%d on_corrupt=%s max_skip=%.1f%%",
 			retries, r.OnCorrupt, cap*100)
 	}
-	return b.String()
+	return sh
+}
+
+// PlanShape returns the static physical-plan tree a PlanConfig would build
+// over src, with no runtime statistics — the EXPLAIN (FORMAT JSON)
+// payload.
+func PlanShape(src shuffle.Source, cfg PlanConfig) *obs.PlanStats {
+	return buildShape(src, cfg).root
+}
+
+// DescribePlan renders the physical operator tree a PlanConfig would build
+// over src, in EXPLAIN style. The CorgiPile plan is the paper's
+// SGD → TupleShuffle → BlockShuffle pipeline; other strategies show their
+// access path. The same tree, executed with PlanConfig.Profile, renders as
+// EXPLAIN ANALYZE via obs.PlanStats.Text(true).
+func DescribePlan(src shuffle.Source, cfg PlanConfig) string {
+	return PlanShape(src, cfg).Text(false)
 }

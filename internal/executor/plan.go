@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"corgipile/internal/data"
+	"corgipile/internal/obs"
 	"corgipile/internal/shuffle"
 )
 
@@ -26,6 +27,12 @@ type PlanConfig struct {
 	// Filter, when non-nil, drops tuples failing the predicate (the WHERE
 	// clause), applied above the access path and below SGD.
 	Filter func(*data.Tuple) bool
+	// FilterDesc describes Filter in EXPLAIN output (e.g. the WHERE text).
+	FilterDesc string
+	// Profile wraps every operator in a per-node runtime profiler; the
+	// executed-plan statistics are exposed as SGDOp.Plan() and streamed per
+	// epoch through SGDConfig.Feed. Zero-cost when false.
+	Profile bool
 	// Resilience, when enabled, wraps the source with retry/backoff and the
 	// configured corrupt-block degrade policy below every access path; the
 	// resulting fault report is exposed as SGDOp.Faults.
@@ -40,24 +47,54 @@ func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
 	if cfg.BufferFraction <= 0 {
 		cfg.BufferFraction = 0.1
 	}
+	var prof *PlanProfile
+	var shape planShape
+	if cfg.Profile {
+		shape = buildShape(src, cfg)
+		clock := cfg.SGD.Clock
+		if clock == nil {
+			clock = src.Clock()
+		}
+		prof = &PlanProfile{skeleton: shape.root, clock: clock}
+		if ds, ok := src.(shuffle.DeviceSource); ok {
+			prof.dev = ds.Device()
+		}
+	}
 	var faults *shuffle.FaultReport
 	if cfg.Resilience.Enabled() {
 		// Wrap here, below the strategy switch, so every access path —
 		// Scan, BlockShuffle, the CorgiPile pipeline, and the fallback
 		// strategies — reads through the same retry/quarantine layer.
 		src, faults = shuffle.NewResilientSource(src, cfg.Resilience, cfg.SGD.Obs, nil)
+		if prof != nil {
+			prof.faults = faults
+		}
+	}
+	// wrap attaches a profiling shell feeding the plan node st; a no-op
+	// (returning op and a nil node) when profiling is off.
+	wrap := func(op Operator, st *obs.PlanStats) (Operator, *nodeProf) {
+		if prof == nil {
+			return op, nil
+		}
+		n := &nodeProf{st: st}
+		if ts, ok := op.(*TupleShuffleOp); ok {
+			n.ts = ts
+		}
+		prof.nodes = append(prof.nodes, n)
+		return &profiledOp{op: op, n: n, clock: prof.clock}, n
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var child Operator
+	var top *nodeProf // outermost wrapped node (SGD's direct child)
 	switch cfg.Shuffle {
 	case shuffle.KindNoShuffle:
 		sc := NewScan(src)
 		sc.Obs = cfg.SGD.Obs
-		child = sc
+		child, top = wrap(sc, shape.access)
 	case shuffle.KindBlockOnly:
 		bs := NewBlockShuffle(src, rng)
 		bs.Obs = cfg.SGD.Obs
-		child = bs
+		child, top = wrap(bs, shape.access)
 	case shuffle.KindCorgiPile, "":
 		capTuples := int(cfg.BufferFraction * float64(src.NumTuples()))
 		if capTuples < 1 {
@@ -65,12 +102,17 @@ func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
 		}
 		bs := NewBlockShuffle(src, rng)
 		bs.Obs = cfg.SGD.Obs
-		ts := NewTupleShuffle(bs, capTuples, rng)
+		bsOp, bsN := wrap(bs, shape.inner)
+		ts := NewTupleShuffle(bsOp, capTuples, rng)
 		ts.DoubleBuffer = cfg.DoubleBuffer
 		ts.Clock = src.Clock()
 		ts.CopyCost = 60 * time.Nanosecond
 		ts.Obs = cfg.SGD.Obs
-		child = ts
+		child, top = wrap(ts, shape.access)
+		if top != nil {
+			top.children = append(top.children, bsN)
+			prof.leaf = bsN
+		}
 	default:
 		st, err := shuffle.New(cfg.Shuffle, src, shuffle.Options{
 			BufferFraction: cfg.BufferFraction,
@@ -81,16 +123,28 @@ func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
 		if err != nil {
 			return nil, err
 		}
-		child = &strategyOp{st: st}
+		child, top = wrap(&strategyOp{st: st}, shape.access)
+	}
+	if prof != nil && prof.leaf == nil {
+		prof.leaf = top
 	}
 	if cfg.Filter != nil {
-		child = NewFilter(child, cfg.Filter)
+		f, fn := wrap(NewFilter(child, cfg.Filter), shape.filter)
+		if fn != nil {
+			fn.children = append(fn.children, top)
+			top = fn
+		}
+		child = f
+	}
+	if prof != nil {
+		prof.top = top
 	}
 	op, err := NewSGD(child, cfg.SGD)
 	if err != nil {
 		return nil, err
 	}
 	op.Faults = faults
+	op.Prof = prof
 	return op, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"corgipile/internal/core"
 	"corgipile/internal/data"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
@@ -58,12 +59,22 @@ type SGDOp struct {
 	Feed *obs.RunFeed
 	// RunName labels feed updates (e.g. the TRAIN statement's model name).
 	RunName string
+	// Prof, when the plan was built with PlanConfig.Profile, accumulates
+	// per-operator runtime statistics (nil otherwise); Plan() snapshots it.
+	Prof *PlanProfile
+	// Diag holds one convergence-diagnostics row per completed epoch and
+	// Verdict the detector's final state, when SGDConfig.Diag enabled them.
+	Diag    []core.EpochDiag
+	Verdict core.Verdict
 
 	epoch     int
 	start     time.Duration
 	lastNow   time.Duration
 	tuples    int64
 	wallStart time.Time
+	diagCfg   *core.DiagConfig
+	tracker   *core.DiagTracker
+	wPrev     []float64
 }
 
 // SGDConfig configures an SGD operator.
@@ -85,6 +96,9 @@ type SGDConfig struct {
 	Feed *obs.RunFeed
 	// RunName labels feed updates.
 	RunName string
+	// Diag, when non-nil, enables the read-only convergence diagnostics
+	// (see core.DiagConfig); SGDOp.Diag and SGDOp.Verdict carry the outcome.
+	Diag *core.DiagConfig
 }
 
 // NewSGD returns an SGD operator over the child pipeline.
@@ -114,6 +128,11 @@ func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
 	}
 	op.trainer.Procs = cfg.Procs
 	op.trainer.Obs = cfg.Obs
+	if cfg.Diag != nil {
+		op.diagCfg = cfg.Diag
+		op.trainer.TrackGradNorm = true
+		op.wPrev = make([]float64, dim)
+	}
 	if cfg.Clock != nil || cfg.Obs != nil {
 		op.trainer.OnTuple = func(t *data.Tuple) {
 			cost := time.Duration(ml.GradCost(t.NNZ()))
@@ -128,6 +147,10 @@ func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
 
 // Init implements the operator contract for the training pipeline.
 func (op *SGDOp) Init() error {
+	// The profile baseline is taken before the child initializes so that
+	// strategy preprocessing (e.g. Shuffle Once's full sort) is attributed
+	// to the run rather than lost before the window opens.
+	op.Prof.Start()
 	if err := op.child.Init(); err != nil {
 		return err
 	}
@@ -139,6 +162,11 @@ func (op *SGDOp) Init() error {
 	op.tuples = 0
 	op.wallStart = time.Now()
 	op.Breakdown = op.Breakdown[:0]
+	op.Diag = op.Diag[:0]
+	op.Verdict = ""
+	if op.diagCfg != nil {
+		op.tracker = core.NewDiagTracker(*op.diagCfg)
+	}
 	return nil
 }
 
@@ -153,6 +181,9 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 		if err := op.child.ReScan(); err != nil {
 			return EpochRow{}, false, err
 		}
+	}
+	if op.tracker != nil {
+		copy(op.wPrev, op.W)
 	}
 	var before obs.Snapshot
 	if op.Obs != nil {
@@ -197,7 +228,22 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 			row.Accuracy = ml.Accuracy(op.trainer.Model, op.W, op.Eval)
 		}
 	}
+	var d core.EpochDiag
+	if op.tracker != nil {
+		delta, verdict := op.tracker.Observe(stats.AvgLoss)
+		d = core.EpochDiag{
+			Epoch:      op.epoch,
+			GradNorm:   stats.GradNorm(),
+			UpdateNorm: core.L2Delta(op.W, op.wPrev),
+			LossDelta:  delta,
+			Verdict:    verdict,
+		}
+		op.Diag = append(op.Diag, d)
+		op.Verdict = verdict
+		core.EmitDiag(op.Obs, d)
+	}
 	op.tuples += int64(row.Tuples)
+	op.Prof.EndEpoch(row.Tuples)
 	if op.Feed != nil {
 		st := obs.RunStatus{
 			Run:         op.RunName,
@@ -205,6 +251,10 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 			Epochs:      op.Epochs,
 			Loss:        row.Loss,
 			TrainAcc:    row.Accuracy,
+			GradNorm:    d.GradNorm,
+			UpdateNorm:  d.UpdateNorm,
+			LossDelta:   d.LossDelta,
+			Verdict:     string(d.Verdict),
 			Tuples:      op.tuples,
 			SimSeconds:  row.Seconds,
 			WallSeconds: time.Since(op.wallStart).Seconds(),
@@ -212,6 +262,9 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 		}
 		st.FillFromRegistry(op.Obs)
 		op.Feed.Publish(st)
+		if op.Prof != nil {
+			op.Feed.PublishPlan(op.Prof.Snapshot())
+		}
 	}
 	return row, true, nil
 }
@@ -243,6 +296,45 @@ func (op *SGDOp) Close() error {
 
 // Model returns the trained model.
 func (op *SGDOp) Model() ml.Model { return op.trainer.Model }
+
+// Plan returns a snapshot of the executed plan's per-operator profile, or
+// nil when the plan was built without PlanConfig.Profile.
+func (op *SGDOp) Plan() *obs.PlanStats {
+	if op.Prof == nil {
+		return nil
+	}
+	return op.Prof.Snapshot()
+}
+
+// RunResult drives every configured epoch like Run and adapts the outcome
+// to the core.Result shape, so executor-driven training (the -explain
+// path) is interchangeable with core.Run for callers.
+func (op *SGDOp) RunResult() (*core.Result, error) {
+	rows, err := op.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{
+		W:         op.W,
+		Breakdown: op.Breakdown,
+		Diag:      op.Diag,
+		Verdict:   op.Verdict,
+		Plan:      op.Plan(),
+	}
+	for _, r := range rows {
+		res.Points = append(res.Points, core.EpochPoint{
+			Epoch:    r.Epoch,
+			Seconds:  r.Seconds,
+			AvgLoss:  r.Loss,
+			TrainAcc: r.Accuracy,
+			Tuples:   r.Tuples,
+		})
+	}
+	if op.Faults != nil {
+		res.Faults = op.Faults.Summary()
+	}
+	return res, nil
+}
 
 // Prediction is one output row of the Predict operator.
 type Prediction struct {

@@ -134,6 +134,10 @@ func (op *TupleShuffleOp) nextAsync() (*data.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// BufferLen returns the number of tuples currently held in the shuffle
+// buffer — the profiler's occupancy probe.
+func (op *TupleShuffleOp) BufferLen() int { return len(op.buf) }
+
 // Next implements Operator.
 func (op *TupleShuffleOp) Next() (*data.Tuple, bool, error) {
 	if op.Async {

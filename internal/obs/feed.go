@@ -78,11 +78,20 @@ type RunFeed struct {
 	seq    int64
 	closed bool
 	subs   map[chan []byte]struct{}
+
+	// The plan topic carries executed-plan profile snapshots (one per
+	// epoch) alongside the scalar run status — the /run/plan data.
+	plan     *PlanStats
+	planSeq  int64
+	planSubs map[chan []byte]struct{}
 }
 
 // NewRunFeed returns an empty feed.
 func NewRunFeed() *RunFeed {
-	return &RunFeed{subs: make(map[chan []byte]struct{})}
+	return &RunFeed{
+		subs:     make(map[chan []byte]struct{}),
+		planSubs: make(map[chan []byte]struct{}),
+	}
 }
 
 // Publish records st as the current status and fans it out to all
@@ -152,9 +161,76 @@ func (f *RunFeed) Subscribe() (<-chan []byte, func()) {
 	return ch, cancel
 }
 
-// Close shuts the feed down: every subscriber channel is closed and future
-// Subscribe calls return an already-closed channel. Publish becomes a
-// recording-only no-op (the current status is still updated).
+// PublishPlan records p as the current executed-plan snapshot and fans it
+// out (as JSON) to plan-topic subscribers. The feed keeps the pointer; the
+// publisher must hand over an immutable snapshot (PlanProfile.Snapshot
+// already clones).
+func (f *RunFeed) PublishPlan(p *PlanStats) {
+	if f == nil || p == nil {
+		return
+	}
+	msg, err := json.Marshal(p)
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	f.plan = p
+	f.planSeq++
+	for ch := range f.planSubs {
+		select {
+		case ch <- msg:
+		default: // subscriber is behind; it still holds older updates
+		}
+	}
+	f.mu.Unlock()
+}
+
+// PlanStatus returns the most recently published plan snapshot (nil before
+// the first) and the number of plan updates published so far.
+func (f *RunFeed) PlanStatus() (*PlanStats, int64) {
+	if f == nil {
+		return nil, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.plan, f.planSeq
+}
+
+// SubscribePlan registers a plan-topic subscriber; semantics mirror
+// Subscribe.
+func (f *RunFeed) SubscribePlan() (<-chan []byte, func()) {
+	if f == nil {
+		ch := make(chan []byte)
+		close(ch)
+		return ch, func() {}
+	}
+	ch := make(chan []byte, 8)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	f.planSubs[ch] = struct{}{}
+	f.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			f.mu.Lock()
+			if _, ok := f.planSubs[ch]; ok {
+				delete(f.planSubs, ch)
+				close(ch)
+			}
+			f.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Close shuts the feed down: every subscriber channel (both topics) is
+// closed and future Subscribe calls return an already-closed channel.
+// Publish becomes a recording-only no-op (the current status is still
+// updated).
 func (f *RunFeed) Close() {
 	if f == nil {
 		return
@@ -164,6 +240,10 @@ func (f *RunFeed) Close() {
 		f.closed = true
 		for ch := range f.subs {
 			delete(f.subs, ch)
+			close(ch)
+		}
+		for ch := range f.planSubs {
+			delete(f.planSubs, ch)
 			close(ch)
 		}
 	}

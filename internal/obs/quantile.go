@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
 // durations from the histogram's log2 buckets. The estimate locates the
@@ -11,7 +14,9 @@ import "time"
 // Bucket semantics follow hist.observe: bucket 0 holds sub-nanosecond
 // observations, bucket i (i ≥ 1) holds durations in [2^(i-1), 2^i) ns.
 func (h HistSnapshot) Quantile(q float64) time.Duration {
-	if h.Count == 0 {
+	if h.Count == 0 || math.IsNaN(q) {
+		// An empty histogram (or a nonsensical quantile) is 0, never NaN —
+		// int64(NaN * count) is platform-defined garbage otherwise.
 		return 0
 	}
 	if q <= 0 {

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQuantileTable pins the edge-case behavior of HistSnapshot.Quantile:
+// empty histograms and nonsensical q values are 0 (never NaN), a
+// single-observation histogram returns its recorded value at every
+// quantile, and single-bucket histograms stay clamped inside the recorded
+// [Min, Max] envelope.
+func TestQuantileTable(t *testing.T) {
+	single := HistSnapshot{Count: 1, Min: 7, Max: 7}
+	single.Buckets[3] = 1 // [4, 8) ns
+
+	oneBucket := HistSnapshot{Count: 10, Min: 33, Max: 60}
+	oneBucket.Buckets[6] = 10 // [32, 64) ns
+
+	subNano := HistSnapshot{Count: 4, Min: 0, Max: 0}
+	subNano.Buckets[0] = 4 // [0, 1) ns
+
+	cases := []struct {
+		name string
+		h    HistSnapshot
+		q    float64
+		want time.Duration
+	}{
+		{"empty q=0", HistSnapshot{}, 0, 0},
+		{"empty q=0.5", HistSnapshot{}, 0.5, 0},
+		{"empty q=1", HistSnapshot{}, 1, 0},
+		{"empty q=NaN", HistSnapshot{}, math.NaN(), 0},
+		{"NaN q on data", oneBucket, math.NaN(), 0},
+		{"single obs q=0", single, 0, 7},
+		{"single obs q=0.5", single, 0.5, 7},
+		{"single obs q=0.99", single, 0.99, 7},
+		{"single obs q=1", single, 1, 7},
+		{"one bucket q<=0 clamps to Min", oneBucket, -1, 33},
+		{"one bucket q>=1 clamps to Max", oneBucket, 2, 60},
+		{"sub-nanosecond bucket q=0.5", subNano, 0.5, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%g) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+
+	// Every quantile of a single-bucket histogram must land inside its
+	// envelope, whatever the interpolation does inside the bucket.
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := oneBucket.Quantile(q)
+		if got < oneBucket.Min || got > oneBucket.Max {
+			t.Fatalf("Quantile(%g) = %v escaped [%v, %v]", q, got, oneBucket.Min, oneBucket.Max)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 //	manifest.json   full config, seed, git SHA, go version, timestamp
 //	epochs.jsonl    one EpochMetrics row per epoch
 //	metrics.prom    the final registry snapshot in Prometheus text format
+//	plan.json       the executed-plan profile, for profiled runs
 //
 // Two runs become diffable by diffing their directories; the manifest
 // makes every number attributable to an exact source revision.
@@ -116,6 +117,19 @@ func (rd *RunDir) WriteEpochs(rows []EpochMetrics) error {
 		}
 	}
 	return f.Close()
+}
+
+// WritePlan writes the executed-plan profile as plan.json. A nil plan (the
+// run was not profiled) writes nothing.
+func (rd *RunDir) WritePlan(p *PlanStats) error {
+	if rd == nil || p == nil {
+		return nil
+	}
+	data, err := p.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(rd.Dir, "plan.json"), append(data, '\n'), 0o644)
 }
 
 // WriteMetrics snapshots the registry into metrics.prom — the same bytes a

@@ -71,6 +71,7 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/run/plan", s.handleRunPlan)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -136,6 +137,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "corgipile telemetry\n\n"+
 		"/metrics       Prometheus text exposition of the metrics registry\n"+
 		"/run           current run status (JSON); ?stream=1 for SSE\n"+
+		"/run/plan      executed-plan profile (annotated tree; ?format=json, ?stream=1 for SSE)\n"+
 		"/debug/pprof/  Go profiling endpoints\n")
 }
 
@@ -168,6 +170,77 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		RunStatus
 		Updates int64 `json:"updates"`
 	}{st, seq})
+}
+
+// handleRunPlan serves the executed-plan profile: the live annotated tree
+// as text by default, the full node tree with ?format=json, or an SSE
+// stream of per-epoch JSON snapshots with ?stream=1 (or Accept:
+// text/event-stream).
+func (s *Server) handleRunPlan(w http.ResponseWriter, r *http.Request) {
+	if s.feed == nil {
+		http.Error(w, "no run feed attached", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("stream") != "" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamRunPlan(w, r)
+		return
+	}
+	p, _ := s.feed.PlanStatus()
+	if p == nil {
+		http.Error(w, "no plan published yet (is the run profiled? pass -explain)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		out, err := p.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(out)
+		w.Write([]byte("\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "epoch %d\n", p.Epoch)
+	p.WriteText(w, true)
+}
+
+// streamRunPlan streams per-epoch plan snapshots as server-sent events.
+func (s *Server) streamRunPlan(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// Subscribe before reading the current snapshot so no epoch published
+	// in between is missed (same ordering as streamRun).
+	ch, cancel := s.feed.SubscribePlan()
+	defer cancel()
+	if p, seq := s.feed.PlanStatus(); seq > 0 && p != nil {
+		if msg, err := json.Marshal(p); err == nil {
+			fmt.Fprintf(w, "data: %s\n\n", msg)
+			fl.Flush()
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case msg, ok := <-ch:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", msg)
+			fl.Flush()
+		}
+	}
 }
 
 // streamRun streams run updates as server-sent events until the client

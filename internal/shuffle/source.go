@@ -32,6 +32,15 @@ type Source interface {
 	Clock() *iosim.Clock
 }
 
+// DeviceSource is a Source backed by a simulated storage device. The
+// executor's profiler uses it to attribute device traffic (bytes read,
+// cache hits, injected faults) to the plan's access-path leaf.
+type DeviceSource interface {
+	Source
+	// Device returns the backing simulated device.
+	Device() *iosim.Device
+}
+
 // FullShuffler is a Source that can materialize a fully shuffled copy of
 // itself, charging whatever that costs (Shuffle Once's preprocessing).
 type FullShuffler interface {
@@ -52,6 +61,9 @@ type tableSource struct {
 
 // TableSource wraps a storage table as a strategy Source.
 func TableSource(t *storage.Table) FullShuffler { return tableSource{t} }
+
+// Device implements DeviceSource.
+func (s tableSource) Device() *iosim.Device { return s.t.Device() }
 
 func (s tableSource) NumBlocks() int        { return s.t.NumBlocks() }
 func (s tableSource) NumTuples() int        { return s.t.NumTuples() }

@@ -117,10 +117,17 @@ type Show struct {
 
 func (*Show) stmt() {}
 
-// Explain wraps a TRAIN query: EXPLAIN SELECT * FROM t TRAIN BY ... — it
-// prints the physical operator plan instead of executing it.
+// Explain wraps a TRAIN query: EXPLAIN [ANALYZE] [FORMAT JSON|TEXT]
+// SELECT * FROM t TRAIN BY ... — plain EXPLAIN prints the physical
+// operator plan; EXPLAIN ANALYZE executes the statement (storing the
+// model, exactly like the underlying TRAIN) and annotates each plan node
+// with its measured runtime statistics.
 type Explain struct {
 	Train *Train
+	// Analyze executes the plan and annotates it with actual statistics.
+	Analyze bool
+	// Format is "text" (default, also when empty) or "json".
+	Format string
 }
 
 func (*Explain) stmt() {}

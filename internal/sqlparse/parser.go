@@ -332,6 +332,20 @@ func (p *parser) comparison() (string, error) {
 
 func (p *parser) explainStmt() (Statement, error) {
 	p.next() // EXPLAIN
+	ex := &Explain{}
+	ex.Analyze = p.accept(tokWord, "analyze")
+	if p.accept(tokWord, "format") {
+		f, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(f.text) {
+		case "json", "text":
+			ex.Format = strings.ToLower(f.text)
+		default:
+			return nil, fmt.Errorf("sqlparse: EXPLAIN FORMAT wants JSON or TEXT, got %q", f.text)
+		}
+	}
 	st, err := p.selectStmtAfterKeyword()
 	if err != nil {
 		return nil, err
@@ -340,7 +354,8 @@ func (p *parser) explainStmt() (Statement, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqlparse: EXPLAIN supports only TRAIN BY queries")
 	}
-	return &Explain{Train: tr}, nil
+	ex.Train = tr
+	return ex, nil
 }
 
 // selectStmtAfterKeyword parses a SELECT statement including its keyword.

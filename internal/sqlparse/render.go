@@ -45,7 +45,14 @@ func Render(st Statement) string {
 	case *Drop:
 		return fmt.Sprintf("DROP %s %s", strings.ToUpper(st.What), st.Name)
 	case *Explain:
-		return "EXPLAIN " + Render(st.Train)
+		out := "EXPLAIN "
+		if st.Analyze {
+			out += "ANALYZE "
+		}
+		if st.Format != "" {
+			out += "FORMAT " + strings.ToUpper(st.Format) + " "
+		}
+		return out + Render(st.Train)
 	case *Analyze:
 		out := "ANALYZE TABLE " + st.Table
 		if len(st.Params) > 0 {

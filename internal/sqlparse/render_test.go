@@ -19,6 +19,9 @@ func TestRenderRoundTrip(t *testing.T) {
 		`DROP TABLE t`,
 		`DROP MODEL m`,
 		`EXPLAIN SELECT * FROM t TRAIN BY svm WITH shuffle='no_shuffle'`,
+		`EXPLAIN ANALYZE SELECT * FROM t TRAIN BY svm WITH max_epoch_num=2`,
+		`EXPLAIN FORMAT JSON SELECT * FROM t TRAIN BY svm`,
+		`EXPLAIN ANALYZE FORMAT JSON SELECT * FROM t WHERE id < 100 TRAIN BY lr MODEL m2`,
 		`ANALYZE TABLE t WITH model='lr', tolerance=1.2`,
 		`SAVE MODEL m TO '/tmp/m.json'`,
 		`LOAD MODEL m FROM '/tmp/m.json'`,

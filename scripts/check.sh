@@ -11,3 +11,13 @@ go vet ./...
 go test ./...
 go test -race ./internal/...
 go test -run 'Fuzz' ./internal/storage/
+
+# EXPLAIN ANALYZE golden output: the executed-plan tree must keep its
+# Postgres-style shape — node headers, tree connectors, and per-node
+# actual annotations — end to end through the SQL front-end.
+plan=$(go run ./cmd/corgisql -c "CREATE TABLE t AS SYNTHETIC(workload='susy', scale=0.05) WITH block_size=16KB; EXPLAIN ANALYZE SELECT * FROM t TRAIN BY svm WITH shuffle='corgipile', buffer_fraction=0.1, max_epoch_num=2")
+echo "$plan" | grep -q 'SGD (model=svm'
+echo "$plan" | grep -q '└─ TupleShuffle'
+echo "$plan" | grep -q '└─ BlockShuffle'
+echo "$plan" | grep -q '(actual: rows='
+echo "$plan" | grep -q 'EXPLAIN ANALYZE: model'

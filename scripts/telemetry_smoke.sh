@@ -1,8 +1,9 @@
 #!/bin/sh
 # Telemetry end-to-end smoke: boot a real training run with -serve, scrape
-# /metrics and /run over HTTP while it executes, and hold the committed
-# fault-sweep baseline with corgibench -compare. Fails on any missing
-# endpoint, malformed exposition output, or benchmark regression.
+# /metrics, /run and the live /run/plan executed-plan tree over HTTP while
+# it executes, and hold the committed fault-sweep baseline with corgibench
+# -compare. Fails on any missing endpoint, malformed exposition output, or
+# benchmark regression.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -15,7 +16,7 @@ go build -o "$workdir/corgibench" ./cmd/corgibench
 
 # A run long enough (~wall seconds) to scrape mid-flight: large synthetic
 # dataset, many epochs. -serve 127.0.0.1:0 picks a free port and prints it.
-"$workdir/corgitrain" -synthetic higgs -scale 20 -epochs 500 -diag \
+"$workdir/corgitrain" -synthetic higgs -scale 20 -epochs 500 -diag -explain \
     -serve 127.0.0.1:0 >"$workdir/train.log" 2>&1 &
 trainpid=$!
 
@@ -44,6 +45,14 @@ grep -q '"verdict"' "$workdir/run.json"
 # The SSE stream must deliver at least one per-epoch event.
 curl -sN --max-time 10 "$url/run?stream=1" | head -n 1 | grep -q '^data: {'
 
+# The live executed-plan endpoint serves the annotated tree (the run was
+# started with -explain, so the profiler publishes it once per epoch).
+curl -sf "$url/run/plan" >"$workdir/plan.txt"
+grep -q '^epoch ' "$workdir/plan.txt"
+grep -q 'SGD (model=svm' "$workdir/plan.txt"
+grep -q '(actual: rows=' "$workdir/plan.txt"
+curl -sf "$url/run/plan?format=json" | grep -q '"name": "SGD"'
+
 # pprof is mounted and serves a real profile.
 curl -sf "$url/debug/pprof/profile?seconds=1" >"$workdir/cpu.pprof"
 [ -s "$workdir/cpu.pprof" ]
@@ -53,12 +62,13 @@ wait $trainpid 2>/dev/null || true
 
 # Durable run artifacts: a short run must leave a stamped manifest, the
 # per-epoch breakdown, and a final Prometheus snapshot behind.
-"$workdir/corgitrain" -synthetic higgs -epochs 3 -metrics \
+"$workdir/corgitrain" -synthetic higgs -epochs 3 -metrics -explain \
     -run-dir "$workdir/run" >/dev/null
 grep -q '"git_sha"' "$workdir/run/manifest.json"
 grep -q '"tool": "corgitrain"' "$workdir/run/manifest.json"
 grep -q '"epoch":1' "$workdir/run/epochs.jsonl"
 grep -q '^corgipile_sgd_tuples' "$workdir/run/metrics.prom"
+grep -q '"name": "SGD"' "$workdir/run/plan.json"
 
 # Regression gate: the simulated fault sweep is deterministic, so the
 # committed baseline must reproduce near-exactly on any machine.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"corgipile/internal/core"
+	"corgipile/internal/executor"
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
 	"corgipile/internal/shuffle"
@@ -77,6 +78,15 @@ type TrainConfig struct {
 	Feed *RunFeed
 	// RunName labels feed updates (free-form).
 	RunName string
+	// Explain routes the run through the Volcano executor with per-operator
+	// profiling enabled: Result.Plan then carries the annotated plan tree
+	// (the EXPLAIN ANALYZE payload), and the same tree streams per epoch
+	// through Feed. The executor implements the strategies as pull
+	// operators, so an Explain run may visit tuples in a different order
+	// than the default strategy-iterator engine — convergence behavior is
+	// equivalent but the loss trace is not bit-identical across the two
+	// engines.
+	Explain bool
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -174,6 +184,40 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		},
 		OnCorrupt:       policy,
 		MaxSkipFraction: cfg.MaxSkipFraction,
+	}
+	if cfg.Explain {
+		// Profiled runs go through the Volcano executor, which builds its
+		// own resilience wrapper and fault report from the plan config.
+		pc := executor.PlanConfig{
+			Shuffle:        cfg.Strategy,
+			BufferFraction: cfg.BufferFraction,
+			DoubleBuffer:   cfg.DoubleBuffer,
+			Seed:           cfg.Seed,
+			Resilience:     res,
+			Profile:        true,
+			SGD: executor.SGDConfig{
+				Model:     model,
+				Opt:       opt,
+				Features:  ds.Features,
+				Epochs:    cfg.Epochs,
+				BatchSize: cfg.BatchSize,
+				Procs:     cfg.Procs,
+				Clock:     clock,
+				Eval:      ds,
+				Obs:       cfg.Metrics,
+				Feed:      cfg.Feed,
+				Diag:      cfg.Diag,
+				RunName:   cfg.RunName,
+			},
+		}
+		if mlp, ok := model.(ml.MLP); ok {
+			pc.SGD.InitWeights = core.MLPInit(mlp, ds.Features, cfg.Seed)
+		}
+		op, err := executor.BuildSGDPlan(src, pc)
+		if err != nil {
+			return nil, err
+		}
+		return op.RunResult()
 	}
 	var report *shuffle.FaultReport
 	if res.Enabled() {
