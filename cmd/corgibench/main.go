@@ -11,6 +11,9 @@
 //	corgibench -hotpath [-out BENCH_hotpath.json] [-stamp-time RFC3339]
 //	corgibench -faults [-out BENCH_faults.json] [-stamp-time RFC3339]
 //	corgibench -compare BENCH_hotpath.json [-tolerance 0.5]
+//	corgibench -serve-load [-serve-addr HOST:PORT] [-trains 2]
+//	           [-predict-clients 4] [-predicts 2000] [-workload susy]
+//	           [-scale 0.05] [-epochs 20] [-seed 1]
 //
 // With no experiment arguments (or "all") it runs the full suite. Each
 // experiment prints the rows/series of the corresponding paper artifact;
@@ -26,6 +29,12 @@
 //
 // With -compare it re-runs the suite behind a committed BENCH_*.json
 // baseline and exits 1 if any metric regressed.
+//
+// With -serve-load it boots a corgiserved instance (or targets a running
+// one with -serve-addr), keeps -trains background TRAIN jobs executing,
+// and measures PREDICT throughput and p50/p95/p99 latency from
+// -predict-clients concurrent connections, canceling one TRAIN mid-run to
+// verify its admission slot is returned.
 package main
 
 import (
@@ -64,6 +73,11 @@ func main() {
 		explain   = flag.Bool("explain", false, "-metrics: profile the executor plan and print the annotated EXPLAIN ANALYZE tree")
 		runDir    = flag.String("run-dir", "", "-metrics: write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom) to this directory")
 		compare   = flag.String("compare", "", "re-run the suite behind this BENCH_*.json baseline and report regressions")
+		serveLoad = flag.Bool("serve-load", false, "run the serving-plane load experiment (predict latency under concurrent TRAINs)")
+		serveAddr = flag.String("serve-addr", "", "-serve-load: target a running corgiserved instead of booting one in-process")
+		trains    = flag.Int("trains", 2, "-serve-load: concurrent background TRAIN jobs")
+		pClients  = flag.Int("predict-clients", 4, "-serve-load: concurrent predict connections")
+		predicts  = flag.Int("predicts", 2000, "-serve-load: total PREDICT statements")
 		tolerance = flag.Float64("tolerance", 0, "-compare: relative wall-clock slack (0 = default 0.5)")
 		stampTime = flag.String("stamp-time", "", "-hotpath/-faults: RFC 3339 timestamp to stamp the report with (default: now)")
 	)
@@ -76,6 +90,36 @@ func main() {
 		}
 		if regressions > 0 {
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveLoad {
+		opts := bench.ServeLoadOptions{
+			Addr:     *serveAddr,
+			Workload: *workload,
+			Trains:   *trains,
+			Clients:  *pClients,
+			Predicts: *predicts,
+			Cancel:   true,
+			Seed:     *seed,
+		}
+		// Reuse the suite's -workload/-scale/-epochs knobs, but default to
+		// a serving-sized catalog and long-running background jobs rather
+		// than the experiment suite's defaults.
+		if flagSet("scale") {
+			opts.Scale = *scale
+		}
+		if flagSet("epochs") {
+			opts.Epochs = *epochs
+		}
+		if flagSet("workload") {
+			opts.Workload = *workload
+		} else {
+			opts.Workload = ""
+		}
+		if err := bench.ServeLoad(os.Stdout, opts); err != nil {
+			fatal(err)
 		}
 		return
 	}

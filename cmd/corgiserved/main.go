@@ -1,0 +1,154 @@
+// Command corgiserved is the serving plane: a long-lived server that
+// accepts concurrent client sessions over a newline-delimited JSON
+// protocol (documented in docs/PROTOCOL.md), trains models as queued
+// background jobs with admission control and cancellation, and answers
+// PREDICT statements at high rates from cached models.
+//
+// Usage:
+//
+//	corgiserved -listen 127.0.0.1:7878 \
+//	    [-init boot.sql] [-workers 2] [-queue 8] [-session-max 2] \
+//	    [-telemetry 127.0.0.1:9090] [-run-root runs/]
+//
+//	corgiserved -connect HOST:PORT [-replay transcript.txt]
+//
+// In server mode, -init runs a semicolon-separated SQL script (typically
+// CREATE TABLE statements) against the catalog before the listener opens,
+// so clients find tables ready. -telemetry exposes the obs HTTP plane:
+// /metrics aggregates device counters across all jobs, /run?job=<id>
+// streams one job's live per-epoch status. -run-root persists per-job
+// artifacts (manifest.json, epochs.jsonl, metrics.prom) as jobs finish.
+//
+// In client mode (-connect), stdin lines (or -replay file lines) starting
+// with "C: " are sent verbatim and each response is printed as "S: <json>"
+// — the exact framing docs/PROTOCOL.md uses, so a documented transcript
+// replays against a live server unchanged. Lines without the prefix are
+// treated as raw request lines; blank lines and "#" comments are skipped.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"corgipile/internal/db"
+	"corgipile/internal/serve"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7878", "listen address (port 0 picks a free port)")
+		initScript = flag.String("init", "", "run this SQL script against the catalog before serving")
+		workers    = flag.Int("workers", 2, "concurrent TRAIN job executors")
+		queue      = flag.Int("queue", 8, "pending TRAIN job queue depth (admission control)")
+		sessionMax = flag.Int("session-max", 2, "max active (queued+running) jobs per session")
+		telemetry  = flag.String("telemetry", "", "serve live telemetry (/metrics, /run?job=<id>, /debug/pprof/) on this address")
+		runRoot    = flag.String("run-root", "", "write per-job durable artifacts under this directory")
+		connect    = flag.String("connect", "", "client mode: connect to a running server instead of serving")
+		replay     = flag.String("replay", "", "-connect: replay this transcript file instead of reading stdin")
+	)
+	flag.Parse()
+
+	if *connect != "" {
+		if err := runClient(*connect, *replay); err != nil {
+			fmt.Fprintln(os.Stderr, "corgiserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	session := db.NewSession()
+	if *initScript != "" {
+		sql, err := os.ReadFile(*initScript)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corgiserved:", err)
+			os.Exit(1)
+		}
+		results, err := session.ExecScript(string(sql))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corgiserved: init script:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			if r.Message != "" {
+				fmt.Println("init:", r.Message)
+			}
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Addr:       *listen,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		SessionMax: *sessionMax,
+		Telemetry:  *telemetry,
+		RunRoot:    *runRoot,
+		Session:    session,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corgiserved:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corgiserved: listening on %s (protocol v%d, %d workers, queue %d)\n",
+		srv.Addr(), serve.ProtocolVersion, *workers, *queue)
+	if *telemetry != "" {
+		fmt.Printf("corgiserved: telemetry on %s\n", srv.TelemetryURL())
+	}
+
+	// Serve until interrupted; Close cancels in-flight jobs and waits for
+	// every session handler to unwind.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("corgiserved: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "corgiserved:", err)
+		os.Exit(1)
+	}
+}
+
+// runClient drives a server from a transcript: each input line is one raw
+// request, each response prints prefixed "S: ". The "C: " prefix on input
+// is stripped, so docs/PROTOCOL.md transcripts replay verbatim.
+func runClient(addr, replayFile string) error {
+	in := os.Stdin
+	if replayFile != "" {
+		f, err := os.Open(replayFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	conn, err := serve.DialRaw(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 4096), serve.MaxLineBytes)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "S:"); ok {
+			// Expected-response lines in a transcript are informational;
+			// the smoke script diffs actual output against them instead.
+			_ = rest
+			continue
+		}
+		line = strings.TrimSpace(strings.TrimPrefix(line, "C:"))
+		resp, err := conn.DoLine(line)
+		if err != nil {
+			return err
+		}
+		fmt.Println("S:", resp)
+	}
+	return sc.Err()
+}

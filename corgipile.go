@@ -33,6 +33,7 @@ import (
 	"corgipile/internal/iosim"
 	"corgipile/internal/ml"
 	"corgipile/internal/obs"
+	"corgipile/internal/serve"
 	"corgipile/internal/shuffle"
 	"corgipile/internal/storage"
 )
@@ -102,6 +103,20 @@ type (
 	// Verdict classifies a run's convergence health ("converging",
 	// "plateau", "diverging", "warmup").
 	Verdict = core.Verdict
+	// Server is the serving plane: a long-lived multi-session
+	// training/prediction server speaking the newline-delimited JSON
+	// protocol of docs/PROTOCOL.md. Start one with NewServer.
+	Server = serve.Server
+	// ServeConfig configures a Server (listen address, worker count,
+	// admission-control limits, telemetry, artifact root).
+	ServeConfig = serve.Config
+	// ServeClient is a protocol client for a running Server.
+	ServeClient = serve.Client
+	// JobStatus is the wire representation of one background TRAIN job.
+	JobStatus = serve.JobStatus
+	// JobState is a TRAIN job's lifecycle state (queued, running, done,
+	// failed, canceled).
+	JobState = serve.JobState
 )
 
 // Tuple orders.
@@ -158,6 +173,17 @@ func NewRunFeed() *RunFeed { return obs.NewRunFeed() }
 func ServeTelemetry(addr string, reg *Metrics, feed *RunFeed) (*TelemetryServer, error) {
 	return obs.Serve(obs.ServeConfig{Addr: addr, Registry: reg, Feed: feed})
 }
+
+// NewServer starts the serving plane on cfg.Addr: a TCP server that
+// parses the TRAIN BY / PREDICT BY dialect, queues TRAIN statements as
+// cancellable background jobs behind admission control, and answers
+// PREDICTs from cached models. See docs/PROTOCOL.md for the wire protocol
+// and cmd/corgiserved for the binary.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// DialServer connects a client to a running Server and performs the
+// protocol handshake.
+func DialServer(addr string) (*ServeClient, error) { return serve.Dial(addr) }
 
 // WriteEpochBreakdown renders per-epoch metrics rows (Result.Breakdown) as
 // an aligned text table.

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corgipile/internal/db"
+	"corgipile/internal/serve"
+)
+
+// This file is the serving-plane load generator behind `corgibench
+// -serve-load`: it boots a corgiserved instance (or targets a running
+// one), keeps N TRAIN jobs executing in the background, and hammers the
+// PREDICT path from concurrent client connections, reporting throughput
+// and tail latency. Midway through, it cancels the first TRAIN and
+// verifies the admission slot is returned — the interference experiment
+// the serving plane exists for: does background training (and its churn)
+// disturb foreground prediction?
+
+// ServeLoadOptions configures the load run. Zero values pick defaults
+// sized for a CI-friendly run of a few seconds.
+type ServeLoadOptions struct {
+	// Addr targets an already-running server; "" boots one in-process on a
+	// free port with a synthetic catalog.
+	Addr string
+	// Workload and Scale size the in-process synthetic table (default
+	// susy at 1.0 — 10k tuples).
+	Workload string
+	Scale    float64
+	// Trains is the number of concurrent background TRAIN jobs (default 2).
+	Trains int
+	// Epochs is each background TRAIN's epoch budget (default 500 — an
+	// over-provisioned budget, so the jobs are still mid-flight when the
+	// predict load and the cancellation probe land; canceled and
+	// still-running jobs at exit are expected, not failures).
+	Epochs int
+	// Clients is the number of concurrent predict connections (default 4).
+	Clients int
+	// Predicts is the total number of PREDICT statements (default 2000).
+	Predicts int
+	// Cancel, when true (the default for the CLI), cancels the first TRAIN
+	// mid-run and checks the admission slot frees up.
+	Cancel bool
+	// Seed seeds the synthetic catalog and background TRAINs.
+	Seed int64
+}
+
+// ServeLoad runs the load experiment and writes a human-readable report.
+func ServeLoad(w io.Writer, opts ServeLoadOptions) error {
+	if opts.Workload == "" {
+		opts.Workload = "susy"
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Trains <= 0 {
+		opts.Trains = 2
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 500
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Predicts <= 0 {
+		opts.Predicts = 2000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	addr := opts.Addr
+	if addr == "" {
+		srv, err := bootServer(opts)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		addr = srv.Addr()
+		fmt.Fprintf(w, "serve-load: booted corgiserved on %s\n", addr)
+	}
+
+	// Background TRAIN jobs, one session each so the per-session cap never
+	// interferes with the experiment itself.
+	trainClients := make([]*serve.Client, 0, opts.Trains)
+	defer func() {
+		for _, c := range trainClients {
+			c.Close()
+		}
+	}()
+	trainJobs := make([]string, 0, opts.Trains)
+	for i := 0; i < opts.Trains; i++ {
+		c, err := serve.Dial(addr)
+		if err != nil {
+			return err
+		}
+		trainClients = append(trainClients, c)
+		sql := fmt.Sprintf(
+			`SELECT * FROM bench TRAIN BY svm MODEL bg%d WITH learning_rate=0.05, max_epoch_num=%d, shuffle='corgipile', seed=%d`,
+			i+1, opts.Epochs, opts.Seed+int64(i))
+		job, err := c.Train(sql, false, false)
+		if err != nil {
+			return fmt.Errorf("serve-load: submit train %d: %w", i+1, err)
+		}
+		trainJobs = append(trainJobs, job.ID)
+	}
+	fmt.Fprintf(w, "serve-load: %d background TRAIN jobs queued (%s..%s), %d epochs each\n",
+		opts.Trains, trainJobs[0], trainJobs[len(trainJobs)-1], opts.Epochs)
+
+	// Predict load: Clients goroutines share an atomic budget; each
+	// records its own latencies (merged after the barrier, so no lock on
+	// the hot path).
+	var (
+		remaining = int64(opts.Predicts)
+		failures  atomic.Int64
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		lats      []time.Duration
+	)
+	predictSQL := `SELECT * FROM bench PREDICT BY warm LIMIT 1`
+	start := time.Now()
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := serve.Dial(addr)
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			defer c.Close()
+			mine := make([]time.Duration, 0, opts.Predicts/opts.Clients+1)
+			for atomic.AddInt64(&remaining, -1) >= 0 {
+				t0 := time.Now()
+				if _, err := c.Predict(predictSQL); err != nil {
+					failures.Add(1)
+					continue
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			latMu.Lock()
+			lats = append(lats, mine...)
+			latMu.Unlock()
+		}()
+	}
+
+	// The cancellation probe runs while the predict load is in flight.
+	cancelReport := ""
+	if opts.Cancel && len(trainJobs) > 0 {
+		ctl, err := serve.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer ctl.Close()
+		st, err := ctl.Cancel(trainJobs[0], true)
+		if err != nil {
+			return fmt.Errorf("serve-load: cancel %s: %w", trainJobs[0], err)
+		}
+		// The canceled slot must admit a fresh job immediately.
+		probe, err := trainClients[0].Train(
+			fmt.Sprintf(`SELECT * FROM bench TRAIN BY svm MODEL probe WITH max_epoch_num=1, seed=%d`, opts.Seed),
+			false, false)
+		if err != nil {
+			return fmt.Errorf("serve-load: slot not released after cancel: %w", err)
+		}
+		cancelReport = fmt.Sprintf(
+			"serve-load: canceled %s mid-run (state %s); slot re-admitted %s",
+			trainJobs[0], st.State, probe.ID)
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start)
+	if cancelReport != "" {
+		fmt.Fprintln(w, cancelReport)
+	}
+	if len(lats) == 0 {
+		return fmt.Errorf("serve-load: no successful predicts (%d failures)", failures.Load())
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Fprintf(w, "serve-load: %d predicts over %d clients in %.2fs (%d failed)\n",
+		len(lats), opts.Clients, elapsed.Seconds(), failures.Load())
+	fmt.Fprintf(w, "serve-load: throughput %.0f predicts/s\n",
+		float64(len(lats))/elapsed.Seconds())
+	fmt.Fprintf(w, "serve-load: latency p50 %s  p95 %s  p99 %s  max %s\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+
+	// Final job table: the background jobs may still be running — that is
+	// the point (prediction stayed fast while they were) — so report their
+	// states rather than waiting for them.
+	ctl, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	jobs, err := ctl.Jobs()
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		line := fmt.Sprintf("serve-load: job %-4s state %-8s", j.ID, j.State)
+		if j.Epochs > 0 {
+			line += fmt.Sprintf(" epoch %d/%d", j.Epoch, j.Epochs)
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+// bootServer stands up an in-process corgiserved with a synthetic table
+// ("bench") and a pre-trained model ("warm") so the predict path has a
+// hot target from the first request.
+func bootServer(opts ServeLoadOptions) (*serve.Server, error) {
+	session := db.NewSession()
+	boot := []string{
+		fmt.Sprintf(`CREATE TABLE bench AS SYNTHETIC(workload='%s', scale=%g, order='clustered', seed=%d) WITH device='ssd', block_size=64KB`,
+			opts.Workload, opts.Scale, opts.Seed),
+		fmt.Sprintf(`SELECT * FROM bench TRAIN BY svm MODEL warm WITH learning_rate=0.05, max_epoch_num=2, shuffle='corgipile', seed=%d`, opts.Seed),
+	}
+	for _, sql := range boot {
+		if _, err := session.Exec(sql); err != nil {
+			return nil, fmt.Errorf("serve-load: boot catalog: %w", err)
+		}
+	}
+	return serve.New(serve.Config{
+		Addr:    "127.0.0.1:0",
+		Workers: 2,
+		// Depth Trains+2: all background jobs plus the cancel probe fit
+		// without tripping admission control during the experiment itself.
+		// SessionMax 1 makes the cancellation probe a real proof: the
+		// probe job is only admitted if the canceled job's slot was freed.
+		QueueDepth: opts.Trains + 2,
+		SessionMax: 1,
+		Session:    session,
+	})
+}

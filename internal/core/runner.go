@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -71,6 +72,10 @@ type RunConfig struct {
 	// source accumulates into (shuffle.Options.FaultReport); its summary is
 	// copied to Result.Faults when the run completes.
 	Faults *shuffle.FaultReport
+	// Ctx, when non-nil, cancels the run: Run checks it between epochs and
+	// every few hundred tuples inside an epoch, then returns the context's
+	// error. A nil Ctx never cancels and adds no per-tuple work.
+	Ctx context.Context
 }
 
 // EpochPoint records the state after one epoch — one x-axis point of the
@@ -181,6 +186,11 @@ func Run(cfg RunConfig) (*Result, error) {
 	wallStart := time.Now()
 	var totalTuples int64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: train canceled at epoch %d: %w", epoch+1, err)
+			}
+		}
 		if tracker != nil {
 			copy(wPrev, w)
 		}
@@ -194,8 +204,28 @@ func Run(cfg RunConfig) (*Result, error) {
 			sp.End()
 			return nil, fmt.Errorf("core: epoch %d: %w", epoch, err)
 		}
-		stats := trainer.RunEpoch(w, it.Next)
+		next := it.Next
+		if cfg.Ctx != nil {
+			// Amortize ctx.Err's lock over the hot loop; a cancel still
+			// lands within a few hundred tuples of gradient work.
+			var sinceCheck int
+			next = func() (*data.Tuple, bool) {
+				if sinceCheck++; sinceCheck >= 256 {
+					sinceCheck = 0
+					if cfg.Ctx.Err() != nil {
+						return nil, false
+					}
+				}
+				return it.Next()
+			}
+		}
+		stats := trainer.RunEpoch(w, next)
 		spanSecs := sp.End().Seconds()
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: train canceled at epoch %d: %w", epoch+1, err)
+			}
+		}
 		if err := it.Err(); err != nil {
 			return nil, fmt.Errorf("core: epoch %d stream: %w", epoch, err)
 		}

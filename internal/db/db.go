@@ -5,6 +5,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -285,40 +286,104 @@ func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
 	return res, nil
 }
 
+// TrainOptions overrides the session-level execution hooks for one TRAIN
+// statement — the serving plane's per-job knobs. The zero value inherits
+// the session's registry, feed and diagnostics, never cancels, and leaves
+// profiling off.
+type TrainOptions struct {
+	// Ctx, when non-nil, cancels the run: the executor checks it between
+	// epochs and every few hundred tuples inside one, so a canceled context
+	// stops an in-flight epoch promptly.
+	Ctx context.Context
+	// Obs, when non-nil, replaces the session metrics registry for this
+	// run (per-job epoch breakdowns for concurrent trains).
+	Obs *obs.Registry
+	// Feed, when non-nil, replaces the session run feed for this run
+	// (per-job live status for concurrent trains).
+	Feed *obs.RunFeed
+	// RunName labels feed updates (default "train <model>").
+	RunName string
+	// Profile enables the per-operator runtime profile (EXPLAIN ANALYZE).
+	Profile bool
+}
+
+// PreparedTrain is a TRAIN statement bound to an executable plan. The
+// three-phase Prepare → Execute → Install split exists for the serving
+// plane: Prepare and Install read/write the catalog (callers serialize
+// them), while Execute — the long-running part — touches no catalog state
+// and may run outside any lock, concurrently with other statements.
+type PreparedTrain struct {
+	st    *sqlparse.Train
+	entry *TableEntry
+	cfg   executor.PlanConfig
+	op    *executor.SGDOp
+}
+
+// Op returns the plan's root SGD operator.
+func (pt *PreparedTrain) Op() *executor.SGDOp { return pt.op }
+
+// PrepareTrain resolves the statement's table and builds the physical plan,
+// including the out-of-band evaluation decode. It reads the catalog but
+// does not mutate it.
+func (s *Session) PrepareTrain(st *sqlparse.Train, opt TrainOptions) (*PreparedTrain, error) {
+	entry, ok := s.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("db: unknown table %q", st.Table)
+	}
+	cfg, err := s.trainPlanConfig(st, entry, true, opt)
+	if err != nil {
+		return nil, err
+	}
+	op, err := executor.BuildSGDPlan(shuffle.TableSource(entry.Table), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedTrain{st: st, entry: entry, cfg: cfg, op: op}, nil
+}
+
+// Execute runs every configured epoch and returns the per-epoch metric
+// rows. It never touches the catalog, so it is safe to run outside the
+// caller's catalog lock; on cancellation it returns the context's error
+// wrapped by the executor.
+func (pt *PreparedTrain) Execute() ([]executor.EpochRow, error) {
+	return pt.op.Run()
+}
+
+// InstallModel stores the executed plan's trained model in the catalog
+// under the statement's model name (or a generated one) and returns the
+// entry. It mutates the catalog; the serving plane calls it under its
+// write lock.
+func (s *Session) InstallModel(pt *PreparedTrain, rows []executor.EpochRow) *ModelEntry {
+	modelName := strings.ToLower(pt.st.ModelName)
+	if modelName == "" {
+		s.nextID++
+		modelName = fmt.Sprintf("model%d", s.nextID)
+	}
+	entry := &ModelEntry{
+		Name: modelName, Kind: pt.st.ModelType, Model: pt.cfg.SGD.Model, W: pt.op.W,
+		Features: pt.entry.Table.Features(), Classes: pt.entry.Table.Classes(), Epochs: rows,
+		Breakdown: pt.op.Breakdown,
+		Plan:      pt.op.Plan(),
+	}
+	s.models[modelName] = entry
+	return entry
+}
+
 // runTrain builds the full plan for a TRAIN statement, executes it, and
 // stores the trained model in the catalog. profile enables the per-operator
 // runtime profile (EXPLAIN ANALYZE); a plain TRAIN leaves it off so the
 // executor hot path is untouched.
 func (s *Session) runTrain(st *sqlparse.Train, profile bool) (*executor.SGDOp, []executor.EpochRow, string, error) {
-	entry, ok := s.Table(st.Table)
-	if !ok {
-		return nil, nil, "", fmt.Errorf("db: unknown table %q", st.Table)
-	}
-	cfg, err := s.trainPlanConfig(st, entry, true, profile)
+	pt, err := s.PrepareTrain(st, TrainOptions{Profile: profile})
 	if err != nil {
 		return nil, nil, "", err
 	}
-	op, err := executor.BuildSGDPlan(shuffle.TableSource(entry.Table), cfg)
+	rows, err := pt.Execute()
 	if err != nil {
 		return nil, nil, "", err
 	}
-	rows, err := op.Run()
-	if err != nil {
-		return nil, nil, "", err
-	}
-
-	modelName := strings.ToLower(st.ModelName)
-	if modelName == "" {
-		s.nextID++
-		modelName = fmt.Sprintf("model%d", s.nextID)
-	}
-	s.models[modelName] = &ModelEntry{
-		Name: modelName, Kind: st.ModelType, Model: cfg.SGD.Model, W: op.W,
-		Features: entry.Table.Features(), Classes: entry.Table.Classes(), Epochs: rows,
-		Breakdown: op.Breakdown,
-		Plan:      op.Plan(),
-	}
-	return op, rows, modelName, nil
+	entry := s.InstallModel(pt, rows)
+	return pt.op, rows, entry.Name, nil
 }
 
 // trainMessage formats the statement's status line, appending the fault
@@ -356,8 +421,11 @@ func trainResilience(params sqlparse.Params, seed int64) (shuffle.Resilience, er
 	}, nil
 }
 
-// predicateFunc compiles a parsed WHERE predicate to a tuple filter.
-func predicateFunc(p *sqlparse.Predicate) func(*data.Tuple) bool {
+// CompilePredicate compiles a parsed WHERE predicate to a tuple filter
+// (nil predicate = nil filter, meaning "keep everything"). Exported for the
+// serving plane's cached PREDICT path, which evaluates predicates over
+// in-memory tuples without building an executor pipeline.
+func CompilePredicate(p *sqlparse.Predicate) func(*data.Tuple) bool {
 	if p == nil {
 		return nil
 	}
@@ -394,7 +462,7 @@ func (s *Session) execPredict(st *sqlparse.Predict) (*Result, error) {
 		return nil, fmt.Errorf("db: unknown model %q", st.Model)
 	}
 	var scan executor.Operator = executor.NewScan(shuffle.TableSource(entry.Table))
-	if f := predicateFunc(st.Where); f != nil {
+	if f := CompilePredicate(st.Where); f != nil {
 		scan = executor.NewFilter(scan, f)
 	}
 	pred := executor.NewPredict(scan, m.Model, m.W)
@@ -438,19 +506,20 @@ func (s *Session) execPredict(st *sqlparse.Predict) (*Result, error) {
 // describes. Shared by execTrain (withEval=true: the evaluation set is the
 // table decoded out-of-band, restricted to the WHERE predicate) and
 // execExplain (withEval=false: only the plan shape matters, so the decode
-// is skipped). profile turns on the per-operator runtime profile.
-func (s *Session) trainPlanConfig(st *sqlparse.Train, entry *TableEntry, withEval, profile bool) (executor.PlanConfig, error) {
+// is skipped). opt overrides the session-level hooks per run and turns on
+// the per-operator runtime profile.
+func (s *Session) trainPlanConfig(st *sqlparse.Train, entry *TableEntry, withEval bool, opt TrainOptions) (executor.PlanConfig, error) {
 	tab := entry.Table
 	model, err := ml.New(st.ModelType, tab.Classes())
 	if err != nil {
 		return executor.PlanConfig{}, err
 	}
 	lr := st.Params.Num("learning_rate", 0.05)
-	opt, err := ml.NewOptimizer(st.Params.Str("optimizer", "sgd"), lr)
+	optimizer, err := ml.NewOptimizer(st.Params.Str("optimizer", "sgd"), lr)
 	if err != nil {
 		return executor.PlanConfig{}, err
 	}
-	if sgd, ok := opt.(*ml.SGD); ok {
+	if sgd, ok := optimizer.(*ml.SGD); ok {
 		sgd.Decay = st.Params.Num("decay", 0.95)
 	}
 	seed := int64(st.Params.Num("seed", 1))
@@ -458,7 +527,17 @@ func (s *Session) trainPlanConfig(st *sqlparse.Train, entry *TableEntry, withEva
 	if err != nil {
 		return executor.PlanConfig{}, err
 	}
-	filter := predicateFunc(st.Where)
+	reg, feed, runName := s.obs, s.feed, "train "+strings.ToLower(st.ModelName)
+	if opt.Obs != nil {
+		reg = opt.Obs
+	}
+	if opt.Feed != nil {
+		feed = opt.Feed
+	}
+	if opt.RunName != "" {
+		runName = opt.RunName
+	}
+	filter := CompilePredicate(st.Where)
 	cfg := executor.PlanConfig{
 		Shuffle:        shuffle.Kind(st.Params.Str("shuffle", string(shuffle.KindCorgiPile))),
 		BufferFraction: st.Params.Num("buffer_fraction", 0.1),
@@ -467,19 +546,20 @@ func (s *Session) trainPlanConfig(st *sqlparse.Train, entry *TableEntry, withEva
 		Resilience:     resil,
 		Filter:         filter,
 		FilterDesc:     predicateDesc(st.Where),
-		Profile:        profile,
+		Profile:        opt.Profile,
 		SGD: executor.SGDConfig{
 			Model:     model,
-			Opt:       opt,
+			Opt:       optimizer,
 			Features:  tab.Features(),
 			Epochs:    int(st.Params.Num("max_epoch_num", 20)),
 			BatchSize: int(st.Params.Num("batch_size", 1)),
 			Procs:     int(st.Params.Num("procs", 1)),
 			Clock:     s.clock,
-			Obs:       s.obs,
-			Feed:      s.feed,
+			Obs:       reg,
+			Feed:      feed,
 			Diag:      s.diag,
-			RunName:   "train " + strings.ToLower(st.ModelName),
+			RunName:   runName,
+			Ctx:       opt.Ctx,
 		},
 	}
 	if withEval {
@@ -537,7 +617,7 @@ func (s *Session) execExplain(st *sqlparse.Explain) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("db: unknown table %q", st.Train.Table)
 	}
-	cfg, err := s.trainPlanConfig(st.Train, entry, false, false)
+	cfg, err := s.trainPlanConfig(st.Train, entry, false, TrainOptions{})
 	if err != nil {
 		return nil, err
 	}

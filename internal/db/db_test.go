@@ -438,16 +438,16 @@ func TestPredicateFuncAllOperators(t *testing.T) {
 		{"label", "=", -1, true}, {"label", ">", 0, false},
 	}
 	for _, c := range cases {
-		f := predicateFunc(&sqlparse.Predicate{Column: c.col, Op: c.op, Value: c.val})
+		f := CompilePredicate(&sqlparse.Predicate{Column: c.col, Op: c.op, Value: c.val})
 		if got := f(tp); got != c.want {
 			t.Errorf("%s %s %v = %v, want %v", c.col, c.op, c.val, got, c.want)
 		}
 	}
-	if predicateFunc(nil) != nil {
+	if CompilePredicate(nil) != nil {
 		t.Error("nil predicate should compile to nil")
 	}
 	// Unknown operator falls through to pass-all.
-	if f := predicateFunc(&sqlparse.Predicate{Column: "id", Op: "~", Value: 1}); !f(tp) {
+	if f := CompilePredicate(&sqlparse.Predicate{Column: "id", Op: "~", Value: 1}); !f(tp) {
 		t.Error("unknown op should pass everything")
 	}
 }

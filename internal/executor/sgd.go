@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -75,7 +76,13 @@ type SGDOp struct {
 	diagCfg   *core.DiagConfig
 	tracker   *core.DiagTracker
 	wPrev     []float64
+	ctx       context.Context
 }
+
+// cancelCheckInterval is how many tuples flow between cancellation checks.
+// ctx.Err() takes a lock, so the hot loop amortizes it; a cancel lands
+// within a few hundred tuples (well under a millisecond of gradient work).
+const cancelCheckInterval = 256
 
 // SGDConfig configures an SGD operator.
 type SGDConfig struct {
@@ -99,6 +106,11 @@ type SGDConfig struct {
 	// Diag, when non-nil, enables the read-only convergence diagnostics
 	// (see core.DiagConfig); SGDOp.Diag and SGDOp.Verdict carry the outcome.
 	Diag *core.DiagConfig
+	// Ctx, when non-nil, cancels the run: the operator checks it between
+	// epochs and every few hundred tuples inside an epoch, so a canceled
+	// context stops an in-flight epoch promptly. NextEpoch/Run then return
+	// the context's error (context.Canceled or DeadlineExceeded).
+	Ctx context.Context
 }
 
 // NewSGD returns an SGD operator over the child pipeline.
@@ -128,6 +140,7 @@ func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
 	}
 	op.trainer.Procs = cfg.Procs
 	op.trainer.Obs = cfg.Obs
+	op.ctx = cfg.Ctx
 	if cfg.Diag != nil {
 		op.diagCfg = cfg.Diag
 		op.trainer.TrackGradNorm = true
@@ -176,6 +189,9 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 	if op.epoch >= op.Epochs {
 		return EpochRow{}, false, nil
 	}
+	if err := op.ctxErr(); err != nil {
+		return EpochRow{}, false, err
+	}
 	if op.epoch > 0 {
 		// Reshuffle and reread via the re-scan mechanism.
 		if err := op.child.ReScan(); err != nil {
@@ -191,7 +207,15 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 	}
 	sp := op.Obs.Span(obs.SpanEpoch)
 	var streamErr error
+	var sinceCheck int
 	stats := op.trainer.RunEpoch(op.W, func() (*data.Tuple, bool) {
+		if sinceCheck++; sinceCheck >= cancelCheckInterval {
+			sinceCheck = 0
+			if err := op.ctxErr(); err != nil {
+				streamErr = err
+				return nil, false
+			}
+		}
 		t, ok, err := op.child.Next()
 		if err != nil {
 			streamErr = err
@@ -267,6 +291,18 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 		}
 	}
 	return row, true, nil
+}
+
+// ctxErr returns the cancellation error when the operator's context has
+// been canceled (nil context = never canceled).
+func (op *SGDOp) ctxErr() error {
+	if op.ctx == nil {
+		return nil
+	}
+	if err := op.ctx.Err(); err != nil {
+		return fmt.Errorf("executor: train canceled at epoch %d: %w", op.epoch+1, err)
+	}
+	return nil
 }
 
 // Run drives every configured epoch and returns all metric rows.

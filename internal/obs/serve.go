@@ -34,6 +34,10 @@ type ServeConfig struct {
 	Registry *Registry
 	// Feed, when non-nil, backs the /run endpoint.
 	Feed *RunFeed
+	// Feeds, when non-nil, resolves named feeds for /run?job=<name> (and
+	// /run/plan?job=<name>) — the serving plane's per-job telemetry hook.
+	// It must be safe for concurrent use and return nil for unknown names.
+	Feeds func(name string) *RunFeed
 	// SampleEvery is the runtime-sampler tick (0 = 1s, negative disables
 	// the sampler).
 	SampleEvery time.Duration
@@ -47,6 +51,7 @@ type Server struct {
 	srv     *http.Server
 	sampler *RuntimeSampler
 	feed    *RunFeed
+	feeds   func(name string) *RunFeed
 	reg     *Registry
 
 	mu     sync.Mutex
@@ -62,7 +67,7 @@ func Serve(cfg ServeConfig) (*Server, error) {
 		return nil, fmt.Errorf("obs: telemetry listen on %s: %w", cfg.Addr, err)
 	}
 	cfg.Registry.EnableLive()
-	s := &Server{ln: ln, feed: cfg.Feed, reg: cfg.Registry, served: make(chan struct{})}
+	s := &Server{ln: ln, feed: cfg.Feed, feeds: cfg.Feeds, reg: cfg.Registry, served: make(chan struct{})}
 	if cfg.SampleEvery >= 0 && cfg.Registry != nil {
 		s.sampler = StartRuntimeSampler(cfg.Registry, cfg.SampleEvery)
 	}
@@ -136,8 +141,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "corgipile telemetry\n\n"+
 		"/metrics       Prometheus text exposition of the metrics registry\n"+
-		"/run           current run status (JSON); ?stream=1 for SSE\n"+
-		"/run/plan      executed-plan profile (annotated tree; ?format=json, ?stream=1 for SSE)\n"+
+		"/run           current run status (JSON); ?stream=1 for SSE; ?job=<id> for one job\n"+
+		"/run/plan      executed-plan profile (annotated tree; ?format=json, ?stream=1 for SSE, ?job=<id>)\n"+
 		"/debug/pprof/  Go profiling endpoints\n")
 }
 
@@ -150,19 +155,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// resolveFeed picks the feed a /run request addresses: the per-job feed
+// named by ?job= through the Feeds resolver, or the default feed. The
+// second return value is a non-empty error message when no feed matches.
+func (s *Server) resolveFeed(r *http.Request) (*RunFeed, string) {
+	if job := r.URL.Query().Get("job"); job != "" {
+		if s.feeds == nil {
+			return nil, "no per-job feeds attached"
+		}
+		if f := s.feeds(job); f != nil {
+			return f, ""
+		}
+		return nil, "unknown job " + job
+	}
+	if s.feed == nil {
+		return nil, "no run feed attached"
+	}
+	return s.feed, ""
+}
+
 // handleRun serves the live run feed: a JSON snapshot by default, an SSE
 // stream when the client asks for text/event-stream (or ?stream=1).
+// ?job=<id> selects a per-job feed when a resolver is attached.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if s.feed == nil {
-		http.Error(w, "no run feed attached", http.StatusNotFound)
+	feed, errMsg := s.resolveFeed(r)
+	if feed == nil {
+		http.Error(w, errMsg, http.StatusNotFound)
 		return
 	}
 	if r.URL.Query().Get("stream") != "" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
-		s.streamRun(w, r)
+		s.streamRun(w, r, feed)
 		return
 	}
-	st, seq := s.feed.Status()
+	st, seq := feed.Status()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -175,18 +201,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // handleRunPlan serves the executed-plan profile: the live annotated tree
 // as text by default, the full node tree with ?format=json, or an SSE
 // stream of per-epoch JSON snapshots with ?stream=1 (or Accept:
-// text/event-stream).
+// text/event-stream). ?job=<id> selects a per-job feed when a resolver is
+// attached.
 func (s *Server) handleRunPlan(w http.ResponseWriter, r *http.Request) {
-	if s.feed == nil {
-		http.Error(w, "no run feed attached", http.StatusNotFound)
+	feed, errMsg := s.resolveFeed(r)
+	if feed == nil {
+		http.Error(w, errMsg, http.StatusNotFound)
 		return
 	}
 	if r.URL.Query().Get("stream") != "" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
-		s.streamRunPlan(w, r)
+		s.streamRunPlan(w, r, feed)
 		return
 	}
-	p, _ := s.feed.PlanStatus()
+	p, _ := feed.PlanStatus()
 	if p == nil {
 		http.Error(w, "no plan published yet (is the run profiled? pass -explain)", http.StatusNotFound)
 		return
@@ -208,7 +236,7 @@ func (s *Server) handleRunPlan(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamRunPlan streams per-epoch plan snapshots as server-sent events.
-func (s *Server) streamRunPlan(w http.ResponseWriter, r *http.Request) {
+func (s *Server) streamRunPlan(w http.ResponseWriter, r *http.Request, feed *RunFeed) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
@@ -221,9 +249,9 @@ func (s *Server) streamRunPlan(w http.ResponseWriter, r *http.Request) {
 
 	// Subscribe before reading the current snapshot so no epoch published
 	// in between is missed (same ordering as streamRun).
-	ch, cancel := s.feed.SubscribePlan()
+	ch, cancel := feed.SubscribePlan()
 	defer cancel()
-	if p, seq := s.feed.PlanStatus(); seq > 0 && p != nil {
+	if p, seq := feed.PlanStatus(); seq > 0 && p != nil {
 		if msg, err := json.Marshal(p); err == nil {
 			fmt.Fprintf(w, "data: %s\n\n", msg)
 			fl.Flush()
@@ -244,8 +272,8 @@ func (s *Server) streamRunPlan(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamRun streams run updates as server-sent events until the client
-// disconnects or the feed closes (server shutdown).
-func (s *Server) streamRun(w http.ResponseWriter, r *http.Request) {
+// disconnects or the feed closes (server shutdown or job completion).
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, feed *RunFeed) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
@@ -262,9 +290,9 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request) {
 	// between is missed (a duplicate initial event is harmless; a gap is a
 	// stall). Then send the current state so a late subscriber sees
 	// something immediately.
-	ch, cancel := s.feed.Subscribe()
+	ch, cancel := feed.Subscribe()
 	defer cancel()
-	if st, seq := s.feed.Status(); seq > 0 {
+	if st, seq := feed.Status(); seq > 0 {
 		if msg, err := json.Marshal(st); err == nil {
 			fmt.Fprintf(w, "data: %s\n\n", msg)
 			fl.Flush()

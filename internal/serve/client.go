@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+)
+
+// Client is a minimal protocol client: one connection, one in-flight
+// request at a time (the protocol answers strictly in order, so a single
+// Do loop is all a correct client needs). It is not safe for concurrent
+// use; open one Client per goroutine — connections are cheap and the
+// server is built for many sessions.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a corgiserved instance and performs the HELLO
+// handshake, returning the connected client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c := NewClient(conn)
+	if _, err := c.Hello("corgipile-go client"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialRaw connects without performing the HELLO handshake — transcript
+// replay sends its own hello line, so the client must not consume one.
+func DialRaw(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection without handshaking — the
+// hook for tests that exercise raw protocol sequences.
+func NewClient(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}
+}
+
+// Close tears the connection down. The server cancels any non-detached
+// jobs this session still owns.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response. A response with ok=false
+// is returned as (resp, *WireError); transport failures return a plain
+// error with a nil response.
+func (c *Client) Do(req Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("serve: send: %w", err)
+	}
+	return c.recv()
+}
+
+// DoLine sends a raw pre-encoded request line verbatim and reads the
+// response line, also verbatim. Transcript replay (scripts/serve_smoke.sh
+// and the protocol golden test) uses this so the bytes on the wire are
+// exactly the documented ones.
+func (c *Client) DoLine(line string) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return "", fmt.Errorf("serve: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return "", fmt.Errorf("serve: recv: %w", err)
+		}
+		return "", fmt.Errorf("serve: recv: connection closed")
+	}
+	return c.sc.Text(), nil
+}
+
+// recv reads one response line.
+func (c *Client) recv() (*Response, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("serve: recv: %w", err)
+		}
+		return nil, fmt.Errorf("serve: recv: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("serve: recv: bad response line: %w", err)
+	}
+	if !resp.OK {
+		if resp.Error != nil {
+			return &resp, resp.Error
+		}
+		return &resp, fmt.Errorf("serve: server error with no payload")
+	}
+	return &resp, nil
+}
+
+// Hello performs the handshake and returns the server's hello response
+// (session id, protocol version).
+func (c *Client) Hello(client string) (*Response, error) {
+	return c.Do(Request{Op: "hello", Client: client})
+}
+
+// Exec runs one statement through op "sql" and returns the response:
+// a result for inline statements, a queued-job ack for TRAIN.
+func (c *Client) Exec(sql string) (*Response, error) {
+	return c.Do(Request{Op: "sql", SQL: sql})
+}
+
+// Train submits a TRAIN statement. wait blocks until the job finishes;
+// detach unbinds the job from this connection's lifetime.
+func (c *Client) Train(sql string, wait, detach bool) (*JobStatus, error) {
+	resp, err := c.Do(Request{Op: "train", SQL: sql, Wait: wait, Detach: detach})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Predict runs a PREDICT statement on the cached read path.
+func (c *Client) Predict(sql string) (*Response, error) {
+	return c.Do(Request{Op: "predict", SQL: sql})
+}
+
+// Cancel cancels a job; wait blocks until the job is actually terminal.
+func (c *Client) Cancel(job string, wait bool) (*JobStatus, error) {
+	resp, err := c.Do(Request{Op: "cancel", Job: job, Wait: wait})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Status fetches one job's status (wait blocks until terminal).
+func (c *Client) Status(job string, wait bool) (*JobStatus, error) {
+	resp, err := c.Do(Request{Op: "status", Job: job, Wait: wait})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Jobs fetches the whole job table in submission order.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	resp, err := c.Do(Request{Op: "status"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Quit ends the session gracefully and closes the connection.
+func (c *Client) Quit() error {
+	_, err := c.Do(Request{Op: "quit"})
+	c.conn.Close()
+	return err
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"corgipile/internal/executor"
+	"corgipile/internal/obs"
+	"corgipile/internal/sqlparse"
+)
+
+// job is one queued or executing TRAIN statement. State transitions are
+// guarded by mu; done is closed exactly once when the job reaches a
+// terminal state, which is what Wait-style requests block on.
+type job struct {
+	id      string
+	session string
+	sql     string
+	st      *sqlparse.Train
+	detach  bool
+
+	// ctx is canceled by CANCEL, by the owning session disconnecting
+	// (unless detached), or by server shutdown. The executor checks it
+	// mid-epoch, so cancellation stops in-flight work promptly.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// feed receives one live RunStatus per epoch — the per-job /run?job=id
+	// telemetry. reg is the job's private metrics registry, so per-epoch
+	// breakdowns of concurrent jobs never cross-contaminate.
+	feed *obs.RunFeed
+	reg  *obs.Registry
+
+	mu        sync.Mutex
+	state     JobState
+	model     string
+	epochs    int // configured epoch count, set when the plan is built
+	rows      []executor.EpochRow
+	breakdown []obs.EpochMetrics
+	errMsg    string
+	done      chan struct{}
+}
+
+// breakdownRows returns the per-epoch cross-layer breakdown collected so
+// far (partial for failed or canceled jobs).
+func (j *job) breakdownRows() []obs.EpochMetrics {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.breakdown
+}
+
+// newJob returns a queued job whose context derives from parent.
+func newJob(id, session, sql string, st *sqlparse.Train, detach bool, parent context.Context) *job {
+	ctx, cancel := context.WithCancel(parent)
+	return &job{
+		id:      id,
+		session: session,
+		sql:     sql,
+		st:      st,
+		detach:  detach,
+		ctx:     ctx,
+		cancel:  cancel,
+		feed:    obs.NewRunFeed(),
+		reg:     obs.New(),
+		state:   JobQueued,
+		done:    make(chan struct{}),
+	}
+}
+
+// tryStart moves a queued job to running. It returns false when the job
+// was canceled while still queued — the worker then discards it.
+func (j *job) tryStart() bool {
+	if j.ctx.Err() != nil {
+		// Canceled before any worker touched it (e.g. the owning session
+		// vanished): complete the queued → canceled transition here.
+		j.finish(JobCanceled, nil, "")
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	return true
+}
+
+// finish moves the job to a terminal state, recording the outcome, and
+// releases waiters. Later calls are ignored (terminal states are final).
+func (j *job) finish(state JobState, rows []executor.EpochRow, errMsg string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.rows = rows
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	j.cancel() // release the context's resources in every path
+	j.feed.Close()
+	close(j.done)
+}
+
+// requestCancel cancels the job's context and, when the job has not yet
+// been picked up by a worker, completes the queued → canceled transition
+// directly (the worker will discard the stale queue entry).
+func (j *job) requestCancel() {
+	j.cancel()
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(JobCanceled, nil, "")
+	}
+}
+
+// active reports whether the job still occupies an admission slot
+// (queued or running).
+func (j *job) active() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.state.Terminal()
+}
+
+// status snapshots the job for the wire. Progress comes from the live feed
+// for running jobs and from the final rows for done jobs; canceled jobs
+// report only identity and state so transcripts stay deterministic.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, Session: j.session, State: j.state}
+	if j.state == JobCanceled {
+		return JobStatus{ID: j.id, Session: j.session, State: JobCanceled}
+	}
+	st.Model = j.model
+	switch j.state {
+	case JobRunning:
+		if live, seq := j.feed.Status(); seq > 0 {
+			st.Epoch = live.Epoch
+			st.Epochs = live.Epochs
+		}
+	case JobDone:
+		st.Epochs = j.epochs
+		if n := len(j.rows); n > 0 {
+			st.Epoch = j.rows[n-1].Epoch
+			st.Loss = roundLoss(j.rows[n-1].Loss)
+		}
+	case JobFailed:
+		st.Error = j.errMsg
+	}
+	return st
+}
+
+// roundLoss rounds to six decimals so the JSON encoding is short and
+// byte-stable across replays of the same seeded run.
+func roundLoss(x float64) float64 { return math.Round(x*1e6) / 1e6 }

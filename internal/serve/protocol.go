@@ -1,0 +1,155 @@
+package serve
+
+import "fmt"
+
+// This file defines the wire protocol — the single source of truth for
+// docs/PROTOCOL.md. Framing is newline-delimited JSON: each request is one
+// JSON object on one line, and each request produces exactly one JSON
+// response on one line, in order. There are no unsolicited server pushes,
+// so a scripted transcript replays deterministically.
+
+// ProtocolVersion is the wire-protocol revision reported by HELLO.
+const ProtocolVersion = 1
+
+// ServerName identifies the server implementation in HELLO responses.
+const ServerName = "corgiserved/1"
+
+// MaxLineBytes bounds one request line (1 MiB). Longer lines close the
+// connection — a framing violation, not a recoverable request error.
+const MaxLineBytes = 1 << 20
+
+// Request is one client message. Op selects the operation; the remaining
+// fields apply to the ops that document them.
+type Request struct {
+	// Op is one of "hello", "sql", "train", "predict", "cancel", "status",
+	// "quit".
+	Op string `json:"op"`
+	// Client is a free-form client identification string (HELLO).
+	Client string `json:"client,omitempty"`
+	// SQL carries the statement text for sql/train/predict.
+	SQL string `json:"sql,omitempty"`
+	// Job names the target job for cancel/status.
+	Job string `json:"job,omitempty"`
+	// Wait, on train, blocks the response until the job reaches a terminal
+	// state; on cancel/status it blocks until the named job does.
+	Wait bool `json:"wait,omitempty"`
+	// Detach, on train, unbinds the job's lifetime from this session: the
+	// job keeps running after the connection closes. Non-detached jobs are
+	// canceled when their session disconnects.
+	Detach bool `json:"detach,omitempty"`
+}
+
+// Response is one server message. Exactly one is written per request.
+type Response struct {
+	// OK distinguishes success from error responses.
+	OK bool `json:"ok"`
+	// Type is "hello", "result", "job", "status", "bye", or "error".
+	Type string `json:"type"`
+	// Server, Protocol and Session are set on hello responses.
+	Server   string `json:"server,omitempty"`
+	Protocol int    `json:"protocol,omitempty"`
+	Session  string `json:"session,omitempty"`
+	// Columns/Rows/Message carry tabular statement results (type "result").
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Message string     `json:"message,omitempty"`
+	// Job carries a single job's status (type "job").
+	Job *JobStatus `json:"job,omitempty"`
+	// Jobs carries the full job table (type "status"), ordered by job id.
+	Jobs []JobStatus `json:"jobs,omitempty"`
+	// Error carries the failure (type "error").
+	Error *WireError `json:"error,omitempty"`
+}
+
+// WireError is the protocol's error payload.
+type WireError struct {
+	// Code is a stable machine-readable identifier (the ERR_* constants).
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+}
+
+// Error implements the error interface so wire errors flow through Go
+// error handling on the client side.
+func (e *WireError) Error() string { return e.Code + ": " + e.Message }
+
+// Protocol error codes. Codes are stable API; messages are not.
+const (
+	// ErrParse: the SQL text did not parse.
+	ErrParse = "ERR_PARSE"
+	// ErrBadRequest: the request line was not valid JSON, or a required
+	// field is missing or of the wrong statement type.
+	ErrBadRequest = "ERR_BAD_REQUEST"
+	// ErrUnknownOp: the op field names no operation.
+	ErrUnknownOp = "ERR_UNKNOWN_OP"
+	// ErrQueueFull: the TRAIN job queue is at capacity (admission control).
+	ErrQueueFull = "ERR_QUEUE_FULL"
+	// ErrSessionBusy: this session already has its maximum number of
+	// active (queued or running) jobs.
+	ErrSessionBusy = "ERR_SESSION_BUSY"
+	// ErrNotFound: the named job, table, or model does not exist.
+	ErrNotFound = "ERR_NOT_FOUND"
+	// ErrExec: the statement failed while executing.
+	ErrExec = "ERR_EXEC"
+	// ErrShutdown: the server is shutting down and accepts no new work.
+	ErrShutdown = "ERR_SHUTDOWN"
+)
+
+// JobState is a training job's lifecycle state. The machine is
+//
+//	queued ──▶ running ──▶ done
+//	   │          │  └────▶ failed
+//	   └──────────┴───────▶ canceled
+//
+// queued → canceled happens when a CANCEL (or session disconnect) lands
+// before a worker picks the job up; running → canceled when the canceled
+// context stops an in-flight epoch. Terminal states never change.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobStatus is the wire representation of one training job. Progress
+// fields (Epoch, Loss) are reported for running and done jobs; canceled
+// jobs report only identity and state, so scripted transcripts stay
+// deterministic regardless of where the cancel landed.
+type JobStatus struct {
+	// ID is the job identifier ("j1", "j2", ...).
+	ID string `json:"id"`
+	// Session is the submitting session's identifier.
+	Session string `json:"session,omitempty"`
+	// Model is the catalog name the trained model was (or will be) stored
+	// under; empty until known and for canceled jobs.
+	Model string `json:"model,omitempty"`
+	// State is the lifecycle state at response time.
+	State JobState `json:"state"`
+	// Epoch is the last completed epoch; Epochs the configured total.
+	// Omitted for queued and canceled jobs.
+	Epoch  int `json:"epoch,omitempty"`
+	Epochs int `json:"epochs,omitempty"`
+	// Loss is the mean streaming loss of the last completed epoch, rounded
+	// to six decimals for stable transcripts. Omitted unless done.
+	Loss float64 `json:"loss,omitempty"`
+	// Error is the failure message for failed jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// errResponse builds an error response.
+func errResponse(code, format string, args ...any) *Response {
+	return &Response{
+		OK:    false,
+		Type:  "error",
+		Error: &WireError{Code: code, Message: fmt.Sprintf(format, args...)},
+	}
+}

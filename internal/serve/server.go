@@ -1,0 +1,363 @@
+// Package serve implements corgiserved: a long-lived, multi-session
+// training and prediction server over the in-DB ML stack — the serving
+// plane the paper's PostgreSQL integration implies. Clients speak a
+// newline-delimited JSON protocol (documented in docs/PROTOCOL.md) over
+// TCP; TRAIN statements become queued background jobs with admission
+// control and cancellation, while PREDICT statements are answered inline
+// at high QPS from cached models and decoded tables.
+//
+// Concurrency discipline: one RWMutex guards the shared db.Session
+// catalog. Statement execution is split so the lock is held only around
+// catalog access — a TRAIN job prepares its plan under RLock, runs its
+// epochs (the long part) with no lock at all, and installs the trained
+// model under the write lock; PREDICTs take RLock for lookup and then
+// evaluate lock-free over immutable snapshots. DDL takes the write lock.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"corgipile/internal/db"
+	"corgipile/internal/obs"
+	"corgipile/internal/sqlparse"
+)
+
+// Config configures a server. The zero value of every field has a usable
+// default; Addr "" listens on 127.0.0.1:0 (read the bound address back
+// with Server.Addr).
+type Config struct {
+	// Addr is the listen address (host:port; port 0 picks a free port).
+	Addr string
+	// Workers is the number of concurrent TRAIN executors (default 2).
+	// Each worker runs one job at a time; more workers trade per-job
+	// latency for throughput on the shared simulated devices.
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 8). A full queue
+	// rejects new TRAINs with ERR_QUEUE_FULL — admission control, so a
+	// burst degrades into fast rejections instead of unbounded memory.
+	QueueDepth int
+	// SessionMax caps one session's active (queued + running) jobs
+	// (default 2); exceeding it rejects with ERR_SESSION_BUSY.
+	SessionMax int
+	// Telemetry, when non-empty, serves the obs HTTP plane on this address:
+	// /metrics over the server registry, /run?job=<id> over each job's
+	// private feed, /debug/pprof/.
+	Telemetry string
+	// RunRoot, when non-empty, writes per-job durable artifacts under
+	// RunRoot/<job id>/ (manifest.json, epochs.jsonl).
+	RunRoot string
+	// Session, when non-nil, is the catalog to serve (e.g. preloaded with
+	// tables); nil opens a fresh db.NewSession.
+	Session *db.Session
+}
+
+// Server is a running corgiserved instance. Create one with New, stop it
+// with Close; both are safe to call from any goroutine.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	dbs *db.Session
+	reg *obs.Registry
+	tel *obs.Server
+
+	// catalog serializes db.Session catalog access: RLock for lookups
+	// (predict, train prepare), Lock for mutations (DDL, model install).
+	catalog sync.RWMutex
+
+	// cache holds decoded tables for the lock-free predict path.
+	cache predictCache
+
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string
+	nextJob  int
+	nextSess int
+	closed   bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	conns   map[net.Conn]struct{}
+	connsMu sync.Mutex
+}
+
+// New starts a server on cfg.Addr and returns once the listener is bound
+// and the workers are running.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.SessionMax <= 0 {
+		cfg.SessionMax = 2
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen on %s: %w", cfg.Addr, err)
+	}
+	sess := cfg.Session
+	if sess == nil {
+		sess = db.NewSession()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		dbs:    sess,
+		reg:    obs.New(),
+		queue:  make(chan *job, cfg.QueueDepth),
+		jobs:   make(map[string]*job),
+		conns:  make(map[net.Conn]struct{}),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	s.cache.tables = make(map[string]*cachedTable)
+	if cfg.Telemetry != "" {
+		// The shared registry aggregates device I/O across all jobs; each
+		// job's own feed serves /run?job=<id>.
+		s.dbs.WithMetrics(s.reg)
+		tel, err := obs.Serve(obs.ServeConfig{
+			Addr:     cfg.Telemetry,
+			Registry: s.reg,
+			Feeds:    s.feedFor,
+		})
+		if err != nil {
+			ln.Close()
+			cancel()
+			return nil, err
+		}
+		s.tel = tel
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// TelemetryURL returns the telemetry plane's base URL ("" when disabled).
+func (s *Server) TelemetryURL() string { return s.tel.URL() }
+
+// Close shuts the server down: the listener closes, every open connection
+// is dropped, in-flight jobs are canceled, and Close blocks until all
+// session handlers and workers have exited. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.cancel()
+	err := s.ln.Close()
+	s.connsMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connsMu.Unlock()
+	// Drain the queue so no worker blocks on it, then let workers observe
+	// the canceled context.
+	close(s.queue)
+	s.wg.Wait()
+	for _, j := range s.snapshotJobs() {
+		j.finish(JobCanceled, nil, "")
+	}
+	if s.tel != nil {
+		return s.tel.Close()
+	}
+	return err
+}
+
+// feedFor resolves a job id to its live feed (the telemetry ?job= hook).
+func (s *Server) feedFor(id string) *obs.RunFeed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.feed
+	}
+	return nil
+}
+
+// snapshotJobs returns the jobs in submission order.
+func (s *Server) snapshotJobs() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.mu.Lock()
+		s.nextSess++
+		id := fmt.Sprintf("s%d", s.nextSess)
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleSession(id, conn)
+	}
+}
+
+// submitTrain applies admission control and enqueues a TRAIN job. It
+// returns the job or an error response explaining the rejection.
+func (s *Server) submitTrain(sessID string, st *sqlparse.Train, sql string, detach bool, parent context.Context) (*job, *Response) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errResponse(ErrShutdown, "server is shutting down")
+	}
+	active := 0
+	for _, j := range s.jobs {
+		if j.session == sessID && j.active() {
+			active++
+		}
+	}
+	if active >= s.cfg.SessionMax {
+		s.mu.Unlock()
+		return nil, errResponse(ErrSessionBusy,
+			"session %s already has %d active jobs (limit %d); wait or cancel one",
+			sessID, active, s.cfg.SessionMax)
+	}
+	s.nextJob++
+	id := fmt.Sprintf("j%d", s.nextJob)
+	if detach {
+		// Detached jobs outlive their session: derive from the server.
+		parent = s.ctx
+	}
+	j := newJob(id, sessID, sql, st, detach, parent)
+	select {
+	case s.queue <- j:
+	default:
+		s.nextJob-- // the id was never visible; reuse it
+		s.mu.Unlock()
+		j.cancel()
+		return nil, errResponse(ErrQueueFull,
+			"train queue is full (%d pending); retry later", s.cfg.QueueDepth)
+	}
+	s.jobs[id] = j
+	s.jobOrder = append(s.jobOrder, id)
+	s.mu.Unlock()
+	return j, nil
+}
+
+// worker executes queued jobs until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job through prepare → execute → install, holding the
+// catalog lock only around the catalog phases.
+func (s *Server) runJob(j *job) {
+	if !j.tryStart() {
+		return // canceled while queued
+	}
+	s.catalog.RLock()
+	pt, err := s.dbs.PrepareTrain(j.st, db.TrainOptions{
+		Ctx:     j.ctx,
+		Obs:     j.reg,
+		Feed:    j.feed,
+		RunName: j.id + " train " + strings.ToLower(j.st.ModelName),
+	})
+	s.catalog.RUnlock()
+	if err != nil {
+		j.finish(JobFailed, nil, err.Error())
+		return
+	}
+	j.mu.Lock()
+	j.epochs = pt.Op().Epochs
+	j.model = strings.ToLower(j.st.ModelName)
+	j.mu.Unlock()
+
+	rows, err := pt.Execute()
+	j.mu.Lock()
+	j.breakdown = pt.Op().Breakdown
+	j.mu.Unlock()
+	if err != nil {
+		if j.ctx.Err() != nil {
+			j.finish(JobCanceled, nil, "")
+		} else {
+			j.finish(JobFailed, nil, err.Error())
+		}
+		s.writeArtifacts(j)
+		return
+	}
+
+	s.catalog.Lock()
+	entry := s.dbs.InstallModel(pt, rows)
+	s.cache.invalidateModel(entry.Name)
+	s.catalog.Unlock()
+
+	j.mu.Lock()
+	j.model = entry.Name
+	j.mu.Unlock()
+	j.finish(JobDone, rows, "")
+	s.writeArtifacts(j)
+}
+
+// writeArtifacts persists the job's durable run directory when RunRoot is
+// configured: manifest.json identifying the job and epochs.jsonl with the
+// per-epoch cross-layer breakdown from the job's private registry.
+func (s *Server) writeArtifacts(j *job) {
+	if s.cfg.RunRoot == "" {
+		return
+	}
+	rd, err := obs.OpenRunDir(filepath.Join(s.cfg.RunRoot, j.id))
+	if err != nil {
+		return // artifacts are best-effort; the job outcome already stands
+	}
+	st := j.status()
+	_ = rd.WriteManifest(obs.Manifest{
+		Tool: "corgiserved",
+		Run:  j.id + " " + string(st.State) + " " + st.Model,
+		Seed: int64(j.st.Params.Num("seed", 1)),
+		Config: map[string]any{
+			"sql":     j.sql,
+			"session": j.session,
+			"state":   st.State,
+		},
+	})
+	_ = rd.WriteEpochs(j.breakdownRows())
+	_ = rd.WriteMetrics(j.reg)
+}

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+
+	"corgipile/internal/sqlparse"
+)
+
+// handleSession owns one client connection: it reads newline-delimited
+// JSON requests, answers each with exactly one response line (in request
+// order — the protocol has no pipelined or unsolicited replies), and on
+// disconnect cancels every non-detached job the session still owns.
+func (s *Server) handleSession(id string, conn net.Conn) {
+	defer s.wg.Done()
+	// sessCtx parents the session's non-detached jobs, so tearing the
+	// connection down cancels them even mid-epoch.
+	sessCtx, cancel := context.WithCancel(s.ctx)
+	defer func() {
+		cancel()
+		conn.Close()
+		s.connsMu.Lock()
+		delete(s.conns, conn)
+		s.connsMu.Unlock()
+		// Complete the queued → canceled transition for jobs a worker has
+		// not picked up yet; running ones stop via the context.
+		for _, j := range s.snapshotJobs() {
+			if j.session == id && !j.detach && j.active() {
+				j.requestCancel()
+			}
+		}
+	}()
+
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			if enc.Encode(errResponse(ErrBadRequest, "request is not valid JSON: %v", err)) != nil {
+				return
+			}
+			continue
+		}
+		resp, quit := s.dispatch(id, sessCtx, &req)
+		if enc.Encode(resp) != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+	// Scanner stops on EOF, connection error, or an over-long line; all
+	// three end the session the same way.
+}
+
+// dispatch routes one request. The second return value asks the caller to
+// close the connection after writing the response.
+func (s *Server) dispatch(sessID string, sessCtx context.Context, req *Request) (*Response, bool) {
+	switch req.Op {
+	case "hello":
+		return &Response{
+			OK:       true,
+			Type:     "hello",
+			Server:   ServerName,
+			Protocol: ProtocolVersion,
+			Session:  sessID,
+		}, false
+	case "sql":
+		return s.execSQL(sessID, sessCtx, req), false
+	case "train":
+		return s.execTrainOp(sessID, sessCtx, req), false
+	case "predict":
+		return s.execPredictOp(req), false
+	case "cancel":
+		return s.execCancel(sessCtx, req), false
+	case "status":
+		return s.execStatus(sessCtx, req), false
+	case "quit":
+		return &Response{OK: true, Type: "bye"}, true
+	default:
+		return errResponse(ErrUnknownOp, "unknown op %q", req.Op), false
+	}
+}
+
+// execSQL parses a statement and routes it by kind: TRAIN becomes a
+// background job, PREDICT takes the cached read path, and everything else
+// (DDL, SHOW, EXPLAIN, SAVE/LOAD/DROP) executes inline under the catalog
+// write lock.
+func (s *Server) execSQL(sessID string, sessCtx context.Context, req *Request) *Response {
+	st, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return errResponse(ErrParse, "%v", err)
+	}
+	switch st := st.(type) {
+	case *sqlparse.Train:
+		return s.submitAndReply(sessID, sessCtx, st, req)
+	case *sqlparse.Predict:
+		return s.execPredict(st)
+	default:
+		return s.execInline(st)
+	}
+}
+
+// execTrainOp is op "train": like op "sql" but the statement must be TRAIN.
+func (s *Server) execTrainOp(sessID string, sessCtx context.Context, req *Request) *Response {
+	st, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return errResponse(ErrParse, "%v", err)
+	}
+	tr, ok := st.(*sqlparse.Train)
+	if !ok {
+		return errResponse(ErrBadRequest, "op train requires a TRAIN statement, got %s", stmtKind(st))
+	}
+	return s.submitAndReply(sessID, sessCtx, tr, req)
+}
+
+// execPredictOp is op "predict": like op "sql" but the statement must be
+// PREDICT.
+func (s *Server) execPredictOp(req *Request) *Response {
+	st, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return errResponse(ErrParse, "%v", err)
+	}
+	pr, ok := st.(*sqlparse.Predict)
+	if !ok {
+		return errResponse(ErrBadRequest, "op predict requires a PREDICT statement, got %s", stmtKind(st))
+	}
+	return s.execPredict(pr)
+}
+
+// submitAndReply enqueues a TRAIN job and acknowledges it. The ack always
+// reports state "queued" — never a racy peek at whether a worker already
+// started it — so transcripts are deterministic. With wait=true the reply
+// is deferred until the job reaches a terminal state.
+func (s *Server) submitAndReply(sessID string, sessCtx context.Context, st *sqlparse.Train, req *Request) *Response {
+	j, errResp := s.submitTrain(sessID, st, req.SQL, req.Detach, sessCtx)
+	if errResp != nil {
+		return errResp
+	}
+	if req.Wait {
+		if r := s.waitJob(j, sessCtx); r != nil {
+			return r
+		}
+		return &Response{OK: true, Type: "job", Job: ptr(j.status())}
+	}
+	return &Response{OK: true, Type: "job", Job: &JobStatus{
+		ID:      j.id,
+		Session: sessID,
+		Model:   strings.ToLower(st.ModelName),
+		State:   JobQueued,
+	}}
+}
+
+// execCancel cancels a job by id. Any session may cancel any job (an
+// operator connection can reap another client's runaway TRAIN); with
+// wait=true the reply waits for the job to actually reach a terminal
+// state rather than reporting the in-flight snapshot.
+func (s *Server) execCancel(sessCtx context.Context, req *Request) *Response {
+	s.mu.Lock()
+	j, ok := s.jobs[req.Job]
+	s.mu.Unlock()
+	if !ok {
+		return errResponse(ErrNotFound, "unknown job %q", req.Job)
+	}
+	j.requestCancel()
+	if req.Wait {
+		if r := s.waitJob(j, sessCtx); r != nil {
+			return r
+		}
+	}
+	return &Response{OK: true, Type: "job", Job: ptr(j.status())}
+}
+
+// execStatus reports one job (req.Job set; wait=true blocks until it is
+// terminal) or the whole job table in submission order.
+func (s *Server) execStatus(sessCtx context.Context, req *Request) *Response {
+	if req.Job != "" {
+		s.mu.Lock()
+		j, ok := s.jobs[req.Job]
+		s.mu.Unlock()
+		if !ok {
+			return errResponse(ErrNotFound, "unknown job %q", req.Job)
+		}
+		if req.Wait {
+			if r := s.waitJob(j, sessCtx); r != nil {
+				return r
+			}
+		}
+		return &Response{OK: true, Type: "job", Job: ptr(j.status())}
+	}
+	jobs := s.snapshotJobs()
+	resp := &Response{OK: true, Type: "status", Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		resp.Jobs = append(resp.Jobs, j.status())
+	}
+	return resp
+}
+
+// execInline runs a non-TRAIN, non-PREDICT statement under the catalog
+// write lock and invalidates any cached snapshot the statement replaced.
+func (s *Server) execInline(st sqlparse.Statement) *Response {
+	s.catalog.Lock()
+	res, err := s.dbs.ExecStatement(st)
+	switch st := st.(type) {
+	case *sqlparse.CreateTable:
+		s.cache.invalidate(strings.ToLower(st.Name))
+	case *sqlparse.Drop:
+		if st.What == "table" {
+			s.cache.invalidate(strings.ToLower(st.Name))
+		}
+	}
+	s.catalog.Unlock()
+	if err != nil {
+		return errResponse(ErrExec, "%v", err)
+	}
+	return &Response{
+		OK:      true,
+		Type:    "result",
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Message: res.Message,
+	}
+}
+
+// waitJob blocks until the job is terminal. It returns a non-nil error
+// response only when the wait itself was interrupted (session or server
+// teardown).
+func (s *Server) waitJob(j *job, sessCtx context.Context) *Response {
+	select {
+	case <-j.done:
+		return nil
+	case <-sessCtx.Done():
+		return errResponse(ErrShutdown, "wait interrupted: session closing")
+	}
+}
+
+// stmtKind names a statement type for error messages.
+func stmtKind(st sqlparse.Statement) string {
+	switch st.(type) {
+	case *sqlparse.CreateTable:
+		return "CREATE TABLE"
+	case *sqlparse.Train:
+		return "TRAIN"
+	case *sqlparse.Predict:
+		return "PREDICT"
+	case *sqlparse.Show:
+		return "SHOW"
+	case *sqlparse.Explain:
+		return "EXPLAIN"
+	case *sqlparse.Analyze:
+		return "ANALYZE"
+	case *sqlparse.SaveModel:
+		return "SAVE MODEL"
+	case *sqlparse.LoadModel:
+		return "LOAD MODEL"
+	case *sqlparse.Drop:
+		return "DROP"
+	default:
+		return "unknown statement"
+	}
+}
+
+// ptr lifts a JobStatus into the pointer the wire struct wants.
+func ptr(st JobStatus) *JobStatus { return &st }

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"corgipile/internal/db"
+)
+
+// TestProtocolTranscript is the documentation golden test: it parses the
+// worked transcript out of docs/PROTOCOL.md, boots a server exactly as
+// the document describes (workers=1, catalog from scripts/serve_init.sql),
+// replays every "C:" line verbatim, and requires every response to match
+// the documented "S:" line byte-for-byte. If server behavior and the
+// protocol document ever drift apart, this test fails — the document is
+// executable, not aspirational.
+func TestProtocolTranscript(t *testing.T) {
+	root := repoRoot(t)
+	steps := loadTranscript(t, filepath.Join(root, "docs", "PROTOCOL.md"))
+	if len(steps) < 5 {
+		t.Fatalf("suspiciously short transcript (%d steps) — extraction broken?", len(steps))
+	}
+
+	initSQL, err := os.ReadFile(filepath.Join(root, "scripts", "serve_init.sql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := db.NewSession()
+	if _, err := session.ExecScript(string(initSQL)); err != nil {
+		t.Fatalf("init script: %v", err)
+	}
+	srv, err := New(Config{Addr: "127.0.0.1:0", Workers: 1, Session: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialRaw(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, step := range steps {
+		got, err := c.DoLine(step.request)
+		if err != nil {
+			t.Fatalf("step %d: send %q: %v", i+1, step.request, err)
+		}
+		if got != step.response {
+			t.Errorf("step %d: response drifted from docs/PROTOCOL.md\n C: %s\n want S: %s\n got  S: %s",
+				i+1, step.request, step.response, got)
+		}
+	}
+}
+
+type transcriptStep struct {
+	request  string
+	response string
+}
+
+// loadTranscript extracts the C:/S: pairs from the fenced code block
+// under the "## Worked transcript" heading.
+func loadTranscript(t *testing.T, path string) []transcriptStep {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var steps []transcriptStep
+	inSection, inFence := false, false
+	var pendingReq string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "## "):
+			inSection = strings.Contains(line, "Worked transcript")
+		case inSection && strings.HasPrefix(line, "```"):
+			// The section holds several fenced blocks (setup console,
+			// transcript, replay example); C:/S: lines appear only in the
+			// transcript one, so just track fence state.
+			inFence = !inFence
+		case inSection && inFence && strings.HasPrefix(line, "C: "):
+			if pendingReq != "" {
+				t.Fatalf("transcript has two consecutive C: lines at %q", line)
+			}
+			pendingReq = strings.TrimPrefix(line, "C: ")
+		case inSection && inFence && strings.HasPrefix(line, "S: "):
+			if pendingReq == "" {
+				t.Fatalf("transcript has S: line with no preceding C: at %q", line)
+			}
+			steps = append(steps, transcriptStep{pendingReq, strings.TrimPrefix(line, "S: ")})
+			pendingReq = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if pendingReq != "" {
+		t.Fatalf("transcript ends with unanswered C: %s", pendingReq)
+	}
+	return steps
+}
+
+// repoRoot locates the repository root from this source file's path.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}

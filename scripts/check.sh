@@ -21,3 +21,7 @@ echo "$plan" | grep -q '└─ TupleShuffle'
 echo "$plan" | grep -q '└─ BlockShuffle'
 echo "$plan" | grep -q '(actual: rows='
 echo "$plan" | grep -q 'EXPLAIN ANALYZE: model'
+
+# Serving-plane smoke: boot corgiserved, replay the docs/PROTOCOL.md
+# transcript byte-for-byte, scrape per-job telemetry, run -serve-load.
+./scripts/serve_smoke.sh

@@ -1,0 +1,6 @@
+-- Boot catalog for the docs/PROTOCOL.md worked transcript and
+-- scripts/serve_smoke.sh. The transcript's responses are golden-tested
+-- against a server booted with exactly this script (fixed seed via the
+-- workload's built-in generator seed), so edits here require regenerating
+-- the transcript in docs/PROTOCOL.md.
+CREATE TABLE demo AS SYNTHETIC(workload='susy', scale=0.05, order='clustered') WITH device='ssd', block_size=16KB;

@@ -1,6 +1,7 @@
 package corgipile
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -87,6 +88,11 @@ type TrainConfig struct {
 	// equivalent but the loss trace is not bit-identical across the two
 	// engines.
 	Explain bool
+	// Ctx, when non-nil, cancels the run: training checks it between epochs
+	// and every few hundred tuples inside an epoch, then returns the
+	// context's error. This is the hook the serving plane uses to stop an
+	// in-flight job (CANCEL, dropped connection); a nil Ctx never cancels.
+	Ctx context.Context
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -208,6 +214,7 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 				Feed:      cfg.Feed,
 				Diag:      cfg.Diag,
 				RunName:   cfg.RunName,
+				Ctx:       cfg.Ctx,
 			},
 		}
 		if mlp, ok := model.(ml.MLP); ok {
@@ -250,6 +257,7 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		Diag:      cfg.Diag,
 		Feed:      cfg.Feed,
 		RunName:   cfg.RunName,
+		Ctx:       cfg.Ctx,
 	}
 	if mlp, ok := model.(ml.MLP); ok {
 		rc.InitWeights = core.MLPInit(mlp, ds.Features, cfg.Seed)
