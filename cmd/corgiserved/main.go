@@ -7,8 +7,8 @@
 // Usage:
 //
 //	corgiserved -listen 127.0.0.1:7878 \
-//	    [-init boot.sql] [-workers 2] [-queue 8] [-session-max 2] \
-//	    [-telemetry 127.0.0.1:9090] [-run-root runs/]
+//	    [-init boot.sql] [-wal waldir/] [-workers 2] [-queue 8] \
+//	    [-session-max 2] [-telemetry 127.0.0.1:9090] [-run-root runs/]
 //
 //	corgiserved -connect HOST:PORT [-replay transcript.txt]
 //
@@ -48,6 +48,7 @@ func main() {
 		sessionMax = flag.Int("session-max", 2, "max active (queued+running) jobs per session")
 		telemetry  = flag.String("telemetry", "", "serve live telemetry (/metrics, /run?job=<id>, /debug/pprof/) on this address")
 		runRoot    = flag.String("run-root", "", "write per-job durable artifacts under this directory")
+		walDir     = flag.String("wal", "", "durable catalog: replay and write a WAL under this directory")
 		connect    = flag.String("connect", "", "client mode: connect to a running server instead of serving")
 		replay     = flag.String("replay", "", "-connect: replay this transcript file instead of reading stdin")
 	)
@@ -62,6 +63,16 @@ func main() {
 	}
 
 	session := db.NewSession()
+	if *walDir != "" {
+		// Recovery runs before -init, so a restarted server finds its
+		// previous catalog and the init script is only needed on first boot.
+		stats, err := session.OpenWAL(*walDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corgiserved: wal:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wal:", stats)
+	}
 	if *initScript != "" {
 		sql, err := os.ReadFile(*initScript)
 		if err != nil {
@@ -107,6 +118,10 @@ func main() {
 	fmt.Println("corgiserved: shutting down")
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "corgiserved:", err)
+		os.Exit(1)
+	}
+	if err := session.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "corgiserved: wal:", err)
 		os.Exit(1)
 	}
 }

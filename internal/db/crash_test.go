@@ -1,0 +1,179 @@
+package db
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Crash tests: a child process (this test binary re-execed with
+// TestCrashHelper selected) ingests into a WAL-backed session in a loop and
+// is SIGKILLed at an arbitrary point — mid-append for the ingest mode,
+// around the checkpoint protocol for the checkpoint mode. The parent then
+// recovers the directory and asserts the catalog is a consistent prefix of
+// the child's work: recovery succeeds, the table decodes with dense
+// sequential IDs, and a same-seed TRAIN over the recovered catalog is
+// bit-deterministic across two independent recoveries.
+
+// TestCrashHelper is the child body; it only runs when re-execed by
+// runCrashChild and loops until killed.
+func TestCrashHelper(t *testing.T) {
+	if os.Getenv("CORGI_CRASH_HELPER") == "" {
+		t.Skip("crash-test child body; driven by TestCrashRecovery*")
+	}
+	dir := os.Getenv("CORGI_CRASH_DIR")
+	mode := os.Getenv("CORGI_CRASH_MODE")
+	s := NewSession()
+	if _, err := s.OpenWAL(dir); err != nil {
+		fmt.Printf("CHILD_ERR %v\n", err)
+		os.Exit(1)
+	}
+	if _, ok := s.Table("t"); !ok {
+		if _, err := s.Exec(walTestCreate); err != nil {
+			fmt.Printf("CHILD_ERR %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; ; i++ {
+		if _, err := s.Exec(insertSQL(t, s, "t", 64)); err != nil {
+			fmt.Printf("CHILD_ERR %v\n", err)
+			os.Exit(1)
+		}
+		if mode == "checkpoint" {
+			if _, err := s.Exec(`CHECKPOINT`); err != nil {
+				fmt.Printf("CHILD_ERR %v\n", err)
+				os.Exit(1)
+			}
+		}
+		// Flushed per line: the parent kills us as soon as it has seen
+		// enough iterations, landing the SIGKILL at an arbitrary point in
+		// the next one.
+		fmt.Printf("ITER %d\n", i)
+	}
+}
+
+// runCrashChild re-execs the test binary as a crash helper over dir and
+// SIGKILLs it after it reports `iters` completed iterations.
+func runCrashChild(t *testing.T, dir, mode string, iters int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelper$")
+	cmd.Env = append(os.Environ(),
+		"CORGI_CRASH_HELPER=1",
+		"CORGI_CRASH_DIR="+dir,
+		"CORGI_CRASH_MODE="+mode,
+	)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	seen := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "CHILD_ERR") {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("crash child failed: %s", line)
+		}
+		if strings.HasPrefix(line, "ITER ") {
+			seen++
+			if seen >= iters {
+				break
+			}
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	if seen < iters {
+		t.Fatalf("child exited after %d iterations, wanted %d", seen, iters)
+	}
+}
+
+// recoverAndCheck opens the crashed directory and asserts catalog
+// consistency, returning the recovered loss trace of a fixed-seed TRAIN.
+func recoverAndCheck(t *testing.T, dir string) []string {
+	t.Helper()
+	s := NewSession()
+	stats, err := s.OpenWAL(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s.Close()
+	if stats.Tables != 1 {
+		t.Fatalf("recovered %v, want 1 table", stats)
+	}
+	e, ok := s.Table("t")
+	if !ok {
+		t.Fatal("table t lost")
+	}
+	// The heap must be a consistent prefix: every block decodes and IDs are
+	// dense and sequential (no torn or reordered appends survived).
+	tuples, err := e.Table.DecodeAll()
+	if err != nil {
+		t.Fatalf("recovered table does not decode: %v", err)
+	}
+	if len(tuples) != e.Table.NumTuples() {
+		t.Fatalf("decoded %d tuples, catalog says %d", len(tuples), e.Table.NumTuples())
+	}
+	for i, tu := range tuples {
+		if tu.ID != int64(i) {
+			t.Fatalf("tuple %d has ID %d; appends are not a clean prefix", i, tu.ID)
+		}
+	}
+	res, err := s.Exec(`SELECT * FROM t TRAIN BY svm MODEL after_crash WITH max_epoch_num=2, seed=11, shuffle='corgipile'`)
+	if err != nil {
+		t.Fatalf("TRAIN after recovery: %v", err)
+	}
+	var losses []string
+	for _, row := range res.Rows {
+		losses = append(losses, row[1])
+	}
+	return losses
+}
+
+// SIGKILL mid-ingest: the WAL tail may be torn, but recovery must yield a
+// consistent prefix and deterministic training.
+func TestCrashRecoveryMidIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash tests re-exec the test binary")
+	}
+	dir := t.TempDir()
+	runCrashChild(t, dir, "ingest", 3)
+	first := recoverAndCheck(t, dir)
+	// A second, independent recovery of the same directory must land in the
+	// identical state: same-seed TRAIN gives a bit-identical loss trace.
+	// (recoverAndCheck trains a throwaway model, which appends a model
+	// record to the log — but the table blocks and the recovered weights it
+	// derives from are unchanged, so the traces must match.)
+	second := recoverAndCheck(t, dir)
+	if !equalStrings(first, second) {
+		t.Fatalf("recoveries diverged: %v vs %v", first, second)
+	}
+}
+
+// SIGKILL around CHECKPOINT: whether the crash lands before the tmp write,
+// mid-write, or between rename and log reset, recovery must succeed.
+func TestCrashRecoveryMidCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash tests re-exec the test binary")
+	}
+	dir := t.TempDir()
+	runCrashChild(t, dir, "checkpoint", 3)
+	// Crash again on the already-recovered directory to stack a second
+	// torn tail on top of a checkpoint.
+	runCrashChild(t, dir, "checkpoint", 2)
+	first := recoverAndCheck(t, dir)
+	second := recoverAndCheck(t, dir)
+	if !equalStrings(first, second) {
+		t.Fatalf("recoveries diverged: %v vs %v", first, second)
+	}
+}

@@ -43,6 +43,12 @@ type ModelEntry struct {
 	// Features and Classes describe the training table's schema.
 	Features int
 	Classes  int
+	// Table names the table the model was trained on and TrainedBlocks is
+	// the block frontier it has seen: TRAIN ... WITH resume='name' folds
+	// only blocks appended past this frontier into the next run. Both are
+	// zero for models loaded from a file (not resumable).
+	Table         string
+	TrainedBlocks int
 	// Epochs holds the per-epoch training metrics.
 	Epochs []executor.EpochRow
 	// Breakdown holds the per-epoch cross-layer time breakdown when the
@@ -78,6 +84,10 @@ type Session struct {
 	feed    *obs.RunFeed
 	diag    *core.DiagConfig
 	nextID  int
+	// wal and walDir are set by OpenWAL; a nil wal means the session is
+	// purely in-memory (the default) and mutation logging is a no-op.
+	wal    *storage.WAL
+	walDir string
 }
 
 // NewSession returns an empty session with HDD, SSD and RAM devices sharing
@@ -193,6 +203,12 @@ func (s *Session) ExecStatement(st sqlparse.Statement) (*Result, error) {
 		return s.execSave(st)
 	case *sqlparse.LoadModel:
 		return s.execLoad(st)
+	case *sqlparse.Insert:
+		return s.execInsert(st)
+	case *sqlparse.LoadTable:
+		return s.execLoadTable(st)
+	case *sqlparse.Checkpoint:
+		return s.execCheckpoint()
 	}
 	return nil, fmt.Errorf("db: unsupported statement %T", st)
 }
@@ -259,19 +275,24 @@ func (s *Session) execCreate(st *sqlparse.CreateTable) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.tables[name] = &TableEntry{Name: name, Table: tab, Device: devName}
+	entry := &TableEntry{Name: name, Table: tab, Device: devName}
+	if err := s.logCreateTable(entry); err != nil {
+		return nil, err
+	}
+	s.tables[name] = entry
 	return &Result{Message: fmt.Sprintf("CREATE TABLE: %d tuples, %d blocks, %d bytes on %s",
 		tab.NumTuples(), tab.NumBlocks(), tab.SizeBytes(), devName)}, nil
 }
 
 func (s *Session) execTrain(st *sqlparse.Train) (*Result, error) {
-	op, rows, modelName, err := s.runTrain(st, false)
+	pt, rows, modelName, err := s.runTrain(st, false)
 	if err != nil {
 		return nil, err
 	}
+	op := pt.op
 	res := &Result{
 		Columns:   []string{"epoch", "loss", "accuracy", "seconds", "tuples"},
-		Message:   trainMessage("TRAIN", modelName, op),
+		Message:   trainMessage("TRAIN", modelName, op) + resumeNote(pt),
 		Breakdown: op.Breakdown,
 	}
 	for _, r := range rows {
@@ -317,14 +338,37 @@ type PreparedTrain struct {
 	entry *TableEntry
 	cfg   executor.PlanConfig
 	op    *executor.SGDOp
+	// resume is the model this run continues (nil for a fresh train) and
+	// frontier is the table's block count captured at prepare time — the
+	// installed model's TrainedBlocks. The block range a resumed run reads
+	// is frozen here, so blocks appended while the plan executes never leak
+	// into it and the run stays bit-deterministic.
+	resume   *ModelEntry
+	frontier int
 }
 
 // Op returns the plan's root SGD operator.
 func (pt *PreparedTrain) Op() *executor.SGDOp { return pt.op }
 
+// Resumed returns the model this run continued, or nil for a fresh train.
+func (pt *PreparedTrain) Resumed() *ModelEntry { return pt.resume }
+
+// resumableKinds are the strategies incremental training supports: each
+// treats the source as an opaque block pool, so restricting it to the
+// newly appended range is exactly "fold the new blocks in". The other
+// strategies need a full-shuffle materialization of the whole table,
+// which contradicts training on a slice.
+var resumableKinds = map[shuffle.Kind]bool{
+	shuffle.KindCorgiPile: true,
+	shuffle.KindBlockOnly: true,
+	shuffle.KindNoShuffle: true,
+}
+
 // PrepareTrain resolves the statement's table and builds the physical plan,
 // including the out-of-band evaluation decode. It reads the catalog but
-// does not mutate it.
+// does not mutate it. With resume='model', the plan starts from that
+// model's weights and scans only the blocks appended since it was trained;
+// evaluation still covers the whole table.
 func (s *Session) PrepareTrain(st *sqlparse.Train, opt TrainOptions) (*PreparedTrain, error) {
 	entry, ok := s.Table(st.Table)
 	if !ok {
@@ -334,11 +378,41 @@ func (s *Session) PrepareTrain(st *sqlparse.Train, opt TrainOptions) (*PreparedT
 	if err != nil {
 		return nil, err
 	}
-	op, err := executor.BuildSGDPlan(shuffle.TableSource(entry.Table), cfg)
+	var src shuffle.Source = shuffle.TableSource(entry.Table)
+	frontier := entry.Table.NumBlocks()
+	var resume *ModelEntry
+	if name := st.Params.Str("resume", ""); name != "" {
+		m, ok := s.Model(name)
+		if !ok {
+			return nil, fmt.Errorf("db: resume: unknown model %q", name)
+		}
+		if m.Kind != st.ModelType {
+			return nil, fmt.Errorf("db: resume: model %q is %q, statement trains %q", name, m.Kind, st.ModelType)
+		}
+		if m.Table != entry.Name {
+			return nil, fmt.Errorf("db: resume: model %q was trained on table %q, not %q", name, m.Table, entry.Name)
+		}
+		if m.Features != entry.Table.Features() {
+			return nil, fmt.Errorf("db: resume: model %q has %d features, table %q has %d",
+				name, m.Features, entry.Name, entry.Table.Features())
+		}
+		if !resumableKinds[cfg.Shuffle] {
+			return nil, fmt.Errorf("db: resume supports shuffle 'corgipile', 'block_only' or 'no_shuffle' (got %q)", cfg.Shuffle)
+		}
+		if frontier <= m.TrainedBlocks {
+			return nil, fmt.Errorf("db: resume: table %q has no blocks beyond model %q's frontier (%d)",
+				entry.Name, name, m.TrainedBlocks)
+		}
+		src = shuffle.SliceSource(src, m.TrainedBlocks, frontier)
+		w := append([]float64(nil), m.W...)
+		cfg.SGD.InitWeights = func(dst []float64) { copy(dst, w) }
+		resume = m
+	}
+	op, err := executor.BuildSGDPlan(src, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedTrain{st: st, entry: entry, cfg: cfg, op: op}, nil
+	return &PreparedTrain{st: st, entry: entry, cfg: cfg, op: op, resume: resume, frontier: frontier}, nil
 }
 
 // Execute runs every configured epoch and returns the per-epoch metric
@@ -350,10 +424,10 @@ func (pt *PreparedTrain) Execute() ([]executor.EpochRow, error) {
 }
 
 // InstallModel stores the executed plan's trained model in the catalog
-// under the statement's model name (or a generated one) and returns the
-// entry. It mutates the catalog; the serving plane calls it under its
-// write lock.
-func (s *Session) InstallModel(pt *PreparedTrain, rows []executor.EpochRow) *ModelEntry {
+// under the statement's model name (or a generated one), logs it to the
+// WAL when the session is durable, and returns the entry. It mutates the
+// catalog; the serving plane calls it under its write lock.
+func (s *Session) InstallModel(pt *PreparedTrain, rows []executor.EpochRow) (*ModelEntry, error) {
 	modelName := strings.ToLower(pt.st.ModelName)
 	if modelName == "" {
 		s.nextID++
@@ -364,16 +438,20 @@ func (s *Session) InstallModel(pt *PreparedTrain, rows []executor.EpochRow) *Mod
 		Features: pt.entry.Table.Features(), Classes: pt.entry.Table.Classes(), Epochs: rows,
 		Breakdown: pt.op.Breakdown,
 		Plan:      pt.op.Plan(),
+		Table:     pt.entry.Name, TrainedBlocks: pt.frontier,
+	}
+	if err := s.logModel(entry); err != nil {
+		return nil, err
 	}
 	s.models[modelName] = entry
-	return entry
+	return entry, nil
 }
 
 // runTrain builds the full plan for a TRAIN statement, executes it, and
 // stores the trained model in the catalog. profile enables the per-operator
 // runtime profile (EXPLAIN ANALYZE); a plain TRAIN leaves it off so the
 // executor hot path is untouched.
-func (s *Session) runTrain(st *sqlparse.Train, profile bool) (*executor.SGDOp, []executor.EpochRow, string, error) {
+func (s *Session) runTrain(st *sqlparse.Train, profile bool) (*PreparedTrain, []executor.EpochRow, string, error) {
 	pt, err := s.PrepareTrain(st, TrainOptions{Profile: profile})
 	if err != nil {
 		return nil, nil, "", err
@@ -382,8 +460,11 @@ func (s *Session) runTrain(st *sqlparse.Train, profile bool) (*executor.SGDOp, [
 	if err != nil {
 		return nil, nil, "", err
 	}
-	entry := s.InstallModel(pt, rows)
-	return pt.op, rows, entry.Name, nil
+	entry, err := s.InstallModel(pt, rows)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return pt, rows, entry.Name, nil
 }
 
 // trainMessage formats the statement's status line, appending the fault
@@ -400,6 +481,14 @@ func trainMessage(verb, modelName string, op *executor.SGDOp) string {
 		msg += "; verdict: " + string(op.Verdict)
 	}
 	return msg
+}
+
+// resumeNote renders the incremental-training suffix of a TRAIN message.
+func resumeNote(pt *PreparedTrain) string {
+	if pt.resume == nil {
+		return ""
+	}
+	return fmt.Sprintf("; resumed from %q (+%d blocks)", pt.resume.Name, pt.frontier-pt.resume.TrainedBlocks)
 }
 
 // trainResilience builds the retry/degrade configuration from a TRAIN
@@ -635,10 +724,11 @@ func (s *Session) execExplain(st *sqlparse.Explain) (*Result, error) {
 // execExplainAnalyze runs the wrapped TRAIN with profiling enabled and
 // renders the annotated plan.
 func (s *Session) execExplainAnalyze(st *sqlparse.Explain) (*Result, error) {
-	op, _, modelName, err := s.runTrain(st.Train, true)
+	pt, _, modelName, err := s.runTrain(st.Train, true)
 	if err != nil {
 		return nil, err
 	}
+	op := pt.op
 	plan := op.Plan()
 	var text string
 	if st.Format == "json" {
@@ -755,11 +845,17 @@ func (s *Session) execDrop(st *sqlparse.Drop) (*Result, error) {
 		if _, ok := s.tables[name]; !ok {
 			return nil, fmt.Errorf("db: unknown table %q", st.Name)
 		}
+		if err := s.logDrop(storage.WALDropTable, name); err != nil {
+			return nil, err
+		}
 		delete(s.tables, name)
 		return &Result{Message: "DROP TABLE"}, nil
 	case "model":
 		if _, ok := s.models[name]; !ok {
 			return nil, fmt.Errorf("db: unknown model %q", st.Name)
+		}
+		if err := s.logDrop(storage.WALDropModel, name); err != nil {
+			return nil, err
 		}
 		delete(s.models, name)
 		return &Result{Message: "DROP MODEL"}, nil

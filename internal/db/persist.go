@@ -100,11 +100,15 @@ func (s *Session) execLoad(st *sqlparse.LoadModel) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.models[name] = &ModelEntry{
+	entry := &ModelEntry{
 		Name: name, Kind: mf.Kind, Model: model, W: mf.W,
 		Features: mf.Features, Classes: mf.Classes,
 		Epochs: []executor.EpochRow{},
 	}
+	if err := s.logModel(entry); err != nil {
+		return nil, err
+	}
+	s.models[name] = entry
 	return &Result{Message: fmt.Sprintf("LOAD MODEL: %q ← %s", name, st.Path)}, nil
 }
 

@@ -65,6 +65,10 @@ func BuildSGDPlan(src shuffle.Source, cfg PlanConfig) (*SGDOp, error) {
 		// Wrap here, below the strategy switch, so every access path —
 		// Scan, BlockShuffle, the CorgiPile pipeline, and the fallback
 		// strategies — reads through the same retry/quarantine layer.
+		// The SGD cancellation context also cancels retry backoff.
+		if cfg.Resilience.Ctx == nil {
+			cfg.Resilience.Ctx = cfg.SGD.Ctx
+		}
 		src, faults = shuffle.NewResilientSource(src, cfg.Resilience, cfg.SGD.Obs, nil)
 		if prof != nil {
 			prof.faults = faults

@@ -94,9 +94,17 @@ const (
 	SGDGradNanos = "sgd.grad_ns" // simulated gradient-compute time, ns
 	SGDLoss      = "sgd.loss"    // gauge: last epoch's mean streaming loss
 
+	// Durability layer (internal/storage WAL, internal/db recovery).
+	WALAppends         = "wal.appends"                // records appended
+	WALAppendBytes     = "wal.append_bytes"           // framed bytes appended
+	WALSyncs           = "wal.syncs"                  // explicit fsyncs
+	WALReplayRecords   = "wal.replay.records"         // records replayed at recovery
+	WALReplayTruncated = "wal.replay.truncated_bytes" // torn-tail bytes discarded
+
 	// Span names (duration histograms under the same keys).
-	SpanEpoch  = "epoch"
-	SpanRefill = "shuffle.refill"
+	SpanEpoch    = "epoch"
+	SpanRefill   = "shuffle.refill"
+	SpanRecovery = "wal.recovery"
 )
 
 // histBuckets is the number of log2(ns) histogram buckets: bucket i counts

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sync"
+	"time"
 
 	"corgipile/internal/executor"
 	"corgipile/internal/obs"
@@ -39,7 +40,10 @@ type job struct {
 	rows      []executor.EpochRow
 	breakdown []obs.EpochMetrics
 	errMsg    string
-	done      chan struct{}
+	// finishedAt is when the job reached its terminal state — the input to
+	// the server's age-based retention pruning.
+	finishedAt time.Time
+	done       chan struct{}
 }
 
 // breakdownRows returns the per-epoch cross-layer breakdown collected so
@@ -97,6 +101,7 @@ func (j *job) finish(state JobState, rows []executor.EpochRow, errMsg string) {
 	j.state = state
 	j.rows = rows
 	j.errMsg = errMsg
+	j.finishedAt = time.Now()
 	j.mu.Unlock()
 	j.cancel() // release the context's resources in every path
 	j.feed.Close()

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"corgipile/internal/db"
 	"corgipile/internal/obs"
@@ -51,6 +52,15 @@ type Config struct {
 	// RunRoot, when non-empty, writes per-job durable artifacts under
 	// RunRoot/<job id>/ (manifest.json, epochs.jsonl).
 	RunRoot string
+	// RetainJobs caps how many finished (done/failed/canceled) jobs the
+	// server keeps for status queries (default 64). Without a cap the job
+	// map grows without bound on a long-lived server — every TRAIN ever
+	// submitted stays resident along with its feed and metrics registry.
+	// Active jobs are never pruned and don't count against the cap.
+	RetainJobs int
+	// RetainJobAge prunes finished jobs older than this even under the cap
+	// (default 15m; negative disables age pruning).
+	RetainJobAge time.Duration
 	// Session, when non-nil, is the catalog to serve (e.g. preloaded with
 	// tables); nil opens a fresh db.NewSession.
 	Session *db.Session
@@ -103,6 +113,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SessionMax <= 0 {
 		cfg.SessionMax = 2
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 64
+	}
+	if cfg.RetainJobAge == 0 {
+		cfg.RetainJobAge = 15 * time.Minute
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -198,6 +214,38 @@ func (s *Server) feedFor(id string) *obs.RunFeed {
 	return nil
 }
 
+// pruneJobsLocked enforces the job retention policy: finished jobs past
+// RetainJobAge are dropped, and when more than RetainJobs finished jobs
+// remain, the oldest are dropped down to the cap. Active (queued/running)
+// jobs are never touched, so admission accounting and in-flight status
+// queries stay correct; a status query for a pruned id gets ERR_NOT_FOUND,
+// same as an id that never existed. Caller holds s.mu.
+func (s *Server) pruneJobsLocked(now time.Time) {
+	finished := 0
+	for _, id := range s.jobOrder {
+		if !s.jobs[id].active() {
+			finished++
+		}
+	}
+	keep := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		age := now.Sub(j.finishedAt)
+		j.mu.Unlock()
+		drop := terminal && (finished > s.cfg.RetainJobs ||
+			(s.cfg.RetainJobAge > 0 && age > s.cfg.RetainJobAge))
+		if drop {
+			finished--
+			delete(s.jobs, id)
+		} else {
+			keep = append(keep, id)
+		}
+	}
+	s.jobOrder = keep
+}
+
 // snapshotJobs returns the jobs in submission order.
 func (s *Server) snapshotJobs() []*job {
 	s.mu.Lock()
@@ -237,6 +285,7 @@ func (s *Server) submitTrain(sessID string, st *sqlparse.Train, sql string, deta
 		s.mu.Unlock()
 		return nil, errResponse(ErrShutdown, "server is shutting down")
 	}
+	s.pruneJobsLocked(time.Now())
 	active := 0
 	for _, j := range s.jobs {
 		if j.session == sessID && j.active() {
@@ -283,6 +332,12 @@ func (s *Server) worker() {
 				return
 			}
 			s.runJob(j)
+			// Shed finished jobs as work completes, not only on the next
+			// submission — an idle server must not hold churned jobs until
+			// a client happens to reconnect.
+			s.mu.Lock()
+			s.pruneJobsLocked(time.Now())
+			s.mu.Unlock()
 		}
 	}
 }
@@ -325,7 +380,13 @@ func (s *Server) runJob(j *job) {
 	}
 
 	s.catalog.Lock()
-	entry := s.dbs.InstallModel(pt, rows)
+	entry, err := s.dbs.InstallModel(pt, rows)
+	if err != nil {
+		s.catalog.Unlock()
+		j.finish(JobFailed, nil, err.Error())
+		s.writeArtifacts(j)
+		return
+	}
 	s.cache.invalidateModel(entry.Name)
 	s.catalog.Unlock()
 

@@ -216,6 +216,12 @@ func (s *Server) execInline(st sqlparse.Statement) *Response {
 		if st.What == "table" {
 			s.cache.invalidate(strings.ToLower(st.Name))
 		}
+	case *sqlparse.Insert:
+		// Ingestion changes the table's tuples: the cached predict snapshot
+		// is stale the moment the append lands.
+		s.cache.invalidate(strings.ToLower(st.Table))
+	case *sqlparse.LoadTable:
+		s.cache.invalidate(strings.ToLower(st.Table))
 	}
 	s.catalog.Unlock()
 	if err != nil {
@@ -263,6 +269,12 @@ func stmtKind(st sqlparse.Statement) string {
 		return "LOAD MODEL"
 	case *sqlparse.Drop:
 		return "DROP"
+	case *sqlparse.Insert:
+		return "INSERT"
+	case *sqlparse.LoadTable:
+		return "LOAD INTO"
+	case *sqlparse.Checkpoint:
+		return "CHECKPOINT"
 	default:
 		return "unknown statement"
 	}

@@ -1,6 +1,7 @@
 package shuffle
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -67,6 +68,9 @@ type Resilience struct {
 	// MaxSkipFraction caps the fraction of tuples SkipCorrupt may quarantine
 	// before aborting (0 selects DefaultMaxSkipFraction).
 	MaxSkipFraction float64
+	// Ctx, when non-nil, cancels retry backoff between attempts: a canceled
+	// training job stops mid-storm instead of draining the retry budget.
+	Ctx context.Context
 }
 
 // Enabled reports whether the configuration changes any behaviour.
@@ -251,7 +255,7 @@ func (r *resilientSource) ReadBlock(i int) ([]data.Tuple, error) {
 		return nil, nil
 	}
 	var tuples []data.Tuple
-	err := r.res.Retry.Do(r.src.Clock(), func(wait time.Duration) {
+	err := r.res.Retry.Do(r.res.Ctx, r.src.Clock(), func(wait time.Duration) {
 		r.report.addRetry(wait)
 		r.reg.Inc(obs.StorageRetries)
 		r.reg.AddDuration(obs.StorageBackoffNanos, wait)

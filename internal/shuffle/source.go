@@ -8,6 +8,7 @@
 package shuffle
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -89,6 +90,64 @@ func (s tableSource) ChargeFullShuffle() {
 	dev.WriteAt(size, size)
 	dev.ReadAt(size, size)
 	dev.WriteAt(2*size, size)
+}
+
+// sliceSource restricts a Source to a fixed block range.
+type sliceSource struct {
+	src    Source
+	lo     int
+	tuples int
+	blocks int
+}
+
+// SliceSource restricts src to the block range [lo, hi), fixed at
+// construction time. Incremental training uses it to fold only the blocks
+// appended since a model's last run into the CorgiPile block pool: the
+// range is frozen when the plan is prepared, so blocks appended while the
+// plan runs never leak into it and the epoch stays bit-deterministic.
+func SliceSource(src Source, lo, hi int) Source {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > src.NumBlocks() {
+		hi = src.NumBlocks()
+	}
+	if hi < lo {
+		hi = lo
+	}
+	tuples := 0
+	for i := lo; i < hi; i++ {
+		tuples += src.BlockTuples(i)
+	}
+	return &sliceSource{src: src, lo: lo, tuples: tuples, blocks: hi - lo}
+}
+
+// NumBlocks implements Source.
+func (s *sliceSource) NumBlocks() int { return s.blocks }
+
+// NumTuples implements Source.
+func (s *sliceSource) NumTuples() int { return s.tuples }
+
+// BlockTuples implements Source.
+func (s *sliceSource) BlockTuples(i int) int { return s.src.BlockTuples(s.lo + i) }
+
+// Clock implements Source.
+func (s *sliceSource) Clock() *iosim.Clock { return s.src.Clock() }
+
+// ReadBlock implements Source.
+func (s *sliceSource) ReadBlock(i int) ([]data.Tuple, error) {
+	if i < 0 || i >= s.blocks {
+		return nil, fmt.Errorf("shuffle: slice block %d out of range [0,%d)", i, s.blocks)
+	}
+	return s.src.ReadBlock(s.lo + i)
+}
+
+// Device implements DeviceSource when the underlying source does.
+func (s *sliceSource) Device() *iosim.Device {
+	if ds, ok := s.src.(DeviceSource); ok {
+		return ds.Device()
+	}
+	return nil
 }
 
 // MemSource is an in-memory Source over a dataset partitioned into blocks

@@ -161,6 +161,40 @@ type LoadModel struct {
 
 func (*LoadModel) stmt() {}
 
+// InsertRow is one VALUES row: a label followed by dense feature values.
+// Tuple IDs are assigned by the table (sequential in storage order), the
+// same scheme CREATE TABLE FROM uses.
+type InsertRow struct {
+	Label    float64
+	Features []float64
+}
+
+// Insert is INSERT INTO table VALUES (label, f1, ...), (...): it appends
+// tuples to a live table.
+type Insert struct {
+	Table string
+	Rows  []InsertRow
+}
+
+func (*Insert) stmt() {}
+
+// LoadTable is LOAD INTO table FROM 'path': it streams a LIBSVM file into
+// an existing table, appending blocks (contrast CREATE TABLE ... FROM,
+// which builds a new table).
+type LoadTable struct {
+	Table string
+	Path  string
+}
+
+func (*LoadTable) stmt() {}
+
+// Checkpoint is CHECKPOINT: it compacts the session's write-ahead log into
+// a checkpoint file so recovery replays the checkpoint plus only the
+// records logged after it.
+type Checkpoint struct{}
+
+func (*Checkpoint) stmt() {}
+
 // Drop is DROP TABLE name or DROP MODEL name.
 type Drop struct {
 	// What is "table" or "model".

@@ -135,8 +135,13 @@ func (p *parser) statement() (Statement, error) {
 		return p.saveStmt()
 	case p.at(tokWord, "load"):
 		return p.loadStmt()
+	case p.at(tokWord, "insert"):
+		return p.insertStmt()
+	case p.at(tokWord, "checkpoint"):
+		p.next()
+		return &Checkpoint{}, nil
 	}
-	return nil, fmt.Errorf("sqlparse: expected CREATE, SELECT, SHOW, DROP, EXPLAIN, ANALYZE, SAVE or LOAD, got %s", p.peek())
+	return nil, fmt.Errorf("sqlparse: expected CREATE, SELECT, INSERT, SHOW, DROP, EXPLAIN, ANALYZE, SAVE, LOAD or CHECKPOINT, got %s", p.peek())
 }
 
 func (p *parser) createTable() (Statement, error) {
@@ -387,8 +392,13 @@ func (p *parser) saveStmt() (Statement, error) {
 
 func (p *parser) loadStmt() (Statement, error) {
 	p.next() // LOAD
-	if err := p.keyword("model"); err != nil {
-		return nil, err
+	intoTable := false
+	switch {
+	case p.accept(tokWord, "model"):
+	case p.accept(tokWord, "into"):
+		intoTable = true
+	default:
+		return nil, fmt.Errorf("sqlparse: expected MODEL or INTO after LOAD, got %s", p.peek())
 	}
 	name, err := p.expect(tokWord, "")
 	if err != nil {
@@ -401,7 +411,62 @@ func (p *parser) loadStmt() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	if intoTable {
+		return &LoadTable{Table: name.text, Path: path.text}, nil
+	}
 	return &LoadModel{Name: name.text, Path: path.text}, nil
+}
+
+// insertStmt parses INSERT INTO table VALUES (label, f1, ...), (...).
+func (p *parser) insertStmt() (Statement, error) {
+	p.next() // INSERT
+	if err := p.keyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokWord, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("values"); err != nil {
+		return nil, err
+	}
+	st := &Insert{Table: name.text}
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row InsertRow
+		first := true
+		for {
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNum {
+				return nil, fmt.Errorf("sqlparse: INSERT values must be numeric, got %q", v.Raw)
+			}
+			if first {
+				row.Label = v.Num
+				first = false
+			} else {
+				row.Features = append(row.Features, v.Num)
+			}
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if len(row.Features) == 0 {
+			return nil, fmt.Errorf("sqlparse: INSERT row needs a label and at least one feature")
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return st, nil
 }
 
 func (p *parser) analyzeStmt() (Statement, error) {

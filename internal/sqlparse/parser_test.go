@@ -98,6 +98,70 @@ func TestParseShowAndDrop(t *testing.T) {
 	}
 }
 
+func TestParseInsert(t *testing.T) {
+	st := parseOne(t, `INSERT INTO t VALUES (1, 0.5, -2), (-1, 3.25, 4)`)
+	ins, ok := st.(*Insert)
+	if !ok {
+		t.Fatalf("wrong type %T", st)
+	}
+	if ins.Table != "t" || len(ins.Rows) != 2 {
+		t.Fatalf("insert parsed wrong: %+v", ins)
+	}
+	r0 := ins.Rows[0]
+	if r0.Label != 1 || len(r0.Features) != 2 || r0.Features[0] != 0.5 || r0.Features[1] != -2 {
+		t.Fatalf("row 0 = %+v", r0)
+	}
+	if ins.Rows[1].Label != -1 {
+		t.Fatalf("row 1 = %+v", ins.Rows[1])
+	}
+}
+
+func TestParseInsertErrors(t *testing.T) {
+	for _, sql := range []string{
+		`INSERT INTO t VALUES (1)`,          // no features
+		`INSERT INTO t VALUES (1, 'x')`,     // non-numeric
+		`INSERT INTO t VALUES ()`,           // empty row
+		`INSERT INTO t VALUES (1, 2`,        // unclosed
+		`INSERT t VALUES (1, 2)`,            // missing INTO
+		`INSERT INTO t (1, 2)`,              // missing VALUES
+		`INSERT INTO t VALUES (1, 2), (3,)`, // dangling comma
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestParseLoadInto(t *testing.T) {
+	st := parseOne(t, `LOAD INTO t FROM '/data/extra.libsvm'`)
+	lt, ok := st.(*LoadTable)
+	if !ok {
+		t.Fatalf("wrong type %T", st)
+	}
+	if lt.Table != "t" || lt.Path != "/data/extra.libsvm" {
+		t.Fatalf("load into parsed wrong: %+v", lt)
+	}
+	// The LOAD MODEL form must still parse to the model statement.
+	if _, ok := parseOne(t, `LOAD MODEL m FROM '/tmp/m.json'`).(*LoadModel); !ok {
+		t.Fatal("LOAD MODEL no longer parses")
+	}
+	if _, err := Parse(`LOAD t FROM 'x'`); err == nil || !strings.Contains(err.Error(), "MODEL or INTO") {
+		t.Fatalf("bad LOAD error: %v", err)
+	}
+}
+
+func TestParseCheckpoint(t *testing.T) {
+	if _, ok := parseOne(t, `CHECKPOINT`).(*Checkpoint); !ok {
+		t.Fatal("CHECKPOINT did not parse")
+	}
+	if _, ok := parseOne(t, `checkpoint;`).(*Checkpoint); !ok {
+		t.Fatal("lowercase checkpoint did not parse")
+	}
+	if _, err := Parse(`CHECKPOINT now`); err == nil {
+		t.Fatal("trailing input after CHECKPOINT accepted")
+	}
+}
+
 func TestParseCaseInsensitiveKeywords(t *testing.T) {
 	st := parseOne(t, `select * from T train by SVM with Learning_Rate=0.5`)
 	tr := st.(*Train)

@@ -63,6 +63,24 @@ func Render(st Statement) string {
 		return fmt.Sprintf("SAVE MODEL %s TO '%s'", st.Name, st.Path)
 	case *LoadModel:
 		return fmt.Sprintf("LOAD MODEL %s FROM '%s'", st.Name, st.Path)
+	case *Insert:
+		var b strings.Builder
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES ", st.Table)
+		for i, row := range st.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%g", row.Label)
+			for _, f := range row.Features {
+				fmt.Fprintf(&b, ", %g", f)
+			}
+			b.WriteString(")")
+		}
+		return b.String()
+	case *LoadTable:
+		return fmt.Sprintf("LOAD INTO %s FROM '%s'", st.Table, st.Path)
+	case *Checkpoint:
+		return "CHECKPOINT"
 	}
 	return ""
 }

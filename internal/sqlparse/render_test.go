@@ -25,6 +25,11 @@ func TestRenderRoundTrip(t *testing.T) {
 		`ANALYZE TABLE t WITH model='lr', tolerance=1.2`,
 		`SAVE MODEL m TO '/tmp/m.json'`,
 		`LOAD MODEL m FROM '/tmp/m.json'`,
+		`INSERT INTO t VALUES (1, 0.5, -2.25)`,
+		`INSERT INTO t VALUES (-1, 3), (1, 4.5), (0, 0)`,
+		`LOAD INTO t FROM '/data/extra.libsvm'`,
+		`CHECKPOINT`,
+		`SELECT * FROM t TRAIN BY svm MODEL m2 WITH resume='m1', max_epoch_num=3`,
 	}
 	for _, sql := range statements {
 		first, err := Parse(sql)

@@ -97,6 +97,29 @@ func DecodeTuple(buf []byte) (data.Tuple, int, error) {
 	return t, n, nil
 }
 
+// DecodeRawTuples decodes exactly count tuples from a raw block payload
+// (concatenated AppendTuple encodings with no trailing bytes). It is the
+// validation gate for WAL-replayed blocks: hostile payloads yield
+// ErrCorrupt, never a panic.
+func DecodeRawTuples(raw []byte, count int) ([]data.Tuple, error) {
+	if count < 0 || count > len(raw)/tupleHeaderSize {
+		return nil, fmt.Errorf("%w: tuple count %d exceeds %d-byte payload", ErrCorrupt, count, len(raw))
+	}
+	tuples := make([]data.Tuple, 0, count)
+	for len(tuples) < count {
+		t, n, err := DecodeTuple(raw)
+		if err != nil {
+			return nil, err
+		}
+		tuples = append(tuples, t)
+		raw = raw[n:]
+	}
+	if len(raw) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d tuples", ErrCorrupt, len(raw), count)
+	}
+	return tuples, nil
+}
+
 // EncodedTupleSize returns the size of t's encoding in bytes.
 func EncodedTupleSize(t *data.Tuple) int {
 	if t.IsSparse() {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"time"
@@ -56,14 +57,29 @@ func IsTransient(err error) bool { return errors.Is(err, iosim.ErrTransient) }
 // failures and charging each backoff to clock (when non-nil). onRetry, when
 // non-nil, observes every backoff taken. Permanent errors return
 // immediately; the last error is returned when the budget is exhausted.
-func (p RetryPolicy) Do(clock *iosim.Clock, onRetry func(wait time.Duration), fn func() error) error {
+//
+// ctx is checked between attempts: a canceled context stops the retry loop
+// before the next backoff and returns ctx.Err(), so a canceled training job
+// stops burning simulated backoff time mid-storm instead of waiting for the
+// SGD loop's own cancellation check. A nil ctx means no cancellation.
+func (p RetryPolicy) Do(ctx context.Context, clock *iosim.Clock, onRetry func(wait time.Duration), fn func() error) error {
 	p = p.withDefaults()
 	var rng *rand.Rand
 	wait := p.Backoff
 	for attempt := 1; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		err := fn()
 		if err == nil || !IsTransient(err) || attempt >= p.MaxAttempts {
 			return err
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		if rng == nil {
 			rng = rand.New(rand.NewSource(p.Seed))

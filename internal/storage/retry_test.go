@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -28,7 +29,7 @@ func TestRetryPolicyZeroValueDisabled(t *testing.T) {
 		t.Fatal("zero policy must be disabled")
 	}
 	calls := 0
-	err := p.Do(nil, nil, func() error {
+	err := p.Do(nil, nil, nil, func() error {
 		calls++
 		return fmt.Errorf("fail: %w", iosim.ErrTransient)
 	})
@@ -43,7 +44,7 @@ func TestRetryDoRecoversWithinBudget(t *testing.T) {
 	fails := 2
 	calls := 0
 	var waits []time.Duration
-	err := p.Do(clock, func(w time.Duration) { waits = append(waits, w) }, func() error {
+	err := p.Do(nil, clock, func(w time.Duration) { waits = append(waits, w) }, func() error {
 		calls++
 		if fails > 0 {
 			fails--
@@ -77,7 +78,7 @@ func TestRetryDoDeterministicBackoff(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 5, Backoff: time.Millisecond, Seed: 42}
 	trace := func() []time.Duration {
 		var waits []time.Duration
-		p.Do(nil, func(w time.Duration) { waits = append(waits, w) }, func() error {
+		p.Do(nil, nil, func(w time.Duration) { waits = append(waits, w) }, func() error {
 			return fmt.Errorf("always: %w", iosim.ErrTransient)
 		})
 		return waits
@@ -96,7 +97,7 @@ func TestRetryDoDeterministicBackoff(t *testing.T) {
 func TestRetryDoPermanentErrorImmediate(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 10}
 	calls := 0
-	err := p.Do(nil, nil, func() error {
+	err := p.Do(nil, nil, nil, func() error {
 		calls++
 		return fmt.Errorf("bad block: %w", ErrCorrupt)
 	})
@@ -108,12 +109,52 @@ func TestRetryDoPermanentErrorImmediate(t *testing.T) {
 func TestRetryDoExhaustsBudget(t *testing.T) {
 	p := RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
 	calls := 0
-	err := p.Do(nil, nil, func() error {
+	err := p.Do(nil, nil, nil, func() error {
 		calls++
 		return fmt.Errorf("storm: %w", iosim.ErrTransient)
 	})
 	if calls != 3 || !errors.Is(err, iosim.ErrTransient) {
 		t.Fatalf("budget exhaustion: %d calls, err %v", calls, err)
+	}
+}
+
+func TestRetryDoCanceledContext(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 100, Backoff: time.Millisecond}
+
+	// Already-canceled context: no attempt at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := p.Do(ctx, nil, nil, func() error {
+		calls++
+		return fmt.Errorf("storm: %w", iosim.ErrTransient)
+	})
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Do made %d calls, err %v; want 0 calls, context.Canceled", calls, err)
+	}
+
+	// Cancel fired during an attempt: the loop must stop before the next
+	// backoff instead of draining the 100-attempt budget, and must surface
+	// ctx.Err() so callers can distinguish cancellation from exhaustion.
+	ctx, cancel = context.WithCancel(context.Background())
+	clock := iosim.NewClock()
+	calls = 0
+	backoffs := 0
+	err = p.Do(ctx, clock, func(time.Duration) { backoffs++ }, func() error {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return fmt.Errorf("storm: %w", iosim.ErrTransient)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-storm cancel returned %v, want context.Canceled", err)
+	}
+	if calls != 3 {
+		t.Fatalf("made %d attempts after cancel at attempt 3, want exactly 3", calls)
+	}
+	if backoffs != 2 {
+		t.Fatalf("took %d backoffs, want 2 (none after cancel)", backoffs)
 	}
 }
 
@@ -173,7 +214,7 @@ func TestRetriedReadBlockEventuallySucceeds(t *testing.T) {
 	}
 	p := RetryPolicy{MaxAttempts: 20, Backoff: time.Millisecond, Seed: 5}
 	for i := 0; i < tab.NumBlocks(); i++ {
-		err := p.Do(clock, nil, func() error {
+		err := p.Do(nil, clock, nil, func() error {
 			_, e := tab.ReadBlock(i)
 			return e
 		})

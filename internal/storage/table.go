@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"corgipile/internal/data"
@@ -63,15 +64,36 @@ type BlockMeta struct {
 	FirstID int64
 }
 
+// RawBlock is the device-independent form of one block: the raw
+// (uncompressed) tuple payload plus its tuple count and first tuple ID. It
+// is what the write-ahead log records for an append — replaying a RawBlock
+// through AppendRawBlock reproduces the block bit-for-bit, including
+// recompression, on any device.
+type RawBlock struct {
+	// Raw is the concatenated tuple encodings (AppendTuple format).
+	Raw []byte
+	// Tuples is the number of tuples encoded in Raw.
+	Tuples int
+	// FirstID is the ID of the block's first tuple.
+	FirstID int64
+}
+
 // Table is a heap table laid out in blocks on a simulated device.
 //
 // Tuple bytes live in memory (the file slice); the device accounts for the
 // simulated time real hardware would spend serving each access.
+//
+// Tables are mutable: AppendTuples/AppendRawBlock add whole blocks to the
+// tail under an internal lock, and existing blocks are never rewritten, so
+// concurrent readers (a training epoch in flight) observe a stable prefix
+// while ingestion extends the table.
 type Table struct {
 	Name string
 
 	dev  *iosim.Device
 	opts Options
+
+	mu   sync.RWMutex
 	file []byte
 	meta []BlockMeta
 
@@ -81,82 +103,70 @@ type Table struct {
 	tuples   int
 }
 
+// NewEmpty returns an empty table with the given schema on dev — the
+// starting point for WAL replay and for ingestion-built tables.
+func NewEmpty(dev *iosim.Device, name string, task data.Task, features, classes int, opts Options) *Table {
+	return &Table{
+		Name:     name,
+		dev:      dev,
+		opts:     opts.withDefaults(),
+		task:     task,
+		features: features,
+		classes:  classes,
+	}
+}
+
 // Build lays the dataset out as a table on the device. Tuples are packed
 // into pages and pages into blocks of opts.BlockSize bytes; a tuple never
 // spans blocks, so each block decodes independently.
 func Build(dev *iosim.Device, ds *data.Dataset, opts Options) (*Table, error) {
-	opts = opts.withDefaults()
-	t := &Table{
-		Name:     ds.Name,
-		dev:      dev,
-		opts:     opts,
-		task:     ds.Task,
-		features: ds.Features,
-		classes:  ds.Classes,
-		tuples:   ds.Len(),
+	t := NewEmpty(dev, ds.Name, ds.Task, ds.Features, ds.Classes, opts)
+	if _, err := t.appendTuples(ds.Tuples, false); err != nil {
+		return nil, err
 	}
+	return t, nil
+}
 
-	var raw []byte // current block's raw payload
+// AppendTuples packs ts into new blocks appended to the table tail,
+// returning the raw form of every appended block so callers (the WAL) can
+// log exactly what changed. Appends never rewrite existing blocks: the last
+// block of the table stays as it was, so a trailing short block is possible
+// — every reader already tolerates variable block sizes.
+func (t *Table) AppendTuples(ts []data.Tuple) ([]RawBlock, error) {
+	return t.appendTuples(ts, true)
+}
+
+// appendTuples is AppendTuples with an optional retained copy of each raw
+// payload; Build skips the copies since nothing logs them.
+func (t *Table) appendTuples(ts []data.Tuple, keepRaw bool) ([]RawBlock, error) {
+	var out []RawBlock
+	var raw []byte
 	var count int
 	firstID := int64(0)
 	flush := func() error {
 		if count == 0 {
 			return nil
 		}
-		payload := raw
-		rawLen := int64(len(raw))
-		if opts.Compress {
-			var buf bytes.Buffer
-			fw, err := flate.NewWriter(&buf, flate.BestSpeed)
-			if err != nil {
-				return fmt.Errorf("storage: flate init: %w", err)
-			}
-			if _, err := fw.Write(raw); err != nil {
-				return fmt.Errorf("storage: compress: %w", err)
-			}
-			if err := fw.Close(); err != nil {
-				return fmt.Errorf("storage: compress close: %w", err)
-			}
-			payload = buf.Bytes()
+		rb := RawBlock{Raw: raw, Tuples: count, FirstID: firstID}
+		if err := t.AppendRawBlock(rb); err != nil {
+			return err
 		}
-		offset := int64(len(t.file))
-		// Block header: tuple count, raw length, payload length, CRC32 of
-		// the payload (integrity check on every read).
-		var hdr [24]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(count))
-		binary.LittleEndian.PutUint64(hdr[4:], uint64(rawLen))
-		binary.LittleEndian.PutUint64(hdr[12:], uint64(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[20:], crc32.ChecksumIEEE(payload))
-		t.file = append(t.file, hdr[:]...)
-		t.file = append(t.file, payload...)
-		// Pad uncompressed blocks to whole pages so BN matches
-		// page_num*page_size/block_size as in the paper's operator.
-		if !opts.Compress {
-			total := int64(len(hdr)) + int64(len(payload))
-			if rem := total % opts.PageSize; rem != 0 {
-				t.file = append(t.file, make([]byte, opts.PageSize-rem)...)
-			}
-		}
-		blockLen := int64(len(t.file)) - offset
-		t.meta = append(t.meta, BlockMeta{
-			Offset: offset, Len: blockLen, RawLen: rawLen, Tuples: count, FirstID: firstID,
-		})
-		if opts.ChargeBuild {
-			dev.WriteAt(offset, blockLen)
+		if keepRaw {
+			rb.Raw = append([]byte(nil), raw...)
+			out = append(out, rb)
 		}
 		raw = raw[:0]
 		count = 0
 		return nil
 	}
-
-	for i := range ds.Tuples {
-		tp := &ds.Tuples[i]
+	for i := range ts {
+		tp := &ts[i]
 		if count == 0 {
 			firstID = tp.ID
 		}
 		raw = AppendTuple(raw, tp)
 		count++
-		if int64(len(raw)) >= opts.BlockSize-24 {
+		if int64(len(raw)) >= t.opts.BlockSize-24 {
 			if err := flush(); err != nil {
 				return nil, err
 			}
@@ -165,7 +175,62 @@ func Build(dev *iosim.Device, ds *data.Dataset, opts Options) (*Table, error) {
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return out, nil
+}
+
+// AppendRawBlock appends one block from its raw form — the WAL replay path.
+// The payload is validated tuple by tuple before any table state changes,
+// so a corrupt record can never install an undecodable block.
+func (t *Table) AppendRawBlock(rb RawBlock) error {
+	if _, err := DecodeRawTuples(rb.Raw, rb.Tuples); err != nil {
+		return fmt.Errorf("storage: append block: %w", err)
+	}
+	payload := rb.Raw
+	rawLen := int64(len(rb.Raw))
+	if t.opts.Compress {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return fmt.Errorf("storage: flate init: %w", err)
+		}
+		if _, err := fw.Write(rb.Raw); err != nil {
+			return fmt.Errorf("storage: compress: %w", err)
+		}
+		if err := fw.Close(); err != nil {
+			return fmt.Errorf("storage: compress close: %w", err)
+		}
+		payload = buf.Bytes()
+	}
+	// Block header: tuple count, raw length, payload length, CRC32 of
+	// the payload (integrity check on every read).
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(rb.Tuples))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(rawLen))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.ChecksumIEEE(payload))
+
+	t.mu.Lock()
+	offset := int64(len(t.file))
+	t.file = append(t.file, hdr[:]...)
+	t.file = append(t.file, payload...)
+	// Pad uncompressed blocks to whole pages so BN matches
+	// page_num*page_size/block_size as in the paper's operator.
+	if !t.opts.Compress {
+		total := int64(len(hdr)) + int64(len(payload))
+		if rem := total % t.opts.PageSize; rem != 0 {
+			t.file = append(t.file, make([]byte, t.opts.PageSize-rem)...)
+		}
+	}
+	blockLen := int64(len(t.file)) - offset
+	t.meta = append(t.meta, BlockMeta{
+		Offset: offset, Len: blockLen, RawLen: rawLen, Tuples: rb.Tuples, FirstID: rb.FirstID,
+	})
+	t.tuples += rb.Tuples
+	t.mu.Unlock()
+	if t.opts.ChargeBuild {
+		t.dev.WriteAt(offset, blockLen)
+	}
+	return nil
 }
 
 // Device returns the device the table lives on.
@@ -173,15 +238,6 @@ func (t *Table) Device() *iosim.Device { return t.dev }
 
 // Options returns the table's layout options.
 func (t *Table) Options() Options { return t.opts }
-
-// NumBlocks returns the number of blocks (the paper's N).
-func (t *Table) NumBlocks() int { return len(t.meta) }
-
-// NumTuples returns the number of tuples (the paper's m).
-func (t *Table) NumTuples() int { return t.tuples }
-
-// SizeBytes returns the on-disk size of the table file.
-func (t *Table) SizeBytes() int64 { return int64(len(t.file)) }
 
 // Task returns the learning task of the stored dataset.
 func (t *Table) Task() data.Task { return t.task }
@@ -192,8 +248,53 @@ func (t *Table) Features() int { return t.features }
 // Classes returns the number of classes of the stored dataset.
 func (t *Table) Classes() int { return t.classes }
 
+// NumBlocks returns the number of blocks (the paper's N).
+func (t *Table) NumBlocks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.meta)
+}
+
+// NumTuples returns the number of tuples (the paper's m).
+func (t *Table) NumTuples() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tuples
+}
+
+// SizeBytes returns the on-disk size of the table file.
+func (t *Table) SizeBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int64(len(t.file))
+}
+
 // BlockTuples returns the tuple count of block i.
-func (t *Table) BlockTuples(i int) int { return t.meta[i].Tuples }
+func (t *Table) BlockTuples(i int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.meta[i].Tuples
+}
+
+// snapshot captures the block index and file image under the read lock.
+// Blocks are immutable once appended and the file only grows, so the
+// returned slices stay valid while concurrent appends extend the table.
+func (t *Table) snapshot() ([]BlockMeta, []byte) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.meta, t.file
+}
+
+// snapshotBlock captures one block's metadata and bytes.
+func (t *Table) snapshotBlock(i int) (BlockMeta, []byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.meta) {
+		return BlockMeta{}, nil, fmt.Errorf("storage: block %d out of range [0,%d)", i, len(t.meta))
+	}
+	m := t.meta[i]
+	return m, t.file[m.Offset : m.Offset+m.Len : m.Offset+m.Len], nil
+}
 
 // ReadBlock reads and decodes block i, charging the device (and therefore
 // the simulated clock) for the access. Compressed blocks additionally pay
@@ -202,17 +303,17 @@ func (t *Table) BlockTuples(i int) int { return t.meta[i].Tuples }
 // block's payload with a flipped bit, which the CRC check converts into a
 // permanent ErrCorrupt.
 func (t *Table) ReadBlock(i int) ([]data.Tuple, error) {
-	if i < 0 || i >= len(t.meta) {
-		return nil, fmt.Errorf("storage: block %d out of range [0,%d)", i, len(t.meta))
+	m, blk, err := t.snapshotBlock(i)
+	if err != nil {
+		return nil, err
 	}
-	m := t.meta[i]
 	if _, err := t.dev.TryReadAt(m.Offset, m.Len); err != nil {
 		return nil, fmt.Errorf("storage: block %d: %w", i, err)
 	}
 	if t.dev.BlockCorrupt(i) {
 		// Decode a copy with one payload bit flipped: the checksum trips
 		// exactly as it would for real media corruption.
-		buf := append([]byte(nil), t.file[m.Offset:m.Offset+m.Len]...)
+		buf := append([]byte(nil), blk...)
 		if len(buf) > 24 {
 			buf[24] ^= 0x01
 		}
@@ -222,13 +323,32 @@ func (t *Table) ReadBlock(i int) ([]data.Tuple, error) {
 		}
 		return tuples, nil
 	}
-	return t.decodeBlock(m)
+	return t.decodeBlockBytes(m, blk)
 }
 
-// decodeBlock decodes the tuples of block m from the in-memory file,
-// charging decompression time for compressed tables.
-func (t *Table) decodeBlock(m BlockMeta) ([]data.Tuple, error) {
-	return t.decodeBlockBytes(m, t.file[m.Offset:m.Offset+m.Len])
+// RawBlockAt reconstructs block i's raw form without charging any simulated
+// I/O — the checkpoint writer's read path.
+func (t *Table) RawBlockAt(i int) (RawBlock, error) {
+	m, blk, err := t.snapshotBlock(i)
+	if err != nil {
+		return RawBlock{}, err
+	}
+	if !t.opts.Compress {
+		if int64(len(blk)) < 24+m.RawLen {
+			return RawBlock{}, fmt.Errorf("%w: block %d shorter than its raw length", ErrCorrupt, i)
+		}
+		raw := append([]byte(nil), blk[24:24+m.RawLen]...)
+		return RawBlock{Raw: raw, Tuples: m.Tuples, FirstID: m.FirstID}, nil
+	}
+	tuples, err := t.decodeBlockUncharged(m, blk)
+	if err != nil {
+		return RawBlock{}, err
+	}
+	var raw []byte
+	for i := range tuples {
+		raw = AppendTuple(raw, &tuples[i])
+	}
+	return RawBlock{Raw: raw, Tuples: m.Tuples, FirstID: m.FirstID}, nil
 }
 
 // maxFlateRatio bounds flate's expansion: rawLen claims beyond this ratio
@@ -295,10 +415,12 @@ func (t *Table) decodeBlockBytes(m BlockMeta, buf []byte) ([]data.Tuple, error) 
 }
 
 // ScanAll reads every block in storage order, returning all tuples and
-// charging sequential I/O.
+// charging sequential I/O. The block range is captured at entry: blocks
+// appended while the scan runs are not included.
 func (t *Table) ScanAll() ([]data.Tuple, error) {
-	out := make([]data.Tuple, 0, t.tuples)
-	for i := range t.meta {
+	n := t.NumBlocks()
+	out := make([]data.Tuple, 0, t.NumTuples())
+	for i := 0; i < n; i++ {
 		ts, err := t.ReadBlock(i)
 		if err != nil {
 			return nil, err
@@ -312,9 +434,10 @@ func (t *Table) ScanAll() ([]data.Tuple, error) {
 // used for out-of-band model evaluation, which the paper's measurements
 // also exclude from training time.
 func (t *Table) DecodeAll() ([]data.Tuple, error) {
-	out := make([]data.Tuple, 0, t.tuples)
-	for _, m := range t.meta {
-		ts, err := t.decodeBlockUncharged(m)
+	meta, file := t.snapshot()
+	out := make([]data.Tuple, 0, t.NumTuples())
+	for _, m := range meta {
+		ts, err := t.decodeBlockUncharged(m, file[m.Offset:m.Offset+m.Len])
 		if err != nil {
 			return nil, err
 		}
@@ -324,15 +447,15 @@ func (t *Table) DecodeAll() ([]data.Tuple, error) {
 }
 
 // decodeBlockUncharged decodes a block without charging decompression time.
-func (t *Table) decodeBlockUncharged(m BlockMeta) ([]data.Tuple, error) {
+func (t *Table) decodeBlockUncharged(m BlockMeta, blk []byte) ([]data.Tuple, error) {
 	if !t.opts.Compress {
-		return t.decodeBlock(m)
+		return t.decodeBlockBytes(m, blk)
 	}
 	// Temporarily drop the decompress charge by decoding around the clock:
-	// decodeBlock charges via the device clock, so save/restore it.
+	// decodeBlockBytes charges via the device clock, so save/restore it.
 	clk := t.dev.Clock()
 	before := clk.Now()
-	ts, err := t.decodeBlock(m)
+	ts, err := t.decodeBlockBytes(m, blk)
 	clk.Set(before)
 	return ts, err
 }

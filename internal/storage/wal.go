@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"corgipile/internal/obs"
+)
+
+// Write-ahead log record frame (little endian), CRC-framed like the block
+// codec so a torn or bit-flipped tail is detected on replay:
+//
+//	lsn     uint64  (strictly increasing; duplicates are skipped on replay)
+//	type    uint8
+//	payLen  uint32
+//	crc     uint32  (CRC32-IEEE over lsn, type, payLen, payload)
+//	payload payLen bytes
+const walHeaderSize = 8 + 1 + 4 + 4
+
+// maxWALPayload bounds a single record's payload (64 MiB — far above the
+// largest block plus framing) so a corrupted length field can never drive
+// an unbounded allocation during replay.
+const maxWALPayload = 64 << 20
+
+// WALRecordType identifies what a WAL record logs.
+type WALRecordType uint8
+
+const (
+	// WALCreateTable logs a catalog CREATE (JSON payload: schema + options).
+	WALCreateTable WALRecordType = 1
+	// WALAppendBlock logs one block appended to a table (binary payload,
+	// see EncodeBlockPayload).
+	WALAppendBlock WALRecordType = 2
+	// WALDropTable logs a catalog DROP TABLE (JSON payload: name).
+	WALDropTable WALRecordType = 3
+	// WALCheckpoint terminates a checkpoint file; its JSON payload carries
+	// the live-WAL LSN frontier the checkpoint covers.
+	WALCheckpoint WALRecordType = 4
+	// WALPutModel logs a model install or overwrite (JSON payload:
+	// weights + provenance).
+	WALPutModel WALRecordType = 5
+	// WALDropModel logs a catalog DROP MODEL (JSON payload: name).
+	WALDropModel WALRecordType = 6
+)
+
+// WALRecord is one decoded log record.
+type WALRecord struct {
+	LSN     uint64
+	Type    WALRecordType
+	Payload []byte
+}
+
+// AppendWALRecord appends the framed encoding of r to buf and returns the
+// extended slice.
+func AppendWALRecord(buf []byte, r WALRecord) []byte {
+	var hdr [walHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], r.LSN)
+	hdr[8] = byte(r.Type)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(r.Payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:13])
+	crc.Write(r.Payload)
+	binary.LittleEndian.PutUint32(hdr[13:], crc.Sum32())
+	buf = append(buf, hdr[:]...)
+	return append(buf, r.Payload...)
+}
+
+// DecodeWALRecords decodes records from the front of buf until the data
+// ends or turns invalid, returning the good records and the byte length of
+// the valid prefix. Everything past validLen is a torn or corrupt tail that
+// recovery must truncate. Records whose LSN does not strictly exceed the
+// previous record's are skipped (a duplicate append from a crashed retry
+// must not be applied twice) but still extend the valid prefix.
+//
+// The function is pure — no file I/O — so fuzzing can drive it directly
+// with hostile inputs.
+func DecodeWALRecords(buf []byte) (recs []WALRecord, validLen int) {
+	var lastLSN uint64
+	off := 0
+	for {
+		rest := buf[off:]
+		if len(rest) < walHeaderSize {
+			return recs, off
+		}
+		lsn := binary.LittleEndian.Uint64(rest[0:])
+		typ := WALRecordType(rest[8])
+		payLen := int64(binary.LittleEndian.Uint32(rest[9:]))
+		sum := binary.LittleEndian.Uint32(rest[13:])
+		if payLen > maxWALPayload || payLen > int64(len(rest)-walHeaderSize) {
+			return recs, off
+		}
+		payload := rest[walHeaderSize : walHeaderSize+payLen]
+		crc := crc32.NewIEEE()
+		crc.Write(rest[:13])
+		crc.Write(payload)
+		if crc.Sum32() != sum {
+			return recs, off
+		}
+		off += walHeaderSize + int(payLen)
+		if lsn <= lastLSN && len(recs) > 0 {
+			continue // duplicate or regressed LSN: valid frame, skip replay
+		}
+		lastLSN = lsn
+		recs = append(recs, WALRecord{LSN: lsn, Type: typ, Payload: append([]byte(nil), payload...)})
+	}
+}
+
+// WAL is an append-only write-ahead log backed by a real file. Appends go
+// to the OS page cache (surviving a SIGKILL of this process); Sync flushes
+// to stable media and is called once per mutation statement, not per
+// record. A torn tail from a crash mid-write is detected by the CRC frame
+// and truncated on the next open.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	next uint64 // next LSN to assign
+	reg  *obs.Registry
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays it, truncates
+// any torn tail, and returns the recovered records. The returned WAL
+// continues appending after the last valid record with a strictly larger
+// LSN.
+func OpenWAL(path string) (*WAL, []WALRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: read wal: %w", err)
+	}
+	recs, valid := DecodeWALRecords(buf)
+	if valid < len(buf) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: seek wal: %w", err)
+	}
+	w := &WAL{f: f, path: path, next: 1}
+	if n := len(recs); n > 0 {
+		w.next = recs[n-1].LSN + 1
+	}
+	w.truncated(len(buf) - valid)
+	return w, recs, nil
+}
+
+// WithObs attaches a metrics registry; wal.* counters record appends,
+// bytes, and syncs. Returns w for chaining.
+func (w *WAL) WithObs(reg *obs.Registry) *WAL {
+	w.mu.Lock()
+	w.reg = reg
+	w.mu.Unlock()
+	return w
+}
+
+func (w *WAL) truncated(n int) {
+	if n > 0 {
+		w.mu.Lock()
+		reg := w.reg
+		w.mu.Unlock()
+		reg.Add(obs.WALReplayTruncated, int64(n))
+	}
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// NextLSN returns the LSN the next append will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next
+}
+
+// AdvanceLSN raises the next LSN to at least lsn — recovery calls this with
+// the checkpoint frontier so post-recovery appends stay above everything
+// the checkpoint already covers.
+func (w *WAL) AdvanceLSN(lsn uint64) {
+	w.mu.Lock()
+	if lsn > w.next {
+		w.next = lsn
+	}
+	w.mu.Unlock()
+}
+
+// Append writes one record (without syncing) and returns its LSN.
+func (w *WAL) Append(typ WALRecordType, payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.next
+	buf := AppendWALRecord(nil, WALRecord{LSN: lsn, Type: typ, Payload: payload})
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.next++
+	w.reg.Inc(obs.WALAppends)
+	w.reg.Add(obs.WALAppendBytes, int64(len(buf)))
+	return lsn, nil
+}
+
+// Sync flushes appended records to stable media.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal sync: %w", err)
+	}
+	w.reg.Inc(obs.WALSyncs)
+	return nil
+}
+
+// Reset truncates the log to empty after a successful checkpoint. The LSN
+// sequence keeps counting — it never restarts — so records written after a
+// reset still sort above the checkpoint frontier.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("storage: wal reset seek: %w", err)
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// Block-append payload (little endian):
+//
+//	nameLen uint16
+//	name    nameLen bytes
+//	firstID uint64
+//	tuples  uint32
+//	raw     remaining bytes (concatenated tuple encodings)
+
+// EncodeBlockPayload encodes a block append on table into a WAL payload.
+func EncodeBlockPayload(table string, rb RawBlock) []byte {
+	buf := make([]byte, 0, 2+len(table)+12+len(rb.Raw))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(table)))
+	buf = append(buf, table...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rb.FirstID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rb.Tuples))
+	return append(buf, rb.Raw...)
+}
+
+// DecodeBlockPayload decodes a WALAppendBlock payload. The raw tuple bytes
+// are returned unvalidated — AppendRawBlock validates them tuple by tuple
+// before any table state changes.
+func DecodeBlockPayload(p []byte) (table string, rb RawBlock, err error) {
+	if len(p) < 2 {
+		return "", RawBlock{}, fmt.Errorf("%w: short block payload", ErrCorrupt)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(p))
+	if len(p) < 2+nameLen+12 {
+		return "", RawBlock{}, fmt.Errorf("%w: short block payload header", ErrCorrupt)
+	}
+	table = string(p[2 : 2+nameLen])
+	p = p[2+nameLen:]
+	rb.FirstID = int64(binary.LittleEndian.Uint64(p))
+	rb.Tuples = int(binary.LittleEndian.Uint32(p[8:]))
+	rb.Raw = append([]byte(nil), p[12:]...)
+	return table, rb, nil
+}

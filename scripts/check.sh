@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification gate, equivalent to `make check`: build, vet, the test
-# suite, the race detector over the internal packages, and the decoder
-# fuzz seed corpus (hostile block/tuple headers must stay rejected).
+# suite, the race detector over the internal packages, and the fuzz seed
+# corpora (hostile block/tuple headers must stay rejected; hostile WAL
+# bytes must replay to a clean prefix without a panic).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -25,3 +26,7 @@ echo "$plan" | grep -q 'EXPLAIN ANALYZE: model'
 # Serving-plane smoke: boot corgiserved, replay the docs/PROTOCOL.md
 # transcript byte-for-byte, scrape per-job telemetry, run -serve-load.
 ./scripts/serve_smoke.sh
+
+# Durability smoke: SIGKILL a WAL-backed corgiserved mid-catalog, restart
+# without -init, assert recovery + incremental TRAIN ... resume.
+./scripts/recovery_smoke.sh

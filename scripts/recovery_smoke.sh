@@ -1,0 +1,90 @@
+#!/bin/sh
+# Durability end-to-end smoke: boot corgiserved with a WAL, ingest and
+# train over the wire, SIGKILL the server (no graceful shutdown), restart
+# from the WAL alone (no -init) and assert the catalog recovered, then
+# fold the post-restart ingest into an incremental TRAIN ... resume job,
+# CHECKPOINT, kill again, and recover from the compacted checkpoint.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+servepid=""
+trap 'kill -9 $servepid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/corgiserved" ./cmd/corgiserved
+
+# start_server LOGFILE [extra args...]: boot against the shared WAL dir
+# and wait for the listen line. Sets $servepid and $addr.
+start_server() {
+    log=$1
+    shift
+    "$workdir/corgiserved" -listen 127.0.0.1:0 -workers 1 \
+        -wal "$workdir/wal" "$@" >"$workdir/$log" 2>&1 &
+    servepid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/^corgiserved: listening on \([^ ]*\).*/\1/p' "$workdir/$log" | head -n 1)
+        [ -n "$addr" ] && break
+        kill -0 $servepid || { cat "$workdir/$log"; exit 1; }
+        sleep 0.2
+    done
+    [ -n "$addr" ] || { echo "corgiserved never started" >&2; cat "$workdir/$log"; exit 1; }
+}
+
+# 400 susy-shaped rows (18 features) — enough to append whole new 16KB
+# blocks to the boot table.
+rows=$(awk 'BEGIN{
+    for (i = 0; i < 400; i++) {
+        printf "(%d", 1 - 2 * (i % 2)
+        for (f = 1; f <= 18; f++) printf ", %d", (i + f) % 11
+        printf ")"
+        if (i < 399) printf ", "
+    }
+}')
+
+# Boot 1: fresh WAL, catalog from the init script. Ingest and train a
+# base model, then SIGKILL — no graceful shutdown, the WAL is all that
+# survives.
+start_server serve1.log -init scripts/serve_init.sql
+{
+    printf '{"op":"sql","sql":"INSERT INTO demo VALUES %s"}\n' "$rows"
+    printf '{"op":"train","sql":"SELECT * FROM demo TRAIN BY svm MODEL base WITH learning_rate=0.05, max_epoch_num=2, seed=7","wait":true}\n'
+} >"$workdir/ingest.txt"
+"$workdir/corgiserved" -connect "$addr" -replay "$workdir/ingest.txt" >"$workdir/ingest_out.txt"
+grep -q '400 tuples' "$workdir/ingest_out.txt"
+grep -q '"state":"done"' "$workdir/ingest_out.txt"
+kill -9 $servepid
+wait $servepid 2>/dev/null || true
+
+# Boot 2: WAL only, no -init. The catalog (table + model) must come back
+# from log replay, the appended tuples included.
+start_server serve2.log
+grep -q 'wal: recovered 1 tables, 1 models' "$workdir/serve2.log"
+{
+    printf '{"op":"sql","sql":"SHOW MODELS"}\n'
+    printf '{"op":"sql","sql":"INSERT INTO demo VALUES %s"}\n' "$rows"
+    printf '{"op":"train","sql":"SELECT * FROM demo TRAIN BY svm MODEL base2 WITH resume=%s, max_epoch_num=2, seed=7","wait":true}\n' "'base'"
+    printf '{"op":"predict","sql":"SELECT * FROM demo PREDICT BY base2 LIMIT 1"}\n'
+    printf '{"op":"sql","sql":"CHECKPOINT"}\n'
+} >"$workdir/resume.txt"
+"$workdir/corgiserved" -connect "$addr" -replay "$workdir/resume.txt" >"$workdir/resume_out.txt"
+grep -q '"base"' "$workdir/resume_out.txt"          # recovered model listed
+grep -q '"state":"done"' "$workdir/resume_out.txt"  # incremental job ran
+grep -q 'PREDICT: ' "$workdir/resume_out.txt"       # resumed model answers
+grep -q 'wal truncated' "$workdir/resume_out.txt"   # checkpoint compacted
+kill -9 $servepid
+wait $servepid 2>/dev/null || true
+
+# Boot 3: recovery now reads the compacted checkpoint (both models, the
+# doubled table) with an empty log tail.
+start_server serve3.log
+grep -q 'wal: recovered 1 tables, 2 models' "$workdir/serve3.log"
+printf '{"op":"sql","sql":"SHOW TABLES"}\n' >"$workdir/show.txt"
+"$workdir/corgiserved" -connect "$addr" -replay "$workdir/show.txt" >"$workdir/show_out.txt"
+grep -q '"1300"' "$workdir/show_out.txt"            # 500 boot + 2x400 ingested
+kill -9 $servepid
+wait $servepid 2>/dev/null || true
+servepid=""
+
+echo "recovery smoke: OK"
