@@ -8,9 +8,20 @@
 //
 //	corgiserved -listen 127.0.0.1:7878 \
 //	    [-init boot.sql] [-wal waldir/] [-workers 2] [-queue 8] \
-//	    [-session-max 2] [-telemetry 127.0.0.1:9090] [-run-root runs/]
+//	    [-session-max 2] [-telemetry 127.0.0.1:9090] [-run-root runs/] \
+//	    [-retain-jobs 64] [-retain-job-age 15m] [-checkpoint-every 30s|64MB] \
+//	    [-replica-listen HOST:PORT] [-replicate-from HOST:PORT]
 //
-//	corgiserved -connect HOST:PORT [-replay transcript.txt]
+//	corgiserved -connect HOST:PORT [-replay transcript.txt] [-promote]
+//
+// Replication: -replica-listen publishes the catalog's WAL as a
+// replication stream (requires -wal); -replicate-from boots the server as
+// a read-only replica mirroring that stream into its own WAL directory.
+// A replica serves PREDICT and read-only SQL, rejects mutations with
+// ERR_READ_ONLY, and becomes a writable primary on PROMOTE (op "promote",
+// SQL "PROMOTE", or `corgiserved -connect ADDR -promote`).
+// -checkpoint-every compacts the WAL in the background on a time or size
+// trigger, the same atomic-rename path as the CHECKPOINT statement.
 //
 // In server mode, -init runs a semicolon-separated SQL script (typically
 // CREATE TABLE statements) against the catalog before the listener opens,
@@ -34,9 +45,11 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"corgipile/internal/db"
 	"corgipile/internal/serve"
+	"corgipile/internal/sqlparse"
 )
 
 func main() {
@@ -49,17 +62,55 @@ func main() {
 		telemetry  = flag.String("telemetry", "", "serve live telemetry (/metrics, /run?job=<id>, /debug/pprof/) on this address")
 		runRoot    = flag.String("run-root", "", "write per-job durable artifacts under this directory")
 		walDir     = flag.String("wal", "", "durable catalog: replay and write a WAL under this directory")
+		retainJobs = flag.Int("retain-jobs", 0, "finished jobs kept for status queries (default 64)")
+		retainAge  = flag.Duration("retain-job-age", 0, "prune finished jobs older than this (default 15m; <0 disables)")
+		replListen = flag.String("replica-listen", "", "serve the WAL-shipping replication stream on this address (requires -wal)")
+		replFrom   = flag.String("replicate-from", "", "boot as a read-only replica of the primary at this replication address (requires -wal)")
+		ckptEvery  = flag.String("checkpoint-every", "", "background WAL compaction trigger: a duration (30s) or a size (64MB)")
 		connect    = flag.String("connect", "", "client mode: connect to a running server instead of serving")
 		replay     = flag.String("replay", "", "-connect: replay this transcript file instead of reading stdin")
+		promote    = flag.Bool("promote", false, "-connect: send a PROMOTE request and exit")
 	)
 	flag.Parse()
 
 	if *connect != "" {
+		if *promote {
+			if err := runPromote(*connect); err != nil {
+				fmt.Fprintln(os.Stderr, "corgiserved:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runClient(*connect, *replay); err != nil {
 			fmt.Fprintln(os.Stderr, "corgiserved:", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *replFrom != "" && *initScript != "" {
+		fmt.Fprintln(os.Stderr, "corgiserved: -replicate-from and -init are mutually exclusive: a replica's catalog comes from the primary")
+		os.Exit(1)
+	}
+	if (*replFrom != "" || *replListen != "") && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "corgiserved: replication requires a durable catalog: set -wal")
+		os.Exit(1)
+	}
+	var ckptDur time.Duration
+	var ckptBytes int64
+	if *ckptEvery != "" {
+		if d, err := time.ParseDuration(*ckptEvery); err == nil {
+			ckptDur = d
+		} else if n, err := sqlparse.ParseSize(*ckptEvery); err == nil {
+			ckptBytes = n
+		} else {
+			fmt.Fprintf(os.Stderr, "corgiserved: -checkpoint-every %q is neither a duration nor a size\n", *ckptEvery)
+			os.Exit(1)
+		}
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "corgiserved: -checkpoint-every requires -wal")
+			os.Exit(1)
+		}
 	}
 
 	session := db.NewSession()
@@ -92,13 +143,19 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Addr:       *listen,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		SessionMax: *sessionMax,
-		Telemetry:  *telemetry,
-		RunRoot:    *runRoot,
-		Session:    session,
+		Addr:            *listen,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		SessionMax:      *sessionMax,
+		Telemetry:       *telemetry,
+		RunRoot:         *runRoot,
+		RetainJobs:      *retainJobs,
+		RetainJobAge:    *retainAge,
+		Session:         session,
+		ReplicaListen:   *replListen,
+		ReplicateFrom:   *replFrom,
+		CheckpointEvery: ckptDur,
+		CheckpointBytes: ckptBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "corgiserved:", err)
@@ -108,6 +165,12 @@ func main() {
 		srv.Addr(), serve.ProtocolVersion, *workers, *queue)
 	if *telemetry != "" {
 		fmt.Printf("corgiserved: telemetry on %s\n", srv.TelemetryURL())
+	}
+	if addr := srv.ReplicaAddr(); addr != "" {
+		fmt.Printf("corgiserved: replicating on %s\n", addr)
+	}
+	if *replFrom != "" {
+		fmt.Printf("corgiserved: replica of %s (read-only until PROMOTE)\n", *replFrom)
 	}
 
 	// Serve until interrupted; Close cancels in-flight jobs and waits for
@@ -124,6 +187,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "corgiserved: wal:", err)
 		os.Exit(1)
 	}
+}
+
+// runPromote sends a single PROMOTE request — the failover one-liner:
+// corgiserved -connect ADDR -promote.
+func runPromote(addr string) error {
+	c, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	resp, err := c.Promote()
+	if err != nil {
+		return err
+	}
+	fmt.Println(resp.Message)
+	return nil
 }
 
 // runClient drives a server from a transcript: each input line is one raw

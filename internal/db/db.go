@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"corgipile/internal/core"
@@ -88,6 +89,10 @@ type Session struct {
 	// purely in-memory (the default) and mutation logging is a no-op.
 	wal    *storage.WAL
 	walDir string
+	// readOnly rejects every mutating statement — the replica mode, flipped
+	// off by PROMOTE. Atomic because the serving plane reads it outside the
+	// catalog lock for TRAIN admission.
+	readOnly atomic.Bool
 }
 
 // NewSession returns an empty session with HDD, SSD and RAM devices sharing
@@ -184,6 +189,11 @@ func (s *Session) ExecScript(sql string) ([]*Result, error) {
 
 // ExecStatement executes a parsed statement.
 func (s *Session) ExecStatement(st sqlparse.Statement) (*Result, error) {
+	if s.readOnly.Load() {
+		if kind, bad := mutatingKind(st); bad {
+			return nil, fmt.Errorf("db: %s rejected: %w", kind, ErrReadOnly)
+		}
+	}
 	switch st := st.(type) {
 	case *sqlparse.CreateTable:
 		return s.execCreate(st)
@@ -209,6 +219,12 @@ func (s *Session) ExecStatement(st sqlparse.Statement) (*Result, error) {
 		return s.execLoadTable(st)
 	case *sqlparse.Checkpoint:
 		return s.execCheckpoint()
+	case *sqlparse.Promote:
+		// A bare session has no replication stream to stop; PROMOTE just
+		// clears the read-only latch. corgiserved intercepts PROMOTE before
+		// it reaches here to also tear down its replica connection.
+		s.SetReadOnly(false)
+		return &Result{Message: "promoted: session is writable"}, nil
 	}
 	return nil, fmt.Errorf("db: unsupported statement %T", st)
 }

@@ -98,11 +98,24 @@ func WALPath(dir string) string { return filepath.Join(dir, "wal.log") }
 // CheckpointPath returns the checkpoint path under dir.
 func CheckpointPath(dir string) string { return filepath.Join(dir, "checkpoint.db") }
 
+// WALOptions tunes OpenWALOptions; the zero value matches OpenWAL.
+type WALOptions struct {
+	// WrapSyncer, when non-nil, wraps the log's write path — the fault
+	// injection seam (see storage.WriteFaults). Recovery always reads the
+	// real file.
+	WrapSyncer func(storage.WriteSyncer) storage.WriteSyncer
+}
+
 // OpenWAL attaches a write-ahead log directory to the session, replaying
 // any existing checkpoint and log into the catalog first. After it returns,
 // every catalog mutation is logged and synced before the statement is
 // acknowledged. It must be called before the session serves statements.
 func (s *Session) OpenWAL(dir string) (RecoveryStats, error) {
+	return s.OpenWALOptions(dir, WALOptions{})
+}
+
+// OpenWALOptions is OpenWAL with knobs.
+func (s *Session) OpenWALOptions(dir string, opt WALOptions) (RecoveryStats, error) {
 	if s.wal != nil {
 		return RecoveryStats{}, fmt.Errorf("db: WAL already attached")
 	}
@@ -138,7 +151,7 @@ func (s *Session) OpenWAL(dir string) (RecoveryStats, error) {
 		return stats, fmt.Errorf("db: %w", err)
 	}
 
-	w, recs, err := storage.OpenWAL(WALPath(dir))
+	w, recs, err := storage.OpenWALFile(WALPath(dir), opt.WrapSyncer)
 	if err != nil {
 		return stats, err
 	}
@@ -347,15 +360,16 @@ func (s *Session) logDrop(typ storage.WALRecordType, name string) error {
 	return s.logSync()
 }
 
-// Checkpoint compacts the current catalog into checkpoint.db and truncates
-// the live log, returning the number of records written. See the protocol
-// comment at the top of this file for the crash-safety argument.
-func (s *Session) Checkpoint() (int, error) {
+// snapshotRecords serializes the whole catalog into checkpoint file format:
+// synthetic LSNs 1..n terminated by a WALCheckpoint record carrying the live
+// frontier (the highest live-WAL LSN the image covers). Checkpoint writes
+// the bytes to disk; the replication primary streams them to a catching-up
+// replica. The caller must hold whatever lock keeps the catalog stable.
+func (s *Session) snapshotRecords() (buf []byte, frontier uint64, n int, err error) {
 	if s.wal == nil {
-		return 0, fmt.Errorf("db: CHECKPOINT requires a WAL-backed session")
+		return nil, 0, 0, fmt.Errorf("db: snapshot requires a WAL-backed session")
 	}
-	frontier := s.wal.NextLSN() - 1
-	var buf []byte
+	frontier = s.wal.NextLSN() - 1
 	var lsn uint64
 	emit := func(typ storage.WALRecordType, payload []byte) {
 		lsn++
@@ -378,12 +392,12 @@ func (s *Session) Checkpoint() (int, error) {
 			Device: entry.Device, BlockSize: opts.BlockSize, PageSize: opts.PageSize,
 			Compress: opts.Compress, DecompressRate: opts.DecompressRate,
 		}); err != nil {
-			return 0, err
+			return nil, 0, 0, err
 		}
 		for i := 0; i < tab.NumBlocks(); i++ {
 			rb, err := tab.RawBlockAt(i)
 			if err != nil {
-				return 0, fmt.Errorf("db: checkpoint table %q: %w", name, err)
+				return nil, 0, 0, fmt.Errorf("db: snapshot table %q: %w", name, err)
 			}
 			emit(storage.WALAppendBlock, storage.EncodeBlockPayload(name, rb))
 		}
@@ -398,13 +412,26 @@ func (s *Session) Checkpoint() (int, error) {
 			Name: name, Kind: m.Kind, Features: m.Features, Classes: m.Classes,
 			Hidden: hidden, W: m.W, Table: m.Table, TrainedBlocks: m.TrainedBlocks,
 		}); err != nil {
-			return 0, err
+			return nil, 0, 0, err
 		}
 	}
 	if err := emitJSON(storage.WALCheckpoint, walCheckpointPayload{Frontier: frontier}); err != nil {
+		return nil, 0, 0, err
+	}
+	return buf, frontier, int(lsn), nil
+}
+
+// Checkpoint compacts the current catalog into checkpoint.db and truncates
+// the live log, returning the number of records written. See the protocol
+// comment at the top of this file for the crash-safety argument.
+func (s *Session) Checkpoint() (int, error) {
+	if s.wal == nil {
+		return 0, fmt.Errorf("db: CHECKPOINT requires a WAL-backed session")
+	}
+	buf, _, n, err := s.snapshotRecords()
+	if err != nil {
 		return 0, err
 	}
-
 	tmp := filepath.Join(s.walDir, "checkpoint.tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -429,7 +456,7 @@ func (s *Session) Checkpoint() (int, error) {
 	if err := s.wal.Reset(); err != nil {
 		return 0, err
 	}
-	return int(lsn), nil
+	return n, nil
 }
 
 func (s *Session) execCheckpoint() (*Result, error) {
@@ -460,11 +487,15 @@ func (s *Session) execInsert(st *sqlparse.Insert) (*Result, error) {
 			Dense: append([]float64(nil), row.Features...),
 		}
 	}
+	preBlocks := tab.NumBlocks()
 	raws, err := tab.AppendTuples(tuples)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.logAppendedBlocks(entry.Name, raws); err != nil {
+		// The log rejected the statement, so the acknowledged state must not
+		// include it: drop the in-memory blocks the append just created.
+		tab.TruncateBlocks(preBlocks)
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("INSERT: %d tuples in %d blocks into %q (now %d tuples, %d blocks)",
@@ -510,11 +541,15 @@ func (s *Session) execLoadTable(st *sqlparse.LoadTable) (*Result, error) {
 		if end > len(ds.Tuples) {
 			end = len(ds.Tuples)
 		}
+		preBlocks := tab.NumBlocks()
 		raws, err := tab.AppendTuples(ds.Tuples[off:end])
 		if err != nil {
 			return nil, err
 		}
 		if err := s.logAppendedBlocks(entry.Name, raws); err != nil {
+			// Earlier chunks were logged and synced — they stay. Only the
+			// chunk whose records never became durable is rolled back.
+			tab.TruncateBlocks(preBlocks)
 			return nil, err
 		}
 		blocks += len(raws)

@@ -1,0 +1,96 @@
+package db
+
+import (
+	"errors"
+	"testing"
+
+	"corgipile/internal/storage"
+)
+
+// Satellite: injected write-path faults must surface as SQL statement
+// errors — never an acknowledged statement whose records aren't durable —
+// and the directory must recover to the pre-statement state.
+
+// TestInsertFailsOnInjectedENOSPC: a device-full error mid-INSERT fails
+// the statement, rolls the in-memory table back, and recovery agrees.
+func TestInsertFailsOnInjectedENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSession()
+	plan := &storage.WriteFaults{}
+	if _, err := s.OpenWALOptions(dir, WALOptions{WrapSyncer: plan.Wrap}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustExec(t, s, walTestCreate)
+	mustExec(t, s, insertSQL(t, s, "t", 20))
+	entry, _ := s.Table("t")
+	preTuples := entry.Table.NumTuples()
+	preBlocks := entry.Table.NumBlocks()
+
+	// Everything logged so far fits; the next INSERT's record won't.
+	plan.FailAfterBytes = plan.Writes() + 64
+	if _, err := s.Exec(insertSQL(t, s, "t", 20)); !errors.Is(err, storage.ErrNoSpace) {
+		t.Fatalf("INSERT on full device: got %v, want ErrNoSpace", err)
+	}
+	if entry.Table.NumTuples() != preTuples || entry.Table.NumBlocks() != preBlocks {
+		t.Fatalf("failed INSERT left %d tuples / %d blocks in memory, want %d / %d",
+			entry.Table.NumTuples(), entry.Table.NumBlocks(), preTuples, preBlocks)
+	}
+
+	// The log must still be replayable to exactly the acknowledged state.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, stats := newDurableSession(t, dir)
+	if stats.Tables != 1 {
+		t.Fatalf("recovery: %v", stats)
+	}
+	reEntry, _ := re.Table("t")
+	if reEntry.Table.NumTuples() != preTuples {
+		t.Fatalf("recovered %d tuples, want %d", reEntry.Table.NumTuples(), preTuples)
+	}
+}
+
+// TestInsertFailsOnInjectedSyncError: an fsync failure fails the statement
+// and poisons the log — later statements fail too instead of pretending to
+// be durable — while the already-synced prefix recovers intact.
+func TestInsertFailsOnInjectedSyncError(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSession()
+	plan := &storage.WriteFaults{}
+	if _, err := s.OpenWALOptions(dir, WALOptions{WrapSyncer: plan.Wrap}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustExec(t, s, walTestCreate)
+	mustExec(t, s, insertSQL(t, s, "t", 20))
+	entry, _ := s.Table("t")
+	preTuples := entry.Table.NumTuples()
+
+	plan.SyncFailAt = 3 // CREATE synced once, INSERT once; the next statement's sync fails
+	if _, err := s.Exec(insertSQL(t, s, "t", 10)); !errors.Is(err, storage.ErrSyncFailed) {
+		t.Fatalf("INSERT with failing fsync: got %v, want ErrSyncFailed", err)
+	}
+	if entry.Table.NumTuples() != preTuples {
+		t.Fatalf("failed INSERT left tuples in memory: %d, want %d", entry.Table.NumTuples(), preTuples)
+	}
+	if _, err := s.Exec(insertSQL(t, s, "t", 1)); !errors.Is(err, storage.ErrSyncFailed) {
+		t.Fatalf("statement after poisoned log: got %v, want wrapped ErrSyncFailed", err)
+	}
+
+	s.Close()
+	// The failed statement's records reached the page cache before the
+	// fsync was failed, so recovery replays them — real fsync semantics:
+	// a failed statement's durability is unknown, and recovery may
+	// legitimately include it. What recovery must never do is lose an
+	// acknowledged statement or stop at a torn frame.
+	re, _ := newDurableSession(t, dir)
+	reEntry, ok := re.Table("t")
+	if !ok {
+		t.Fatal("table lost")
+	}
+	if got := reEntry.Table.NumTuples(); got != preTuples && got != preTuples+10 {
+		t.Fatalf("recovered %d tuples, want %d (acknowledged) or %d (failed statement replayed)",
+			got, preTuples, preTuples+10)
+	}
+}

@@ -101,6 +101,25 @@ const (
 	WALReplayRecords   = "wal.replay.records"         // records replayed at recovery
 	WALReplayTruncated = "wal.replay.truncated_bytes" // torn-tail bytes discarded
 
+	// Replication layer (internal/repl). The primary exports the publish
+	// counters and the aggregate lag gauges (worst replica); a replica
+	// exports the apply counters and its own lag against the primary's
+	// heartbeat frontier.
+	ReplPublishRecords = "repl.publish.records" // records published to the stream
+	ReplPublishBytes   = "repl.publish.bytes"   // framed bytes published
+	ReplReplicas       = "repl.replicas"        // gauge: connected replicas
+	ReplLagLSN         = "repl.lag_lsn"         // gauge: primary LSN minus slowest applied LSN
+	ReplLagBytes       = "repl.lag_bytes"       // gauge: ring bytes the slowest replica hasn't acked
+	ReplSnapshots      = "repl.snapshots"       // snapshot catch-ups served
+	ReplSheds          = "repl.sheds"           // slow subscribers shed to resync
+	ReplHeartbeats     = "repl.heartbeats"      // heartbeat frames sent
+	ReplReconnects     = "repl.reconnects"      // replica reconnect attempts after a drop
+	ReplApplyRecords   = "repl.apply.records"   // records applied by the replica
+	ReplAppliedLSN     = "repl.applied_lsn"     // gauge: replica's durable applied LSN
+
+	// Serving-plane durability (internal/serve).
+	ServeCheckpoints = "serve.checkpoints" // scheduled auto-checkpoint compactions
+
 	// Span names (duration histograms under the same keys).
 	SpanEpoch    = "epoch"
 	SpanRefill   = "shuffle.refill"

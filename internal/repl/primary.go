@@ -1,0 +1,333 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corgipile/internal/db"
+	"corgipile/internal/obs"
+	"corgipile/internal/storage"
+)
+
+// PrimaryConfig configures StartPrimary.
+type PrimaryConfig struct {
+	// Addr is the TCP address to serve the replication stream on.
+	Addr string
+	// Session is the WAL-backed session whose records are shipped.
+	Session *db.Session
+	// Locker is held while cutting a snapshot or registering a subscriber;
+	// it must exclude WAL appends (the serving plane passes the catalog's
+	// read lock — appends all run under the write lock). nil means the
+	// caller serializes appends some other way and a no-op lock is used.
+	Locker sync.Locker
+	// RingBytes bounds the in-memory catch-up ring (default 4 MiB).
+	RingBytes int64
+	// SendBuffer is each subscriber's buffered record count; a replica
+	// further behind than buffer+ring is shed and resynced (default 256).
+	SendBuffer int
+	// Heartbeat is the idle keep-alive interval (default 2s).
+	Heartbeat time.Duration
+	// WriteTimeout bounds each frame write; a replica that can't drain its
+	// socket within it is disconnected, not waited on (default 10s).
+	WriteTimeout time.Duration
+	// Obs receives repl.* metrics (nil-safe).
+	Obs *obs.Registry
+}
+
+func (cfg PrimaryConfig) withDefaults() PrimaryConfig {
+	if cfg.RingBytes <= 0 {
+		cfg.RingBytes = 4 << 20
+	}
+	if cfg.SendBuffer <= 0 {
+		cfg.SendBuffer = 256
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Locker == nil {
+		cfg.Locker = noopLocker{}
+	}
+	return cfg
+}
+
+type noopLocker struct{}
+
+func (noopLocker) Lock()   {}
+func (noopLocker) Unlock() {}
+
+// Primary serves the replication stream. Ingest never blocks on it: the
+// WAL notify hook only appends to the hub ring and offers frames to
+// bounded buffers.
+type Primary struct {
+	cfg  PrimaryConfig
+	ln   net.Listener
+	hub  *hub
+	done chan struct{}
+
+	mu     sync.Mutex
+	conns  map[*primConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// primConn tracks one replica connection's acked progress.
+type primConn struct {
+	applied atomic.Uint64
+}
+
+// StartPrimary opens the replication listener and begins publishing every
+// record the session's WAL appends from now on.
+func StartPrimary(cfg PrimaryConfig) (*Primary, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Session == nil || !cfg.Session.Durable() {
+		return nil, fmt.Errorf("repl: primary requires a WAL-backed session")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("repl: listen: %w", err)
+	}
+	p := &Primary{
+		cfg:   cfg,
+		ln:    ln,
+		hub:   newHub(cfg.Session.LastLSN(), cfg.RingBytes),
+		done:  make(chan struct{}),
+		conns: make(map[*primConn]struct{}),
+	}
+	cfg.Session.WAL().WithNotify(func(rec storage.WALRecord) {
+		n := p.hub.publish(rec)
+		p.cfg.Obs.Inc(obs.ReplPublishRecords)
+		p.cfg.Obs.Add(obs.ReplPublishBytes, int64(n))
+		p.updateLag()
+	})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the listener's address.
+func (p *Primary) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting replicas, disconnects the connected ones, and
+// detaches from the session's WAL.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	p.cfg.Session.WAL().WithNotify(nil)
+	err := p.ln.Close()
+	p.wg.Wait()
+	p.updateLag()
+	return err
+}
+
+func (p *Primary) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+// handle owns one replica connection: handshake, catch-up, stream, and the
+// shed → resync loop.
+func (p *Primary) handle(c net.Conn) {
+	defer p.wg.Done()
+	defer c.Close()
+
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	c.SetReadDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	if !sc.Scan() {
+		return
+	}
+	var hello helloMsg
+	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil || hello.validate() != nil {
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+
+	pc := &primConn{}
+	pc.applied.Store(hello.Applied)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.conns[pc] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, pc)
+		p.mu.Unlock()
+		p.updateLag()
+	}()
+	p.updateLag()
+
+	// Ack reader: the replica reports durable progress on the same
+	// connection. Closing c on exit unblocks the writer below.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		defer c.Close()
+		for sc.Scan() {
+			var ack ackMsg
+			if json.Unmarshal(sc.Bytes(), &ack) != nil {
+				return
+			}
+			pc.applied.Store(ack.Applied)
+			p.updateLag()
+		}
+	}()
+
+	bw := bufio.NewWriterSize(c, 64<<10)
+	applied, force := hello.Applied, hello.Snapshot
+	for {
+		sub, reply, snap, err := p.catchup(applied, force)
+		if err != nil {
+			break
+		}
+		force = false
+		if reply.Mode == modeSnapshot {
+			p.cfg.Obs.Inc(obs.ReplSnapshots)
+		}
+		line, err := json.Marshal(reply)
+		if err != nil {
+			p.hub.unsubscribe(sub)
+			break
+		}
+		c.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		bw.Write(line)
+		bw.WriteByte('\n')
+		bw.Write(snap)
+		if err := bw.Flush(); err != nil {
+			p.hub.unsubscribe(sub)
+			break
+		}
+
+		err = p.stream(c, bw, sub)
+		p.hub.unsubscribe(sub)
+		if err != nil {
+			break
+		}
+		// Shed: the subscriber overflowed. Re-run catch-up from the acked
+		// LSN — served from the ring when it still covers it, otherwise a
+		// fresh snapshot.
+		p.cfg.Obs.Inc(obs.ReplSheds)
+		applied = pc.applied.Load()
+	}
+	<-ackDone
+}
+
+// catchup decides how to bring a replica at `applied` up to date. Under
+// the catalog lock (excluding appends) it either subscribes directly —
+// the ring covers everything past applied — or cuts a full snapshot and
+// subscribes from its frontier.
+func (p *Primary) catchup(applied uint64, force bool) (*subscriber, replyMsg, []byte, error) {
+	p.cfg.Locker.Lock()
+	defer p.cfg.Locker.Unlock()
+	last := p.cfg.Session.LastLSN()
+	if !force && applied <= last {
+		if sub, ok := p.hub.subscribe(applied, p.cfg.SendBuffer); ok {
+			return sub, replyMsg{Magic: wireMagic, V: wireVersion, Mode: modeStream, Frontier: applied}, nil, nil
+		}
+	}
+	snap, frontier, err := p.cfg.Session.ReplicationSnapshot()
+	if err != nil {
+		return nil, replyMsg{}, nil, err
+	}
+	sub, ok := p.hub.subscribe(frontier, p.cfg.SendBuffer)
+	if !ok {
+		return nil, replyMsg{}, nil, fmt.Errorf("repl: ring behind its own frontier")
+	}
+	return sub, replyMsg{Magic: wireMagic, V: wireVersion, Mode: modeSnapshot, Frontier: frontier}, snap, nil
+}
+
+// stream forwards frames until the connection dies (error), the primary
+// closes (error), or the subscriber is shed (nil — caller resyncs).
+func (p *Primary) stream(c net.Conn, bw *bufio.Writer, sub *subscriber) error {
+	hb := time.NewTicker(p.cfg.Heartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case frame := <-sub.ch:
+			c.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+			if _, err := bw.Write(frame); err != nil {
+				return err
+			}
+			// Batch whatever else is ready before flushing.
+		drain:
+			for {
+				select {
+				case f := <-sub.ch:
+					if _, err := bw.Write(f); err != nil {
+						return err
+					}
+				default:
+					break drain
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case <-sub.gone:
+			return nil
+		case <-hb.C:
+			frame := storage.AppendWALRecord(nil, storage.WALRecord{LSN: p.hub.last(), Type: heartbeatType})
+			c.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+			if _, err := bw.Write(frame); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			p.cfg.Obs.Inc(obs.ReplHeartbeats)
+		case <-p.done:
+			return fmt.Errorf("repl: primary closed")
+		}
+	}
+}
+
+// updateLag recomputes the aggregate lag gauges from every connection's
+// acked LSN. With no replicas connected the gauges read zero.
+func (p *Primary) updateLag() {
+	p.mu.Lock()
+	n := len(p.conns)
+	minApplied := ^uint64(0)
+	for pc := range p.conns {
+		if a := pc.applied.Load(); a < minApplied {
+			minApplied = a
+		}
+	}
+	p.mu.Unlock()
+	if n == 0 {
+		p.cfg.Obs.SetGauge(obs.ReplReplicas, 0)
+		p.cfg.Obs.SetGauge(obs.ReplLagLSN, 0)
+		p.cfg.Obs.SetGauge(obs.ReplLagBytes, 0)
+		return
+	}
+	last := p.hub.last()
+	var lag uint64
+	if last > minApplied {
+		lag = last - minApplied
+	}
+	p.cfg.Obs.SetGauge(obs.ReplReplicas, float64(n))
+	p.cfg.Obs.SetGauge(obs.ReplLagLSN, float64(lag))
+	p.cfg.Obs.SetGauge(obs.ReplLagBytes, float64(p.hub.pendingBytes(minApplied)))
+}

@@ -1,0 +1,96 @@
+// Package repl is WAL-shipping replication for the serving plane: a
+// primary publishes every WAL record it appends to connected replicas,
+// each replica makes the records durable in its own WAL directory
+// (preserving the primary's LSNs) and applies them through the same path
+// crash recovery uses. A replica's directory is therefore always a valid
+// single-node WAL directory: PROMOTE — or just restarting the process
+// against that directory — goes through unchanged recovery, which is what
+// makes a promoted replica's TRAIN ... resume bit-identical to recovering
+// the primary itself.
+//
+// Wire protocol (documented in docs/PROTOCOL.md, "Replication stream"):
+//
+//	replica → primary   one JSON handshake line:
+//	                    {"magic":"corgirepl","v":1,"applied":N,"snapshot":false}
+//	primary → replica   one JSON reply line:
+//	                    {"magic":"corgirepl","v":1,"mode":"stream"|"snapshot","frontier":F}
+//	primary → replica   binary WAL frames (storage.AppendWALRecord framing).
+//	                    In snapshot mode the stream opens with a full
+//	                    checkpoint-format image (synthetic LSNs 1..n) whose
+//	                    terminating WALCheckpoint record carries frontier F;
+//	                    live records with LSN > F follow. In stream mode
+//	                    live records with LSN > applied follow immediately.
+//	replica → primary   JSON ack lines {"applied":N} after each durably
+//	                    applied batch, on the same connection.
+//
+// Heartbeat frames (type 0xFF, LSN = primary's latest) keep idle
+// connections verifiably alive; they are never logged or applied. A
+// replica that reads nothing for its heartbeat timeout assumes the
+// primary is gone and reconnects with deterministic backoff, resuming
+// from its durable applied LSN. Records resent across a reconnect are
+// skipped by the LSN guard (storage.ErrStaleLSN) — never double-applied.
+package repl
+
+import (
+	"fmt"
+
+	"corgipile/internal/storage"
+)
+
+const (
+	wireMagic   = "corgirepl"
+	wireVersion = 1
+
+	modeStream   = "stream"
+	modeSnapshot = "snapshot"
+)
+
+// heartbeatType marks liveness frames; it is far above every real record
+// type and is filtered out before the apply path.
+const heartbeatType = storage.WALRecordType(0xFF)
+
+// helloMsg is the replica's handshake line.
+type helloMsg struct {
+	Magic   string `json:"magic"`
+	V       int    `json:"v"`
+	Applied uint64 `json:"applied"`
+	// Snapshot forces a full snapshot even when the tail would resume —
+	// the replica sets it after an apply failure (diverged catalog).
+	Snapshot bool `json:"snapshot,omitempty"`
+}
+
+// replyMsg is the primary's handshake reply.
+type replyMsg struct {
+	Magic    string `json:"magic"`
+	V        int    `json:"v"`
+	Mode     string `json:"mode"`
+	Frontier uint64 `json:"frontier"`
+}
+
+// ackMsg is the replica's durable-progress report.
+type ackMsg struct {
+	Applied uint64 `json:"applied"`
+}
+
+func (h helloMsg) validate() error {
+	if h.Magic != wireMagic {
+		return fmt.Errorf("repl: bad handshake magic %q", h.Magic)
+	}
+	if h.V != wireVersion {
+		return fmt.Errorf("repl: unsupported protocol version %d", h.V)
+	}
+	return nil
+}
+
+func (r replyMsg) validate() error {
+	if r.Magic != wireMagic {
+		return fmt.Errorf("repl: bad handshake reply magic %q", r.Magic)
+	}
+	if r.V != wireVersion {
+		return fmt.Errorf("repl: unsupported protocol version %d", r.V)
+	}
+	if r.Mode != modeStream && r.Mode != modeSnapshot {
+		return fmt.Errorf("repl: unknown stream mode %q", r.Mode)
+	}
+	return nil
+}

@@ -157,6 +157,13 @@ func (c *Client) Jobs() ([]JobStatus, error) {
 	return resp.Jobs, nil
 }
 
+// Promote asks a replica server to become a writable primary. The
+// response message reports the applied LSN the new primary starts from;
+// a non-replica answers ERR_NOT_REPLICA.
+func (c *Client) Promote() (*Response, error) {
+	return c.Do(Request{Op: "promote"})
+}
+
 // Quit ends the session gracefully and closes the connection.
 func (c *Client) Quit() error {
 	_, err := c.Do(Request{Op: "quit"})

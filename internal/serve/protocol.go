@@ -22,7 +22,7 @@ const MaxLineBytes = 1 << 20
 // fields apply to the ops that document them.
 type Request struct {
 	// Op is one of "hello", "sql", "train", "predict", "cancel", "status",
-	// "quit".
+	// "promote", "quit".
 	Op string `json:"op"`
 	// Client is a free-form client identification string (HELLO).
 	Client string `json:"client,omitempty"`
@@ -93,6 +93,11 @@ const (
 	ErrExec = "ERR_EXEC"
 	// ErrShutdown: the server is shutting down and accepts no new work.
 	ErrShutdown = "ERR_SHUTDOWN"
+	// ErrReadOnly: the server is a read-only replica; mutating statements
+	// (DDL, INSERT, TRAIN, ...) are rejected until PROMOTE.
+	ErrReadOnly = "ERR_READ_ONLY"
+	// ErrNotReplica: PROMOTE was sent to a server that is not a replica.
+	ErrNotReplica = "ERR_NOT_REPLICA"
 )
 
 // JobState is a training job's lifecycle state. The machine is

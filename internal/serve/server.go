@@ -25,7 +25,9 @@ import (
 
 	"corgipile/internal/db"
 	"corgipile/internal/obs"
+	"corgipile/internal/repl"
 	"corgipile/internal/sqlparse"
+	"corgipile/internal/storage"
 )
 
 // Config configures a server. The zero value of every field has a usable
@@ -64,6 +66,22 @@ type Config struct {
 	// Session, when non-nil, is the catalog to serve (e.g. preloaded with
 	// tables); nil opens a fresh db.NewSession.
 	Session *db.Session
+	// ReplicaListen, when non-empty, serves the WAL-shipping replication
+	// stream on this address (host:port; port 0 picks a free port). Requires
+	// a WAL-backed Session. Read the bound address back with ReplicaAddr.
+	ReplicaListen string
+	// ReplicateFrom, when non-empty, boots this server as a read-only
+	// replica of the primary at that replication address: the catalog
+	// mirrors the primary's WAL, PREDICT and read-only SQL are served, and
+	// mutating statements are rejected with ERR_READ_ONLY until PROMOTE.
+	// Requires a WAL-backed Session.
+	ReplicateFrom string
+	// CheckpointEvery, when positive, compacts the WAL in the background at
+	// this interval (same atomic-rename path as the CHECKPOINT statement).
+	CheckpointEvery time.Duration
+	// CheckpointBytes, when positive, compacts whenever the live log grows
+	// past this size. Either trigger arms the background loop.
+	CheckpointBytes int64
 }
 
 // Server is a running corgiserved instance. Create one with New, stop it
@@ -97,6 +115,13 @@ type Server struct {
 
 	conns   map[net.Conn]struct{}
 	connsMu sync.Mutex
+
+	// replMu guards the replication roles; they change on PROMOTE.
+	replMu   sync.Mutex
+	replica  *repl.Replica
+	primary  *repl.Primary
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // New starts a server on cfg.Addr and returns once the listener is bound
@@ -157,6 +182,52 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.tel = tel
 	}
+	fail := func(err error) (*Server, error) {
+		ln.Close()
+		cancel()
+		if s.tel != nil {
+			s.tel.Close()
+		}
+		return nil, err
+	}
+	if cfg.ReplicateFrom != "" {
+		if !sess.Durable() {
+			return fail(fmt.Errorf("serve: -replicate-from requires a WAL-backed session (-wal)"))
+		}
+		// The catalog is read-only until PROMOTE; the replica applies the
+		// primary's records under the catalog write lock so reads (PREDICT,
+		// SHOW) never see a half-applied record.
+		sess.SetReadOnly(true)
+		rep, err := repl.StartReplica(repl.ReplicaConfig{
+			Primary: cfg.ReplicateFrom,
+			Session: sess,
+			Locker:  &s.catalog,
+			OnApply: func(rec storage.WALRecord) {
+				if kind, name := db.RecordTarget(rec); kind == "table" {
+					s.cache.invalidate(name)
+				} else if kind == "model" {
+					s.cache.invalidateModel(name)
+				}
+			},
+			OnSnapshot: func() { s.cache.invalidate("") },
+			Obs:        s.reg,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.replica = rep
+	} else if cfg.ReplicaListen != "" {
+		p, err := s.startPrimary()
+		if err != nil {
+			return fail(err)
+		}
+		s.primary = p
+	}
+	if sess.Durable() && (cfg.CheckpointEvery > 0 || cfg.CheckpointBytes > 0) {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -164,6 +235,65 @@ func New(cfg Config) (*Server, error) {
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// startPrimary opens the replication listener over the shared catalog. The
+// snapshot cutter runs under the catalog read lock: appends (which run
+// under the write lock) are excluded, concurrent PREDICTs are not.
+func (s *Server) startPrimary() (*repl.Primary, error) {
+	if !s.dbs.Durable() {
+		return nil, fmt.Errorf("serve: -replica-listen requires a WAL-backed session (-wal)")
+	}
+	return repl.StartPrimary(repl.PrimaryConfig{
+		Addr:    s.cfg.ReplicaListen,
+		Session: s.dbs,
+		Locker:  s.catalog.RLocker(),
+		Obs:     s.reg,
+	})
+}
+
+// ReplicaAddr returns the bound replication-stream address ("" when the
+// server is not publishing one).
+func (s *Server) ReplicaAddr() string {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.primary == nil {
+		return ""
+	}
+	return s.primary.Addr()
+}
+
+// checkpointLoop compacts the WAL in the background whenever the
+// configured interval elapses or the live log outgrows the byte trigger.
+// Compaction takes the catalog write lock briefly — the same path as the
+// CHECKPOINT statement — so ingest observed before the checkpoint is
+// exactly what recovery replays after it.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case now := <-tick.C:
+			due := s.cfg.CheckpointEvery > 0 && now.Sub(last) >= s.cfg.CheckpointEvery
+			if !due && s.cfg.CheckpointBytes > 0 && s.dbs.WALSize() >= s.cfg.CheckpointBytes {
+				due = true
+			}
+			if !due {
+				continue
+			}
+			s.catalog.Lock()
+			_, err := s.dbs.Checkpoint()
+			s.catalog.Unlock()
+			last = time.Now()
+			if err == nil {
+				s.reg.Inc(obs.ServeCheckpoints)
+			}
+		}
+	}
 }
 
 // Addr returns the bound listen address.
@@ -183,6 +313,23 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+
+	// Stop the background maintainers and replication roles first: the
+	// checkpoint loop and the replica both take the catalog lock, and the
+	// primary hooks the session's WAL — all must be quiet before teardown.
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+	}
+	s.replMu.Lock()
+	rep, prim := s.replica, s.primary
+	s.replMu.Unlock()
+	if rep != nil {
+		rep.Close()
+	}
+	if prim != nil {
+		prim.Close()
+	}
 
 	s.cancel()
 	err := s.ln.Close()
@@ -280,6 +427,12 @@ func (s *Server) acceptLoop() {
 // submitTrain applies admission control and enqueues a TRAIN job. It
 // returns the job or an error response explaining the rejection.
 func (s *Server) submitTrain(sessID string, st *sqlparse.Train, sql string, detach bool, parent context.Context) (*job, *Response) {
+	if s.dbs.ReadOnly() {
+		// Rejecting before admission keeps the queue clean: a replica's
+		// TRAIN would only fail later at the model-install write.
+		return nil, errResponse(ErrReadOnly,
+			"server is a read-only replica (PROMOTE to enable training)")
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
 	"strings"
 
+	"corgipile/internal/db"
 	"corgipile/internal/sqlparse"
 )
 
@@ -83,6 +86,8 @@ func (s *Server) dispatch(sessID string, sessCtx context.Context, req *Request) 
 		return s.execCancel(sessCtx, req), false
 	case "status":
 		return s.execStatus(sessCtx, req), false
+	case "promote":
+		return s.execPromote(), false
 	case "quit":
 		return &Response{OK: true, Type: "bye"}, true
 	default:
@@ -104,6 +109,10 @@ func (s *Server) execSQL(sessID string, sessCtx context.Context, req *Request) *
 		return s.submitAndReply(sessID, sessCtx, st, req)
 	case *sqlparse.Predict:
 		return s.execPredict(st)
+	case *sqlparse.Promote:
+		// PROMOTE must stop the replication stream, not just clear the
+		// session's read-only latch, so it never takes the inline path.
+		return s.execPromote()
 	default:
 		return s.execInline(st)
 	}
@@ -225,6 +234,9 @@ func (s *Server) execInline(st sqlparse.Statement) *Response {
 	}
 	s.catalog.Unlock()
 	if err != nil {
+		if errors.Is(err, db.ErrReadOnly) {
+			return errResponse(ErrReadOnly, "%v", err)
+		}
 		return errResponse(ErrExec, "%v", err)
 	}
 	return &Response{
@@ -233,6 +245,38 @@ func (s *Server) execInline(st sqlparse.Statement) *Response {
 		Columns: res.Columns,
 		Rows:    res.Rows,
 		Message: res.Message,
+	}
+}
+
+// execPromote turns a replica server into a writable primary: the
+// replication stream stops at a durable record boundary, the read-only
+// latch clears, and — when ReplicaListen is configured — the promoted
+// server starts publishing its own replication stream. Idempotent: a
+// second PROMOTE reports the same applied LSN.
+func (s *Server) execPromote() *Response {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.replica == nil {
+		return errResponse(ErrNotReplica, "this server is not a replica; nothing to promote")
+	}
+	applied, err := s.replica.Promote()
+	if err != nil {
+		return errResponse(ErrExec, "promote: %v", err)
+	}
+	s.catalog.Lock()
+	s.dbs.SetReadOnly(false)
+	s.catalog.Unlock()
+	if s.cfg.ReplicaListen != "" && s.primary == nil {
+		p, err := s.startPrimary()
+		if err != nil {
+			return errResponse(ErrExec, "promote: start replication listener: %v", err)
+		}
+		s.primary = p
+	}
+	return &Response{
+		OK:      true,
+		Type:    "result",
+		Message: fmt.Sprintf("promoted: writable at lsn %d", applied),
 	}
 }
 
@@ -275,6 +319,8 @@ func stmtKind(st sqlparse.Statement) string {
 		return "LOAD INTO"
 	case *sqlparse.Checkpoint:
 		return "CHECKPOINT"
+	case *sqlparse.Promote:
+		return "PROMOTE"
 	default:
 		return "unknown statement"
 	}

@@ -195,6 +195,12 @@ type Checkpoint struct{}
 
 func (*Checkpoint) stmt() {}
 
+// Promote is PROMOTE: it turns a read-only replica session into a writable
+// primary. On a non-replica it is an error at execution time.
+type Promote struct{}
+
+func (*Promote) stmt() {}
+
 // Drop is DROP TABLE name or DROP MODEL name.
 type Drop struct {
 	// What is "table" or "model".

@@ -140,8 +140,11 @@ func (p *parser) statement() (Statement, error) {
 	case p.at(tokWord, "checkpoint"):
 		p.next()
 		return &Checkpoint{}, nil
+	case p.at(tokWord, "promote"):
+		p.next()
+		return &Promote{}, nil
 	}
-	return nil, fmt.Errorf("sqlparse: expected CREATE, SELECT, INSERT, SHOW, DROP, EXPLAIN, ANALYZE, SAVE, LOAD or CHECKPOINT, got %s", p.peek())
+	return nil, fmt.Errorf("sqlparse: expected CREATE, SELECT, INSERT, SHOW, DROP, EXPLAIN, ANALYZE, SAVE, LOAD, CHECKPOINT or PROMOTE, got %s", p.peek())
 }
 
 func (p *parser) createTable() (Statement, error) {

@@ -162,6 +162,21 @@ func TestParseCheckpoint(t *testing.T) {
 	}
 }
 
+func TestParsePromote(t *testing.T) {
+	if _, ok := parseOne(t, `PROMOTE`).(*Promote); !ok {
+		t.Fatal("PROMOTE did not parse")
+	}
+	if _, ok := parseOne(t, `promote;`).(*Promote); !ok {
+		t.Fatal("lowercase promote did not parse")
+	}
+	if _, err := Parse(`PROMOTE now`); err == nil {
+		t.Fatal("trailing input after PROMOTE accepted")
+	}
+	if got := Render(&Promote{}); got != "PROMOTE" {
+		t.Fatalf("Render(Promote) = %q", got)
+	}
+}
+
 func TestParseCaseInsensitiveKeywords(t *testing.T) {
 	st := parseOne(t, `select * from T train by SVM with Learning_Rate=0.5`)
 	tr := st.(*Train)

@@ -81,6 +81,8 @@ func Render(st Statement) string {
 		return fmt.Sprintf("LOAD INTO %s FROM '%s'", st.Table, st.Path)
 	case *Checkpoint:
 		return "CHECKPOINT"
+	case *Promote:
+		return "PROMOTE"
 	}
 	return ""
 }

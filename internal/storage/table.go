@@ -248,6 +248,27 @@ func (t *Table) Features() int { return t.features }
 // Classes returns the number of classes of the stored dataset.
 func (t *Table) Classes() int { return t.classes }
 
+// TruncateBlocks drops blocks from the tail until n remain — the rollback
+// hook for an append whose WAL record could not be made durable. Durable
+// state is the source of truth: if the log rejected the record, the
+// in-memory blocks must go too, or a restart would silently lose tuples
+// the session still served. Snapshots taken before the call stay valid
+// (the retained prefix is re-sliced with full capacity bounds so later
+// appends reallocate instead of overwriting).
+func (t *Table) TruncateBlocks(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 || n >= len(t.meta) {
+		return
+	}
+	cut := t.meta[n].Offset
+	for _, m := range t.meta[n:] {
+		t.tuples -= m.Tuples
+	}
+	t.meta = t.meta[:n:n]
+	t.file = t.file[:cut:cut]
+}
+
 // NumBlocks returns the number of blocks (the paper's N).
 func (t *Table) NumBlocks() int {
 	t.mu.RLock()

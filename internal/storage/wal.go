@@ -2,8 +2,10 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 
@@ -108,17 +110,42 @@ func DecodeWALRecords(buf []byte) (recs []WALRecord, validLen int) {
 	}
 }
 
+// WriteSyncer is the WAL's write-path seam: the log appends through it and
+// makes records durable through its Sync. Production use is the log's own
+// *os.File; tests wrap it with WriteFaults to inject short writes, ENOSPC,
+// and fsync failures without touching the filesystem.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+}
+
+// ErrStaleLSN reports an AppendRecord whose LSN does not advance the log —
+// a replica seeing a resent record it already applied returns this and
+// skips the record rather than double-applying it.
+var ErrStaleLSN = errors.New("storage: stale wal lsn")
+
 // WAL is an append-only write-ahead log backed by a real file. Appends go
 // to the OS page cache (surviving a SIGKILL of this process); Sync flushes
 // to stable media and is called once per mutation statement, not per
 // record. A torn tail from a crash mid-write is detected by the CRC frame
 // and truncated on the next open.
+//
+// A failed append rolls the file back to the previous record boundary, so
+// one failed statement never leaves a torn prefix in front of later
+// records. A failed Sync (or a failed rollback) poisons the log: the
+// post-fsync-error state of the page cache is unknowable, so every later
+// append and sync fails with the original error until the process restarts
+// and recovery re-validates the file.
 type WAL struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	next uint64 // next LSN to assign
-	reg  *obs.Registry
+	mu     sync.Mutex
+	f      *os.File
+	ws     WriteSyncer // == f unless a test wrapped it
+	path   string
+	next   uint64 // next LSN to assign
+	size   int64  // bytes of valid records in the file
+	failed error  // poison: set on sync failure or failed rollback
+	notify func(WALRecord)
+	reg    *obs.Registry
 }
 
 // OpenWAL opens (creating if absent) the log at path, replays it, truncates
@@ -126,6 +153,13 @@ type WAL struct {
 // continues appending after the last valid record with a strictly larger
 // LSN.
 func OpenWAL(path string) (*WAL, []WALRecord, error) {
+	return OpenWALFile(path, nil)
+}
+
+// OpenWALFile is OpenWAL with a write-path wrapper: when wrap is non-nil
+// the log appends and syncs through wrap(file) instead of the file itself.
+// Recovery (replay, torn-tail truncation) always reads the real file.
+func OpenWALFile(path string, wrap func(WriteSyncer) WriteSyncer) (*WAL, []WALRecord, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("storage: open wal: %w", err)
@@ -146,7 +180,11 @@ func OpenWAL(path string) (*WAL, []WALRecord, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("storage: seek wal: %w", err)
 	}
-	w := &WAL{f: f, path: path, next: 1}
+	w := &WAL{f: f, path: path, next: 1, size: int64(valid)}
+	w.ws = f
+	if wrap != nil {
+		w.ws = wrap(f)
+	}
 	if n := len(recs); n > 0 {
 		w.next = recs[n-1].LSN + 1
 	}
@@ -172,8 +210,27 @@ func (w *WAL) truncated(n int) {
 	}
 }
 
+// WithNotify registers a hook invoked under the log's lock, in LSN order,
+// after each successful append — the replication publish point. The hook
+// must not block (it feeds bounded per-subscriber buffers) and must not
+// call back into the WAL. Returns w for chaining.
+func (w *WAL) WithNotify(fn func(WALRecord)) *WAL {
+	w.mu.Lock()
+	w.notify = fn
+	w.mu.Unlock()
+	return w
+}
+
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
+
+// Size returns the bytes of valid records currently in the log file — the
+// auto-checkpoint trigger reads this to decide when to compact.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
 
 // NextLSN returns the LSN the next append will receive.
 func (w *WAL) NextLSN() uint64 {
@@ -197,22 +254,73 @@ func (w *WAL) AdvanceLSN(lsn uint64) {
 func (w *WAL) Append(typ WALRecordType, payload []byte) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	lsn := w.next
-	buf := AppendWALRecord(nil, WALRecord{LSN: lsn, Type: typ, Payload: payload})
-	if _, err := w.f.Write(buf); err != nil {
-		return 0, fmt.Errorf("storage: wal append: %w", err)
+	rec := WALRecord{LSN: w.next, Type: typ, Payload: payload}
+	if err := w.writeLocked(rec); err != nil {
+		return 0, err
 	}
 	w.next++
-	w.reg.Inc(obs.WALAppends)
-	w.reg.Add(obs.WALAppendBytes, int64(len(buf)))
-	return lsn, nil
+	return rec.LSN, nil
 }
 
-// Sync flushes appended records to stable media.
+// AppendRecord writes a record verbatim, preserving its LSN — the replica
+// apply path, which must keep the primary's LSNs so its directory recovers
+// exactly like the primary's would. The LSN must advance the log; a record
+// at or below the last written LSN returns ErrStaleLSN and writes nothing.
+func (w *WAL) AppendRecord(rec WALRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rec.LSN < w.next {
+		return fmt.Errorf("%w: record lsn %d, log already at %d", ErrStaleLSN, rec.LSN, w.next-1)
+	}
+	if err := w.writeLocked(rec); err != nil {
+		return err
+	}
+	w.next = rec.LSN + 1
+	return nil
+}
+
+// writeLocked frames and appends one record, rolling the file back to the
+// last record boundary on failure. Callers hold w.mu.
+func (w *WAL) writeLocked(rec WALRecord) error {
+	if w.failed != nil {
+		return fmt.Errorf("storage: wal unavailable after earlier failure: %w", w.failed)
+	}
+	buf := AppendWALRecord(nil, rec)
+	n, err := w.ws.Write(buf)
+	if err == nil && n < len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		// Undo the partial frame so later appends don't land behind a torn
+		// prefix (replay stops at the first bad frame, losing everything
+		// after it). If the rollback itself fails the log is poisoned.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.failed = fmt.Errorf("append: %v; rollback: %v", err, terr)
+		} else if _, serr := w.f.Seek(w.size, 0); serr != nil {
+			w.failed = fmt.Errorf("append: %v; rollback seek: %v", err, serr)
+		}
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.reg.Inc(obs.WALAppends)
+	w.reg.Add(obs.WALAppendBytes, int64(len(buf)))
+	if w.notify != nil {
+		w.notify(rec)
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable media. A sync failure poisons
+// the log — after a failed fsync the page-cache state is unknowable, so
+// retrying could silently drop the unflushed range.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.f.Sync(); err != nil {
+	if w.failed != nil {
+		return fmt.Errorf("storage: wal unavailable after earlier failure: %w", w.failed)
+	}
+	if err := w.ws.Sync(); err != nil {
+		w.failed = err
 		return fmt.Errorf("storage: wal sync: %w", err)
 	}
 	w.reg.Inc(obs.WALSyncs)
@@ -231,6 +339,7 @@ func (w *WAL) Reset() error {
 	if _, err := w.f.Seek(0, 0); err != nil {
 		return fmt.Errorf("storage: wal reset seek: %w", err)
 	}
+	w.size = 0
 	return w.f.Sync()
 }
 
@@ -247,6 +356,62 @@ func (w *WAL) Close() error {
 	}
 	w.f = nil
 	return err
+}
+
+// ReadWALRecord decodes one framed record from a stream — the replication
+// transport, where frames arrive over a socket instead of from a file. A
+// clean EOF at a frame boundary returns io.EOF; a truncated frame returns
+// io.ErrUnexpectedEOF; a CRC or length violation returns ErrCorrupt.
+func ReadWALRecord(r io.Reader) (WALRecord, error) {
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return WALRecord{}, err
+	}
+	lsn := binary.LittleEndian.Uint64(hdr[0:])
+	typ := WALRecordType(hdr[8])
+	payLen := int64(binary.LittleEndian.Uint32(hdr[9:]))
+	sum := binary.LittleEndian.Uint32(hdr[13:])
+	if payLen > maxWALPayload {
+		return WALRecord{}, fmt.Errorf("%w: wal frame payload %d exceeds limit", ErrCorrupt, payLen)
+	}
+	payload := make([]byte, payLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return WALRecord{}, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:13])
+	crc.Write(payload)
+	if crc.Sum32() != sum {
+		return WALRecord{}, fmt.Errorf("%w: wal frame crc mismatch at lsn %d", ErrCorrupt, lsn)
+	}
+	return WALRecord{LSN: lsn, Type: typ, Payload: payload}, nil
+}
+
+// WALPrefixLen returns the byte length of the valid prefix of buf whose
+// records all have LSN <= upto. Truncating a log file copy to this length
+// is exactly the state a crash could have left behind once everything
+// through upto was written — the failover test uses it to reconstruct the
+// primary state a replica's applied LSN corresponds to.
+func WALPrefixLen(buf []byte, upto uint64) int {
+	off := 0
+	for {
+		rest := buf[off:]
+		if len(rest) < walHeaderSize {
+			return off
+		}
+		lsn := binary.LittleEndian.Uint64(rest[0:])
+		payLen := int64(binary.LittleEndian.Uint32(rest[9:]))
+		if payLen > maxWALPayload || payLen > int64(len(rest)-walHeaderSize) {
+			return off
+		}
+		if lsn > upto {
+			return off
+		}
+		off += walHeaderSize + int(payLen)
+	}
 }
 
 // Block-append payload (little endian):

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// Write-path fault injection for the WAL. iosim.FaultPlan (PR 3) covers
+// the read path; this file covers the other half: what happens when the
+// durability write itself fails. WriteFaults wraps the WAL's WriteSyncer
+// (via OpenWALFile / db.WALOptions.WrapSyncer) and injects the three
+// classic failures — a device that fills up mid-record (short write +
+// ENOSPC), a write that errors outright, and an fsync that fails — so
+// tests can assert the error reaches the SQL caller and the log stays
+// replayable.
+
+// ErrNoSpace is the injected device-full error.
+var ErrNoSpace = errors.New("storage: injected no space left on device")
+
+// ErrSyncFailed is the injected fsync error.
+var ErrSyncFailed = errors.New("storage: injected fsync failure")
+
+// WriteFaults is a deterministic write-path fault plan. The zero value
+// injects nothing. One plan drives one WAL; its Wrap method is the
+// function OpenWALFile wants.
+type WriteFaults struct {
+	// FailAfterBytes, when > 0, makes the device "fill up": the write that
+	// would push the total bytes written past this budget lands only the
+	// remaining room (a short write — a torn frame on real media) and
+	// fails with ErrNoSpace, as do all later writes.
+	FailAfterBytes int64
+
+	// SyncFailAt, when > 0, makes the Nth Sync call (1-based) fail with
+	// ErrSyncFailed. Earlier and later syncs succeed.
+	SyncFailAt int
+
+	mu      sync.Mutex
+	written int64
+	syncs   int
+}
+
+// Wrap returns ws with the plan's faults layered on top.
+func (p *WriteFaults) Wrap(ws WriteSyncer) WriteSyncer {
+	return &faultyWriteSyncer{ws: ws, plan: p}
+}
+
+// Writes reports the total bytes the plan has let through.
+func (p *WriteFaults) Writes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.written
+}
+
+type faultyWriteSyncer struct {
+	ws   WriteSyncer
+	plan *WriteFaults
+}
+
+func (f *faultyWriteSyncer) Write(b []byte) (int, error) {
+	p := f.plan
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.FailAfterBytes > 0 && p.written+int64(len(b)) > p.FailAfterBytes {
+		room := p.FailAfterBytes - p.written
+		if room < 0 {
+			room = 0
+		}
+		n, _ := f.ws.Write(b[:room])
+		p.written += int64(n)
+		return n, ErrNoSpace
+	}
+	n, err := f.ws.Write(b)
+	p.written += int64(n)
+	return n, err
+}
+
+func (f *faultyWriteSyncer) Sync() error {
+	p := f.plan
+	p.mu.Lock()
+	p.syncs++
+	fail := p.SyncFailAt > 0 && p.syncs == p.SyncFailAt
+	p.mu.Unlock()
+	if fail {
+		return ErrSyncFailed
+	}
+	return f.ws.Sync()
+}

@@ -1,0 +1,293 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+// TestWALShortWriteRollsBack: an injected device-full error must fail the
+// append AND leave the file at the previous record boundary, so the next
+// open replays a clean log with no torn prefix hiding later records.
+func TestWALShortWriteRollsBack(t *testing.T) {
+	path := walPath(t)
+	plan := &WriteFaults{FailAfterBytes: 60}
+	w, _, err := OpenWALFile(path, plan.Wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.Append(WALCreateTable, []byte("small"))
+	if err != nil || lsn != 1 {
+		t.Fatalf("first append: lsn %d err %v", lsn, err)
+	}
+	goodSize := w.Size()
+
+	// This frame would cross the 60-byte budget: short write + ENOSPC.
+	if _, err := w.Append(WALAppendBlock, bytes.Repeat([]byte{0xCD}, 100)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-budget append: got %v, want ErrNoSpace", err)
+	}
+	if got := w.Size(); got != goodSize {
+		t.Fatalf("size after failed append: %d, want rollback to %d", got, goodSize)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != goodSize {
+		t.Fatalf("file size %d after rollback, want %d", st.Size(), goodSize)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("replay after rollback: %d records", len(recs))
+	}
+}
+
+// TestWALSyncFailurePoisons: a failed fsync leaves the page cache in an
+// unknowable state, so the log must fail closed — the original statement's
+// Sync errors and every later append refuses to run.
+func TestWALSyncFailurePoisons(t *testing.T) {
+	path := walPath(t)
+	plan := &WriteFaults{SyncFailAt: 2}
+	w, _, err := OpenWALFile(path, plan.Wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(WALCreateTable, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	if _, err := w.Append(WALCreateTable, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("second sync: got %v, want ErrSyncFailed", err)
+	}
+	if _, err := w.Append(WALCreateTable, []byte("c")); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("append after poisoned sync: got %v, want wrapped ErrSyncFailed", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync after poisoned sync: got %v, want wrapped ErrSyncFailed", err)
+	}
+}
+
+// TestWALTornTailStillTruncatedOnOpen: when a torn frame does reach disk
+// (crash mid-write, no rollback possible), recovery truncates it.
+func TestWALTornTailStillTruncatedOnOpen(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(WALCreateTable, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Half a frame of a would-be second record.
+	frame := AppendWALRecord(nil, WALRecord{LSN: 2, Type: WALAppendBlock, Payload: bytes.Repeat([]byte{1}, 64)})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replay with torn tail: %d records, want 1", len(recs))
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != goodSize {
+		t.Fatalf("torn tail not truncated: file %d bytes, want %d", st.Size(), goodSize)
+	}
+	if w2.Size() != goodSize {
+		t.Fatalf("WAL size %d, want %d", w2.Size(), goodSize)
+	}
+}
+
+// TestWALAppendRecordPreservesLSNs: the replica apply path writes records
+// verbatim and rejects stale LSNs instead of double-applying.
+func TestWALAppendRecordPreservesLSNs(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lsn := range []uint64{7, 9, 12} {
+		if err := w.AppendRecord(WALRecord{LSN: lsn, Type: WALCreateTable, Payload: []byte("x")}); err != nil {
+			t.Fatalf("lsn %d: %v", lsn, err)
+		}
+	}
+	if err := w.AppendRecord(WALRecord{LSN: 12, Type: WALCreateTable}); !errors.Is(err, ErrStaleLSN) {
+		t.Fatalf("duplicate lsn: got %v, want ErrStaleLSN", err)
+	}
+	if got := w.NextLSN(); got != 13 {
+		t.Fatalf("NextLSN %d, want 13", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].LSN != 7 || recs[2].LSN != 12 {
+		t.Fatalf("replay: %+v", recs)
+	}
+}
+
+// TestWALNotifyOrder: the notify hook fires once per appended record, in
+// LSN order, for both Append and AppendRecord.
+func TestWALNotifyOrder(t *testing.T) {
+	path := walPath(t)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var seen []uint64
+	w.WithNotify(func(rec WALRecord) { seen = append(seen, rec.LSN) })
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(WALCreateTable, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.AppendRecord(WALRecord{LSN: 10, Type: WALDropTable}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3, 10}
+	if len(seen) != len(want) {
+		t.Fatalf("notify calls: %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("notify order: %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestReadWALRecordStream: the socket-side frame decoder round-trips
+// records, reports clean EOF only at frame boundaries, and flags CRC
+// damage as ErrCorrupt.
+func TestReadWALRecordStream(t *testing.T) {
+	var buf []byte
+	recs := []WALRecord{
+		{LSN: 1, Type: WALCreateTable, Payload: []byte(`{"n":"t"}`)},
+		{LSN: 2, Type: WALAppendBlock, Payload: bytes.Repeat([]byte{0x5A}, 300)},
+		{LSN: 3, Type: WALDropTable, Payload: nil},
+	}
+	for _, r := range recs {
+		buf = AppendWALRecord(buf, r)
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range recs {
+		got, err := ReadWALRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.LSN != want.LSN || got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("record %d mismatch: %+v", i, got)
+		}
+	}
+	if _, err := ReadWALRecord(r); err != io.EOF {
+		t.Fatalf("at end: %v, want io.EOF", err)
+	}
+
+	// Truncated mid-frame (the cut lands in record 3's header since its
+	// payload is empty): ErrUnexpectedEOF once the stream reaches it.
+	torn := bytes.NewReader(buf[:len(buf)-1])
+	var err error
+	for err == nil {
+		_, err = ReadWALRecord(torn)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn frame: %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Flip a payload byte: CRC must catch it.
+	bad := append([]byte(nil), buf...)
+	bad[walHeaderSize+2] ^= 0xFF
+	if _, err := ReadWALRecord(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt frame: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWALPrefixLen: the prefix length function cuts exactly at record
+// boundaries by LSN.
+func TestWALPrefixLen(t *testing.T) {
+	var buf []byte
+	var ends []int
+	for lsn := uint64(1); lsn <= 4; lsn++ {
+		buf = AppendWALRecord(buf, WALRecord{LSN: lsn, Type: WALCreateTable, Payload: bytes.Repeat([]byte{byte(lsn)}, int(lsn)*10)})
+		ends = append(ends, len(buf))
+	}
+	if got := WALPrefixLen(buf, 0); got != 0 {
+		t.Fatalf("upto 0: %d", got)
+	}
+	for i, end := range ends {
+		if got := WALPrefixLen(buf, uint64(i+1)); got != end {
+			t.Fatalf("upto %d: %d, want %d", i+1, got, end)
+		}
+	}
+	if got := WALPrefixLen(buf, 99); got != len(buf) {
+		t.Fatalf("upto 99: %d, want %d", got, len(buf))
+	}
+}
+
+// TestTableTruncateBlocks: the insert rollback hook restores block and
+// tuple counts and later appends still decode.
+func TestTableTruncateBlocks(t *testing.T) {
+	ds := testDataset(200, 6)
+	tab, _ := buildTable(t, ds, Options{BlockSize: 4 << 10})
+	pre := tab.NumBlocks()
+	preTuples := tab.NumTuples()
+
+	// Append one more block, then roll it back.
+	rb, err := tab.RawBlockAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRawBlock(rb); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumBlocks() != pre+1 {
+		t.Fatalf("append did not land")
+	}
+	tab.TruncateBlocks(pre)
+	if tab.NumBlocks() != pre || tab.NumTuples() != preTuples {
+		t.Fatalf("rollback: %d blocks / %d tuples, want %d / %d",
+			tab.NumBlocks(), tab.NumTuples(), pre, preTuples)
+	}
+	// Re-append after rollback: the file must extend cleanly.
+	if err := tab.AppendRawBlock(rb); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := tab.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != preTuples+rb.Tuples {
+		t.Fatalf("decode after rollback+reappend: %d tuples", len(tuples))
+	}
+}

@@ -30,3 +30,8 @@ echo "$plan" | grep -q 'EXPLAIN ANALYZE: model'
 # Durability smoke: SIGKILL a WAL-backed corgiserved mid-catalog, restart
 # without -init, assert recovery + incremental TRAIN ... resume.
 ./scripts/recovery_smoke.sh
+
+# Replication smoke: primary + streaming replica, lag gauge to zero,
+# SIGKILL the primary mid-ingest, PROMOTE, and assert the promoted
+# server's resume TRAIN is byte-identical to single-node crash recovery.
+./scripts/replication_smoke.sh

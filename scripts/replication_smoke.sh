@@ -1,0 +1,174 @@
+#!/bin/sh
+# Replication end-to-end smoke: boot a WAL-backed primary publishing its
+# replication stream, attach a read-only replica, drive ingest + TRAIN on
+# the primary and watch corgipile_repl_lag_lsn reach 0 on the telemetry
+# plane, assert the replica rejects writes (ERR_READ_ONLY) but serves
+# PREDICT, then SIGKILL the primary mid-ingest, PROMOTE the replica, and
+# prove the promoted server's TRAIN ... resume is byte-identical to a
+# single-node crash recovery of the same WAL directory.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+primpid=""
+reppid=""
+solopid=""
+trap 'kill -9 $primpid $reppid $solopid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/corgiserved" ./cmd/corgiserved
+
+# wait_line LOGFILE SEDPATTERN: poll a server log for an announce line and
+# echo the captured value.
+wait_line() {
+    out=""
+    for _ in $(seq 1 50); do
+        out=$(sed -n "$2" "$workdir/$1" | head -n 1)
+        [ -n "$out" ] && break
+        sleep 0.2
+    done
+    [ -n "$out" ] || { echo "no match for $2 in $1" >&2; cat "$workdir/$1" >&2; exit 1; }
+    echo "$out"
+}
+
+# wait_metric BASEURL NAME VALUE: poll /metrics until the gauge reports
+# the exact value.
+wait_metric() {
+    for _ in $(seq 1 100); do
+        if curl -sf "$1/metrics" | grep -q "^$2 $3\$"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "metric $2 never reached $3 at $1" >&2
+    curl -sf "$1/metrics" | grep "^corgipile_repl" >&2 || true
+    exit 1
+}
+
+# 400 susy-shaped rows (18 features), same generator as recovery_smoke.sh.
+rows=$(awk 'BEGIN{
+    for (i = 0; i < 400; i++) {
+        printf "(%d", 1 - 2 * (i % 2)
+        for (f = 1; f <= 18; f++) printf ", %d", (i + f) % 11
+        printf ")"
+        if (i < 399) printf ", "
+    }
+}')
+
+# Primary: fresh WAL, boot catalog, replication stream + telemetry on
+# ephemeral ports.
+"$workdir/corgiserved" -listen 127.0.0.1:0 -workers 1 \
+    -wal "$workdir/prim" -init scripts/serve_init.sql \
+    -replica-listen 127.0.0.1:0 -telemetry 127.0.0.1:0 \
+    >"$workdir/prim.log" 2>&1 &
+primpid=$!
+primaddr=$(wait_line prim.log 's/^corgiserved: listening on \([^ ]*\).*/\1/p')
+streamaddr=$(wait_line prim.log 's/^corgiserved: replicating on //p')
+primtel=$(wait_line prim.log 's/^corgiserved: telemetry on //p')
+
+# Replica: own WAL directory, mirrors the primary, no -init (the catalog
+# comes from the stream).
+"$workdir/corgiserved" -listen 127.0.0.1:0 -workers 1 \
+    -wal "$workdir/rep" -replicate-from "$streamaddr" -telemetry 127.0.0.1:0 \
+    >"$workdir/rep.log" 2>&1 &
+reppid=$!
+repaddr=$(wait_line rep.log 's/^corgiserved: listening on \([^ ]*\).*/\1/p')
+reptel=$(wait_line rep.log 's/^corgiserved: telemetry on //p')
+grep -q 'read-only until PROMOTE' "$workdir/rep.log"
+
+# Ingest + base TRAIN on the primary; both replicate through the stream.
+{
+    printf '{"op":"sql","sql":"INSERT INTO demo VALUES %s"}\n' "$rows"
+    printf '{"op":"train","sql":"SELECT * FROM demo TRAIN BY svm MODEL base WITH learning_rate=0.05, max_epoch_num=2, seed=7, shuffle=%s","wait":true}\n' "'corgipile'"
+    printf '{"op":"sql","sql":"INSERT INTO demo VALUES %s"}\n' "$rows"
+} >"$workdir/ingest.txt"
+"$workdir/corgiserved" -connect "$primaddr" -replay "$workdir/ingest.txt" >"$workdir/ingest_out.txt"
+grep -q '400 tuples' "$workdir/ingest_out.txt"
+grep -q '"state":"done"' "$workdir/ingest_out.txt"
+
+# The lag gauge must drain to zero with one connected replica before the
+# failover is allowed to proceed.
+wait_metric "$primtel" corgipile_repl_replicas 1
+wait_metric "$primtel" corgipile_repl_lag_lsn 0
+
+# Replica serves reads (the replicated model answers PREDICT) and rejects
+# writes with ERR_READ_ONLY.
+{
+    printf '{"op":"sql","sql":"SHOW MODELS"}\n'
+    printf '{"op":"predict","sql":"SELECT * FROM demo PREDICT BY base LIMIT 1"}\n'
+    printf '{"op":"sql","sql":"INSERT INTO demo VALUES (1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 2, 3, 4, 5, 6, 7, 8)"}\n'
+} >"$workdir/replica_ro.txt"
+"$workdir/corgiserved" -connect "$repaddr" -replay "$workdir/replica_ro.txt" >"$workdir/replica_ro_out.txt"
+grep -q '"base"' "$workdir/replica_ro_out.txt"
+grep -q 'PREDICT: ' "$workdir/replica_ro_out.txt"
+grep -q 'ERR_READ_ONLY' "$workdir/replica_ro_out.txt"
+
+# Failover drill: SIGKILL the primary mid-ingest storm — no graceful
+# shutdown, the stream just dies.
+awk 'BEGIN{
+    for (b = 0; b < 40; b++) {
+        printf "{\"op\":\"sql\",\"sql\":\"INSERT INTO demo VALUES "
+        for (i = 0; i < 20; i++) {
+            printf "(%d", 1 - 2 * (i % 2)
+            for (f = 1; f <= 18; f++) printf ", %d", (b + i + f) % 13
+            printf ")"
+            if (i < 19) printf ", "
+        }
+        printf "\"}\n"
+    }
+}' >"$workdir/storm.txt"
+"$workdir/corgiserved" -connect "$primaddr" -replay "$workdir/storm.txt" >"$workdir/storm_out.txt" 2>&1 || true &
+stormpid=$!
+sleep 0.5
+kill -9 $primpid
+wait $primpid 2>/dev/null || true
+wait $stormpid 2>/dev/null || true
+primpid=""
+
+# Let the replica settle: its durable applied LSN must stop moving once
+# the stream is gone.
+prev=-1
+for _ in $(seq 1 50); do
+    cur=$(curl -sf "$reptel/metrics" | sed -n 's/^corgipile_repl_applied_lsn //p')
+    [ -n "$cur" ] && [ "$cur" = "$prev" ] && break
+    prev=$cur
+    sleep 0.2
+done
+
+# Freeze a copy of the replica's WAL directory: booting it standalone IS
+# single-node crash recovery, the determinism baseline for the promoted
+# server.
+cp -r "$workdir/rep" "$workdir/solo"
+
+# Promote over the wire; the replica becomes writable at its applied LSN.
+"$workdir/corgiserved" -connect "$repaddr" -promote >"$workdir/promote_out.txt"
+grep -q 'promoted: writable at lsn' "$workdir/promote_out.txt"
+
+# The promoted server trains the incremental resume model and accepts
+# writes again.
+{
+    printf '{"op":"train","sql":"SELECT * FROM demo TRAIN BY svm MODEL base2 WITH resume=%s, learning_rate=0.05, max_epoch_num=2, seed=7, shuffle=%s","wait":true}\n' "'base'" "'corgipile'"
+    printf '{"op":"sql","sql":"SAVE MODEL base2 TO %s"}\n' "'$workdir/w_promoted.json'"
+    printf '{"op":"sql","sql":"INSERT INTO demo VALUES (1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 2, 3, 4, 5, 6, 7, 8)"}\n'
+} >"$workdir/promoted.txt"
+"$workdir/corgiserved" -connect "$repaddr" -replay "$workdir/promoted.txt" >"$workdir/promoted_out.txt"
+grep -q '"state":"done"' "$workdir/promoted_out.txt"
+grep -q '1 tuples' "$workdir/promoted_out.txt"
+
+# Single-node crash recovery over the frozen copy, then the identical
+# resume TRAIN. The saved weights must match the promoted server's
+# byte for byte.
+"$workdir/corgiserved" -listen 127.0.0.1:0 -workers 1 \
+    -wal "$workdir/solo" >"$workdir/solo.log" 2>&1 &
+solopid=$!
+soloaddr=$(wait_line solo.log 's/^corgiserved: listening on \([^ ]*\).*/\1/p')
+{
+    printf '{"op":"train","sql":"SELECT * FROM demo TRAIN BY svm MODEL base2 WITH resume=%s, learning_rate=0.05, max_epoch_num=2, seed=7, shuffle=%s","wait":true}\n' "'base'" "'corgipile'"
+    printf '{"op":"sql","sql":"SAVE MODEL base2 TO %s"}\n' "'$workdir/w_solo.json'"
+} >"$workdir/solo.txt"
+"$workdir/corgiserved" -connect "$soloaddr" -replay "$workdir/solo.txt" >"$workdir/solo_out.txt"
+grep -q '"state":"done"' "$workdir/solo_out.txt"
+
+cmp "$workdir/w_promoted.json" "$workdir/w_solo.json"
+
+echo "replication smoke: OK"
