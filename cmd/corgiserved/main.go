@@ -10,9 +10,10 @@
 //	    [-init boot.sql] [-wal waldir/] [-workers 2] [-queue 8] \
 //	    [-session-max 2] [-telemetry 127.0.0.1:9090] [-run-root runs/] \
 //	    [-retain-jobs 64] [-retain-job-age 15m] [-checkpoint-every 30s|64MB] \
-//	    [-replica-listen HOST:PORT] [-replicate-from HOST:PORT]
+//	    [-replica-listen HOST:PORT] [-replicate-from HOST:PORT] \
+//	    [-events events.jsonl] [-slow-statement 1s] [-ready-max-lag 0]
 //
-//	corgiserved -connect HOST:PORT [-replay transcript.txt] [-promote]
+//	corgiserved -connect HOST:PORT [-replay transcript.txt] [-promote] [-exec "SQL"]
 //
 // Replication: -replica-listen publishes the catalog's WAL as a
 // replication stream (requires -wal); -replicate-from boots the server as
@@ -26,9 +27,17 @@
 // In server mode, -init runs a semicolon-separated SQL script (typically
 // CREATE TABLE statements) against the catalog before the listener opens,
 // so clients find tables ready. -telemetry exposes the obs HTTP plane:
-// /metrics aggregates device counters across all jobs, /run?job=<id>
-// streams one job's live per-epoch status. -run-root persists per-job
-// artifacts (manifest.json, epochs.jsonl, metrics.prom) as jobs finish.
+// /metrics aggregates device counters across all jobs (plus the WAL
+// gauges on durable servers), /run?job=<id> streams one job's live
+// per-epoch status, and /healthz and /readyz answer liveness/readiness
+// probes — a replica reports ready only while its replication lag is
+// within -ready-max-lag. -run-root persists per-job artifacts
+// (manifest.json, epochs.jsonl, metrics.prom) as jobs finish.
+//
+// Introspection: every server answers `SELECT * FROM corgi_jobs` (and
+// corgi_sessions, corgi_replication, corgi_events, corgi_spans, ...) over
+// the wire; -events additionally appends every structured event as JSONL,
+// and -slow-statement flags statements past the threshold.
 //
 // In client mode (-connect), stdin lines (or -replay file lines) starting
 // with "C: " are sent verbatim and each response is printed as "S: <json>"
@@ -39,6 +48,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +58,7 @@ import (
 	"time"
 
 	"corgipile/internal/db"
+	"corgipile/internal/obs"
 	"corgipile/internal/serve"
 	"corgipile/internal/sqlparse"
 )
@@ -67,8 +78,12 @@ func main() {
 		replListen = flag.String("replica-listen", "", "serve the WAL-shipping replication stream on this address (requires -wal)")
 		replFrom   = flag.String("replicate-from", "", "boot as a read-only replica of the primary at this replication address (requires -wal)")
 		ckptEvery  = flag.String("checkpoint-every", "", "background WAL compaction trigger: a duration (30s) or a size (64MB)")
+		eventsOut  = flag.String("events", "", "append the structured event log as JSONL to this file")
+		slowStmt   = flag.Duration("slow-statement", 0, "emit a statement.slow event for statements slower than this")
+		readyLag   = flag.Uint64("ready-max-lag", 0, "replica /readyz fails while replication lag (LSNs) exceeds this")
 		connect    = flag.String("connect", "", "client mode: connect to a running server instead of serving")
 		replay     = flag.String("replay", "", "-connect: replay this transcript file instead of reading stdin")
+		execSQL    = flag.String("exec", "", "-connect: send this SQL statement, print the response, and exit")
 		promote    = flag.Bool("promote", false, "-connect: send a PROMOTE request and exit")
 	)
 	flag.Parse()
@@ -76,6 +91,13 @@ func main() {
 	if *connect != "" {
 		if *promote {
 			if err := runPromote(*connect); err != nil {
+				fmt.Fprintln(os.Stderr, "corgiserved:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if *execSQL != "" {
+			if err := runExec(*connect, *execSQL); err != nil {
 				fmt.Fprintln(os.Stderr, "corgiserved:", err)
 				os.Exit(1)
 			}
@@ -114,6 +136,19 @@ func main() {
 	}
 
 	session := db.NewSession()
+	// The event ring attaches before recovery so the wal.recovery event
+	// (and any sync failures during replay) land in it.
+	events := obs.NewEventLog(0)
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corgiserved: events:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events.StreamTo(f)
+	}
+	session.WithEvents(events)
 	if *walDir != "" {
 		// Recovery runs before -init, so a restarted server finds its
 		// previous catalog and the init script is only needed on first boot.
@@ -156,6 +191,9 @@ func main() {
 		ReplicateFrom:   *replFrom,
 		CheckpointEvery: ckptDur,
 		CheckpointBytes: ckptBytes,
+		Events:          events,
+		SlowStatement:   *slowStmt,
+		ReadyMaxLag:     *readyLag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "corgiserved:", err)
@@ -187,6 +225,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "corgiserved: wal:", err)
 		os.Exit(1)
 	}
+}
+
+// runExec sends one SQL statement and prints the raw response line — the
+// introspection one-liner: corgiserved -connect ADDR -exec "SELECT * FROM
+// corgi_jobs".
+func runExec(addr, sql string) error {
+	conn, err := serve.DialRaw(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	line, err := json.Marshal(serve.Request{Op: "sql", SQL: sql})
+	if err != nil {
+		return err
+	}
+	resp, err := conn.DoLine(string(line))
+	if err != nil {
+		return err
+	}
+	fmt.Println(resp)
+	return nil
 }
 
 // runPromote sends a single PROMOTE request — the failover one-liner:

@@ -15,7 +15,10 @@
 // statements execute. -diag tracks convergence diagnostics on every TRAIN
 // and reports the verdict in the result message; -run-dir persists the last
 // training statement's artifacts (manifest.json, epochs.jsonl, metrics.prom,
-// and plan.json for EXPLAIN ANALYZE) on exit.
+// and plan.json for EXPLAIN ANALYZE) on exit. -events records structured
+// statement/checkpoint/recovery events to a JSONL file; the same events
+// are queryable in-session via SELECT * FROM corgi_events (see also
+// corgi_tables, corgi_models, corgi_wal, corgi_metrics, corgi_spans).
 //
 // Example session:
 //
@@ -45,9 +48,19 @@ func main() {
 	serve := flag.String("serve", "", "serve live telemetry (/metrics, /run, /debug/pprof/) on this address")
 	diag := flag.Bool("diag", false, "enable convergence diagnostics on every TRAIN (verdict in the result message and live feed)")
 	runDir := flag.String("run-dir", "", "write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom, plan.json) for the last TRAIN to this directory")
+	eventsOut := flag.String("events", "", "record structured events (statement, checkpoint, recovery) and append them as JSONL to this file")
 	flag.Parse()
 
 	session := db.NewSession()
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corgisql:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		session.WithEvents(obs.NewEventLog(0).StreamTo(f))
+	}
 	if *metrics || *traceOut != "" || *serve != "" || *runDir != "" {
 		reg := obs.New()
 		if *traceOut != "" {

@@ -8,6 +8,7 @@
 //	           [-save model.json] [-metrics] [-trace-out trace.jsonl]
 //	           [-faults 'seed=7,read_err=0.01'] [-retries 3] [-on-corrupt skip]
 //	           [-serve 127.0.0.1:0] [-diag] [-explain] [-run-dir DIR]
+//	           [-events events.jsonl]
 //	corgitrain -synthetic higgs [-scale 0.05] ...
 //
 // The training table is used as-is (no shuffling of the file), so a file
@@ -61,6 +62,7 @@ func main() {
 		runDir    = flag.String("run-dir", "", "write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom) to this directory")
 		synthetic = flag.String("synthetic", "", "train on a generated workload (higgs, susy, ...) instead of -file")
 		scale     = flag.Float64("scale", 0.05, "-synthetic: dataset scale factor")
+		eventsOut = flag.String("events", "", "append structured per-epoch span events as JSONL to this file")
 	)
 	flag.Parse()
 	if *file == "" && *synthetic == "" {
@@ -142,6 +144,15 @@ func main() {
 	}
 	if *diag {
 		cfg.Diag = &corgipile.DiagConfig{}
+	}
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Events = corgipile.NewEventLog(0).StreamTo(f)
+		cfg.Trace = runName
 	}
 	var res *corgipile.Result
 	if *faults != "" {

@@ -100,6 +100,13 @@ type (
 	// statistics. Result.Plan holds one for TrainConfig.Explain runs; render
 	// it with Text(true) or JSON().
 	PlanStats = obs.PlanStats
+	// EventLog is the structured event log: a bounded in-memory ring of
+	// typed events (statement lifecycle, job transitions, checkpoints,
+	// replication) plus per-trace spans. Attach one via TrainConfig.Events
+	// or Session.WithEvents; create one with NewEventLog.
+	EventLog = obs.EventLog
+	// Event is one structured event-log entry.
+	Event = obs.Event
 	// Verdict classifies a run's convergence health ("converging",
 	// "plateau", "diverging", "warmup").
 	Verdict = core.Verdict
@@ -163,6 +170,12 @@ func NewMetrics() *Metrics { return obs.New() }
 // NewRunFeed returns an empty live-status feed. Pass it via TrainConfig.Feed
 // and to ServeTelemetry to watch a run over HTTP.
 func NewRunFeed() *RunFeed { return obs.NewRunFeed() }
+
+// NewEventLog returns an empty structured event log holding the most recent
+// n events (0 = a sensible default). Stream every event as JSONL with
+// StreamTo; query the ring via Events/Spans or, in a session, with
+// SELECT * FROM corgi_events.
+func NewEventLog(n int) *EventLog { return obs.NewEventLog(n) }
 
 // ServeTelemetry starts the telemetry HTTP server on addr (host:port;
 // port 0 picks a free one — read the bound address with Addr). It serves

@@ -220,6 +220,38 @@ func passiveTrace(t *testing.T, ds *data.Dataset, live bool, withFeed bool) []by
 	return buf.Bytes()
 }
 
+// passiveTraceWithEvents is passiveTrace with the introspection plane's
+// event log attached: epoch spans land in the events ring, never in the
+// registry's JSONL sink.
+func passiveTraceWithEvents(t *testing.T, ds *data.Dataset, el *obs.EventLog) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	reg := obs.New().WithClock(staticClock{}).StreamTo(&buf)
+	src := shuffle.NewMemSource(ds, 50)
+	st, err := shuffle.New(shuffle.KindCorgiPile, src, shuffle.Options{
+		Seed: 7, BufferFraction: 0.1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(RunConfig{
+		Strategy:  st,
+		Model:     ml.SVM{},
+		Opt:       ml.NewSGD(0.05),
+		Features:  ds.Features,
+		Epochs:    5,
+		BatchSize: 1,
+		TrainEval: ds,
+		Obs:       reg,
+		RunName:   "diag-test",
+		Events:    el,
+		Trace:     "purity-t1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // TestTracePurity: the JSONL event trace of a passive run must be
 // bit-for-bit identical whether or not live telemetry (feed, live-mode
 // gauges) is attached — the PR's hard compatibility constraint.
@@ -246,6 +278,30 @@ func TestTracePurity(t *testing.T) {
 	withLive := passiveTrace(t, ds, true, true)
 	if !bytes.Equal(base, withLive) {
 		t.Fatal("enabling live mode changed the JSONL trace")
+	}
+
+	// The introspection plane: attaching an EventLog must not perturb the
+	// passive trace by a byte — its spans live in a separate ring with its
+	// own (here unattached) sink.
+	el := obs.NewEventLog(64)
+	withEvents := passiveTraceWithEvents(t, ds, el)
+	if !bytes.Equal(base, withEvents) {
+		t.Fatal("attaching an EventLog changed the JSONL trace")
+	}
+	if spans := el.Spans(); len(spans) != 5 {
+		t.Fatalf("event log recorded %d epoch spans, want 5", len(spans))
+	} else if spans[0].Trace != "purity-t1" || spans[0].Name != obs.EvSpanEpoch {
+		t.Fatalf("span %+v, want trace purity-t1 name epoch", spans[0])
+	}
+	for _, marker := range []string{`"ev":"event"`, `"ev":"tracespan"`} {
+		if bytes.Contains(base, []byte(marker)) {
+			t.Fatalf("passive trace contains introspection marker %s", marker)
+		}
+	}
+	// And a nil event log run matches too (the zero-cost-when-idle path).
+	withNil := passiveTraceWithEvents(t, ds, nil)
+	if !bytes.Equal(base, withNil) {
+		t.Fatal("nil-EventLog run diverged from the base passive trace")
 	}
 }
 

@@ -76,6 +76,14 @@ type RunConfig struct {
 	// every few hundred tuples inside an epoch, then returns the context's
 	// error. A nil Ctx never cancels and adds no per-tuple work.
 	Ctx context.Context
+	// Events, when non-nil, receives one wall-clock "epoch" span record per
+	// epoch, stamped with Trace — the introspection plane's timeline. A nil
+	// Events adds no work and never touches the clock, and attaching one
+	// never changes the Obs registry's JSONL trace (the rings are separate;
+	// TestTracePurity pins this).
+	Events *obs.EventLog
+	// Trace is the request-scoped trace ID stamped on emitted span records.
+	Trace string
 }
 
 // EpochPoint records the state after one epoch — one x-axis point of the
@@ -199,9 +207,11 @@ func Run(cfg RunConfig) (*Result, error) {
 			before = cfg.Obs.Snapshot()
 		}
 		sp := cfg.Obs.Span(obs.SpanEpoch)
+		esp := cfg.Events.StartSpan(cfg.Trace, obs.EvSpanEpoch)
 		it, err := cfg.Strategy.StartEpoch(epoch)
 		if err != nil {
 			sp.End()
+			esp.End()
 			return nil, fmt.Errorf("core: epoch %d: %w", epoch, err)
 		}
 		next := it.Next
@@ -221,6 +231,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 		stats := trainer.RunEpoch(w, next)
 		spanSecs := sp.End().Seconds()
+		esp.End()
 		if cfg.Ctx != nil {
 			if err := cfg.Ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: train canceled at epoch %d: %w", epoch+1, err)

@@ -85,6 +85,14 @@ type Session struct {
 	feed    *obs.RunFeed
 	diag    *core.DiagConfig
 	nextID  int
+	// events is the structured event log (nil = introspection idle) and
+	// virtual holds the registered system tables the general SELECT path
+	// reads (corgi_tables, corgi_jobs, ...).
+	events  *obs.EventLog
+	virtual map[string]*VirtualTable
+	// walOpened is the wall-clock instant OpenWAL finished recovery — the
+	// checkpoint-age baseline until the first CHECKPOINT lands.
+	walOpened time.Time
 	// wal and walDir are set by OpenWAL; a nil wal means the session is
 	// purely in-memory (the default) and mutation logging is a no-op.
 	wal    *storage.WAL
@@ -104,12 +112,15 @@ func NewSession() *Session {
 		"ssd": iosim.NewDevice(iosim.SSD, clock).WithCache(16 << 30),
 		"ram": iosim.NewDevice(iosim.RAM, clock).WithCache(16 << 30),
 	}
-	return &Session{
+	s := &Session{
 		clock:   clock,
 		devices: devs,
 		tables:  make(map[string]*TableEntry),
 		models:  make(map[string]*ModelEntry),
+		virtual: make(map[string]*VirtualTable),
 	}
+	s.registerSystemTables()
+	return s
 }
 
 // Clock returns the session's simulated clock.
@@ -130,6 +141,23 @@ func (s *Session) WithMetrics(reg *obs.Registry) *Session {
 
 // Metrics returns the session's metrics registry (nil when none attached).
 func (s *Session) Metrics() *obs.Registry { return s.obs }
+
+// WithEvents attaches a structured event log: every executed statement
+// emits start/finish events (with duration, error code and — over the
+// wire — the request's trace ID), an open WAL reports sync failures into
+// it, and the corgi_events / corgi_spans system tables read from it. It
+// returns the session. A session without an event log skips all event
+// emission — introspection is strictly opt-in.
+func (s *Session) WithEvents(el *obs.EventLog) *Session {
+	s.events = el
+	if s.wal != nil {
+		s.wal.WithEvents(el)
+	}
+	return s
+}
+
+// Events returns the session's event log (nil when none attached).
+func (s *Session) Events() *obs.EventLog { return s.events }
 
 // WithFeed attaches a live run feed: every TRAIN statement publishes one
 // RunStatus update per epoch to it (the telemetry server's /run source).
@@ -189,6 +217,78 @@ func (s *Session) ExecScript(sql string) ([]*Result, error) {
 
 // ExecStatement executes a parsed statement.
 func (s *Session) ExecStatement(st sqlparse.Statement) (*Result, error) {
+	return s.ExecStatementT(st, "")
+}
+
+// ExecStatementT executes a parsed statement attributed to a trace ID.
+// When the session has an event log, it emits statement start/finish
+// events (the finish event carries the wall-clock duration and the error
+// text, plus a companion slow-statement event past the armed threshold);
+// without one the path is identical to ExecStatement.
+func (s *Session) ExecStatementT(st sqlparse.Statement, trace string) (*Result, error) {
+	if s.events == nil {
+		return s.execStatement(st)
+	}
+	kind := StatementKind(st)
+	s.events.Emit(obs.EvStatementStart, trace, kind)
+	start := time.Now()
+	res, err := s.execStatement(st)
+	dur := time.Since(start)
+	ev := obs.Event{
+		Type: obs.EvStatementFinish, Trace: trace, Detail: kind,
+		DurMs: float64(dur) / float64(time.Millisecond),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.events.Record(ev)
+	if s.events.Slow(dur) {
+		s.events.Record(obs.Event{
+			Type: obs.EvStatementSlow, Trace: trace, Detail: kind,
+			DurMs: float64(dur) / float64(time.Millisecond),
+		})
+	}
+	return res, err
+}
+
+// StatementKind names a statement for event details: the statement verb
+// plus its primary object, e.g. "train t" or "select corgi_jobs".
+func StatementKind(st sqlparse.Statement) string {
+	switch st := st.(type) {
+	case *sqlparse.CreateTable:
+		return "create_table " + strings.ToLower(st.Name)
+	case *sqlparse.Train:
+		return "train " + strings.ToLower(st.Table)
+	case *sqlparse.Predict:
+		return "predict " + strings.ToLower(st.Table)
+	case *sqlparse.Select:
+		return "select " + strings.ToLower(st.Table)
+	case *sqlparse.Show:
+		return "show " + st.What
+	case *sqlparse.Drop:
+		return "drop " + strings.ToLower(st.Name)
+	case *sqlparse.Explain:
+		return "explain " + strings.ToLower(st.Train.Table)
+	case *sqlparse.Analyze:
+		return "analyze " + strings.ToLower(st.Table)
+	case *sqlparse.SaveModel:
+		return "save_model " + strings.ToLower(st.Name)
+	case *sqlparse.LoadModel:
+		return "load_model " + strings.ToLower(st.Name)
+	case *sqlparse.Insert:
+		return "insert " + strings.ToLower(st.Table)
+	case *sqlparse.LoadTable:
+		return "load_into " + strings.ToLower(st.Table)
+	case *sqlparse.Checkpoint:
+		return "checkpoint"
+	case *sqlparse.Promote:
+		return "promote"
+	}
+	return fmt.Sprintf("%T", st)
+}
+
+// execStatement dispatches a parsed statement to its handler.
+func (s *Session) execStatement(st sqlparse.Statement) (*Result, error) {
 	if s.readOnly.Load() {
 		if kind, bad := mutatingKind(st); bad {
 			return nil, fmt.Errorf("db: %s rejected: %w", kind, ErrReadOnly)
@@ -197,6 +297,8 @@ func (s *Session) ExecStatement(st sqlparse.Statement) (*Result, error) {
 	switch st := st.(type) {
 	case *sqlparse.CreateTable:
 		return s.execCreate(st)
+	case *sqlparse.Select:
+		return s.execSelect(st)
 	case *sqlparse.Train:
 		return s.execTrain(st)
 	case *sqlparse.Predict:
@@ -342,6 +444,13 @@ type TrainOptions struct {
 	RunName string
 	// Profile enables the per-operator runtime profile (EXPLAIN ANALYZE).
 	Profile bool
+	// Events, when non-nil, receives per-epoch wall-clock spans stamped
+	// with Trace — the serving plane threads its event log and the wire
+	// request's trace ID through here so corgi_spans can reconstruct a
+	// TRAIN job's timeline.
+	Events *obs.EventLog
+	// Trace is the request trace ID attributed to this run's events.
+	Trace string
 }
 
 // PreparedTrain is a TRAIN statement bound to an executable plan. The
@@ -665,6 +774,8 @@ func (s *Session) trainPlanConfig(st *sqlparse.Train, entry *TableEntry, withEva
 			Diag:      s.diag,
 			RunName:   runName,
 			Ctx:       opt.Ctx,
+			Events:    opt.Events,
+			Trace:     opt.Trace,
 		},
 	}
 	if withEval {

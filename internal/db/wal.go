@@ -156,6 +156,7 @@ func (s *Session) OpenWALOptions(dir string, opt WALOptions) (RecoveryStats, err
 		return stats, err
 	}
 	w.WithObs(s.obs)
+	w.WithEvents(s.events)
 	for _, rec := range recs {
 		if rec.LSN <= frontier {
 			continue // already inside the checkpoint
@@ -171,8 +172,12 @@ func (s *Session) OpenWALOptions(dir string, opt WALOptions) (RecoveryStats, err
 	s.walDir = dir
 	stats.Tables = len(s.tables)
 	stats.Models = len(s.models)
+	s.walOpened = time.Now()
 	s.obs.Add(obs.WALReplayRecords, int64(stats.CheckpointRecords+stats.LogRecords))
 	s.obs.Observe(obs.SpanRecovery, time.Since(start))
+	s.events.Emit(obs.EvRecovery, "", fmt.Sprintf(
+		"checkpoint_records=%d log_records=%d tables=%d models=%d",
+		stats.CheckpointRecords, stats.LogRecords, stats.Tables, stats.Models))
 	return stats, nil
 }
 
@@ -456,6 +461,7 @@ func (s *Session) Checkpoint() (int, error) {
 	if err := s.wal.Reset(); err != nil {
 		return 0, err
 	}
+	s.events.Emit(obs.EvCheckpoint, "", fmt.Sprintf("records=%d", n))
 	return n, nil
 }
 

@@ -67,6 +67,11 @@ type SGDOp struct {
 	// Verdict the detector's final state, when SGDConfig.Diag enabled them.
 	Diag    []core.EpochDiag
 	Verdict core.Verdict
+	// Events, when non-nil, receives one "epoch" span per completed epoch in
+	// the session's event ring, stamped with Trace. Both are nil-safe.
+	Events *obs.EventLog
+	// Trace is the request-scoped trace ID stamped on emitted spans.
+	Trace string
 
 	epoch     int
 	start     time.Duration
@@ -111,6 +116,11 @@ type SGDConfig struct {
 	// context stops an in-flight epoch promptly. NextEpoch/Run then return
 	// the context's error (context.Canceled or DeadlineExceeded).
 	Ctx context.Context
+	// Events, when non-nil, receives per-epoch span records stamped with
+	// Trace (request-scoped tracing for the introspection plane).
+	Events *obs.EventLog
+	// Trace is the request-scoped trace ID for emitted span records.
+	Trace string
 }
 
 // NewSGD returns an SGD operator over the child pipeline.
@@ -137,6 +147,8 @@ func NewSGD(child Operator, cfg SGDConfig) (*SGDOp, error) {
 		Obs:     cfg.Obs,
 		Feed:    cfg.Feed,
 		RunName: cfg.RunName,
+		Events:  cfg.Events,
+		Trace:   cfg.Trace,
 	}
 	op.trainer.Procs = cfg.Procs
 	op.trainer.Obs = cfg.Obs
@@ -206,6 +218,7 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 		before = op.Obs.Snapshot()
 	}
 	sp := op.Obs.Span(obs.SpanEpoch)
+	esp := op.Events.StartSpan(op.Trace, obs.EvSpanEpoch)
 	var streamErr error
 	var sinceCheck int
 	stats := op.trainer.RunEpoch(op.W, func() (*data.Tuple, bool) {
@@ -224,6 +237,7 @@ func (op *SGDOp) NextEpoch() (EpochRow, bool, error) {
 		return t, ok
 	})
 	spanSecs := sp.End().Seconds()
+	esp.End()
 	if streamErr != nil {
 		return EpochRow{}, false, streamErr
 	}

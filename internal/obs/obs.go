@@ -120,6 +120,12 @@ const (
 	// Serving-plane durability (internal/serve).
 	ServeCheckpoints = "serve.checkpoints" // scheduled auto-checkpoint compactions
 
+	// WAL visibility gauges, refreshed by the serve checkpoint loop so
+	// compaction behavior shows up on /metrics without SQL access.
+	WALSizeBytes     = "wal.size_bytes"             // gauge: live WAL file size
+	WALLastLSN       = "wal.last_lsn"               // gauge: last appended LSN
+	WALCheckpointAge = "wal.checkpoint_age_seconds" // gauge: age of the newest checkpoint
+
 	// Span names (duration histograms under the same keys).
 	SpanEpoch    = "epoch"
 	SpanRefill   = "shuffle.refill"
@@ -245,6 +251,19 @@ func (r *Registry) SetGauge(name string, v float64) {
 	}
 	r.mu.Lock()
 	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// DeleteGauge removes the named gauge from the registry entirely, so it
+// stops appearing in snapshots and Prometheus exposition. A promoted
+// replica uses this to retire its replication-lag gauges — a stale lag
+// reading on a server that no longer replicates would mislead scrapers.
+func (r *Registry) DeleteGauge(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.gauges, name)
 	r.mu.Unlock()
 }
 

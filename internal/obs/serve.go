@@ -41,6 +41,13 @@ type ServeConfig struct {
 	// SampleEvery is the runtime-sampler tick (0 = 1s, negative disables
 	// the sampler).
 	SampleEvery time.Duration
+	// Health, when non-nil, backs /healthz: nil error answers 200 "ok",
+	// an error answers 503 with the error text. A nil Health probe makes
+	// /healthz always 200 (the process is serving).
+	Health func() error
+	// Ready backs /readyz the same way — the hook for gating traffic on
+	// replication lag or WAL writability.
+	Ready func() error
 }
 
 // Server is a running telemetry HTTP server. Close shuts it down without
@@ -77,6 +84,8 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/run/plan", s.handleRunPlan)
+	mux.HandleFunc("/healthz", probeHandler(cfg.Health))
+	mux.HandleFunc("/readyz", probeHandler(cfg.Ready))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -143,7 +152,24 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/metrics       Prometheus text exposition of the metrics registry\n"+
 		"/run           current run status (JSON); ?stream=1 for SSE; ?job=<id> for one job\n"+
 		"/run/plan      executed-plan profile (annotated tree; ?format=json, ?stream=1 for SSE, ?job=<id>)\n"+
+		"/healthz       liveness probe (200 ok / 503 with reason)\n"+
+		"/readyz        readiness probe (replication lag, WAL writability)\n"+
 		"/debug/pprof/  Go profiling endpoints\n")
+}
+
+// probeHandler renders a health/readiness probe: 200 "ok" when the probe
+// is absent or returns nil, 503 with the error text otherwise.
+func probeHandler(probe func() error) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if probe != nil {
+			if err := probe(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // handleMetrics renders the registry in Prometheus text format.

@@ -37,6 +37,9 @@ type PrimaryConfig struct {
 	WriteTimeout time.Duration
 	// Obs receives repl.* metrics (nil-safe).
 	Obs *obs.Registry
+	// Events, when non-nil, receives replica connect/shed/disconnect events
+	// for the introspection plane (nil-safe).
+	Events *obs.EventLog
 }
 
 func (cfg PrimaryConfig) withDefaults() PrimaryConfig {
@@ -80,7 +83,44 @@ type Primary struct {
 
 // primConn tracks one replica connection's acked progress.
 type primConn struct {
+	remote  string
 	applied atomic.Uint64
+	sheds   atomic.Int64
+}
+
+// ReplicaStatus is one connected replica's progress as seen by the primary,
+// surfaced through the corgi_replication system table.
+type ReplicaStatus struct {
+	// Remote is the replica connection's remote address.
+	Remote string
+	// AppliedLSN is the last LSN the replica acked as durably applied.
+	AppliedLSN uint64
+	// LagLSN is the primary's last published LSN minus AppliedLSN.
+	LagLSN uint64
+	// Sheds counts how many times this connection overflowed its send
+	// buffer and was resynced.
+	Sheds int64
+}
+
+// Replicas snapshots every connected replica's status, sorted is not
+// guaranteed — callers order the rows themselves.
+func (p *Primary) Replicas() []ReplicaStatus {
+	last := p.hub.last()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ReplicaStatus, 0, len(p.conns))
+	for pc := range p.conns {
+		st := ReplicaStatus{
+			Remote:     pc.remote,
+			AppliedLSN: pc.applied.Load(),
+			Sheds:      pc.sheds.Load(),
+		}
+		if last > st.AppliedLSN {
+			st.LagLSN = last - st.AppliedLSN
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // StartPrimary opens the replication listener and begins publishing every
@@ -163,7 +203,7 @@ func (p *Primary) handle(c net.Conn) {
 	}
 	c.SetReadDeadline(time.Time{})
 
-	pc := &primConn{}
+	pc := &primConn{remote: c.RemoteAddr().String()}
 	pc.applied.Store(hello.Applied)
 	p.mu.Lock()
 	if p.closed {
@@ -172,11 +212,13 @@ func (p *Primary) handle(c net.Conn) {
 	}
 	p.conns[pc] = struct{}{}
 	p.mu.Unlock()
+	p.cfg.Events.Emit(obs.EvReplConnect, "", fmt.Sprintf("remote=%s applied=%d", pc.remote, hello.Applied))
 	defer func() {
 		p.mu.Lock()
 		delete(p.conns, pc)
 		p.mu.Unlock()
 		p.updateLag()
+		p.cfg.Events.Emit(obs.EvReplDisconnect, "", fmt.Sprintf("remote=%s applied=%d", pc.remote, pc.applied.Load()))
 	}()
 	p.updateLag()
 
@@ -230,7 +272,9 @@ func (p *Primary) handle(c net.Conn) {
 		// LSN — served from the ring when it still covers it, otherwise a
 		// fresh snapshot.
 		p.cfg.Obs.Inc(obs.ReplSheds)
+		pc.sheds.Add(1)
 		applied = pc.applied.Load()
+		p.cfg.Events.Emit(obs.EvReplShed, "", fmt.Sprintf("remote=%s applied=%d", pc.remote, applied))
 	}
 	<-ackDone
 }

@@ -48,6 +48,9 @@ type ReplicaConfig struct {
 	Dial func(addr string) (net.Conn, error)
 	// Obs receives repl.* metrics (nil-safe).
 	Obs *obs.Registry
+	// Events, when non-nil, receives resync events (a diverged replica
+	// rebuilding from a fresh snapshot) for the introspection plane.
+	Events *obs.EventLog
 }
 
 func (cfg ReplicaConfig) withDefaults() ReplicaConfig {
@@ -248,6 +251,7 @@ func (r *Replica) session() (progressed bool, err error) {
 	}
 
 	if reply.Mode == modeSnapshot {
+		r.cfg.Events.Emit(obs.EvReplResync, "", fmt.Sprintf("primary=%s frontier=%d", r.cfg.Primary, reply.Frontier))
 		if err := r.installSnapshot(conn, br, reply.Frontier); err != nil {
 			return false, err
 		}

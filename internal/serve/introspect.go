@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"corgipile/internal/db"
+	"corgipile/internal/obs"
+)
+
+// This file registers the serving plane's system tables on the shared
+// session: corgi_jobs (the job table, including summaries of jobs the
+// retention policy pruned), corgi_sessions (live client connections),
+// and corgi_replication (per-replica progress as the primary sees it,
+// or this server's own lag when it is a replica). The db layer already
+// registered the session-scoped tables (corgi_tables, corgi_models,
+// corgi_wal, corgi_metrics, corgi_events, corgi_spans).
+//
+// Every Rows closure runs at SELECT time under the catalog read lock
+// (the serving plane routes SELECT through the inline read path), so
+// the closures may take s.mu — lock order is catalog → mu everywhere —
+// but must never take replMu: PROMOTE holds replMu while acquiring the
+// catalog write lock, and the reverse order would deadlock. Replication
+// roles are read through the lock-free primPtr mirror instead.
+func (s *Server) registerIntrospection() {
+	s.dbs.RegisterVirtual(db.VirtualTable{
+		Name: "corgi_jobs",
+		Columns: []string{"id", "session", "model", "state", "trace_id",
+			"epoch", "epochs", "loss", "error", "pruned"},
+		Rows: s.jobRows,
+	})
+	s.dbs.RegisterVirtual(db.VirtualTable{
+		Name:    "corgi_sessions",
+		Columns: []string{"id", "remote", "age_seconds", "requests"},
+		Rows:    s.sessionRows,
+	})
+	s.dbs.RegisterVirtual(db.VirtualTable{
+		Name:    "corgi_replication",
+		Columns: []string{"role", "remote", "applied_lsn", "lag_lsn", "sheds"},
+		Rows:    s.replicationRows,
+	})
+}
+
+// jobRows snapshots the job table: pruned summaries first (they are the
+// oldest submissions), then live jobs in submission order. Trace IDs are
+// always populated here — internally minted ones included — which is how
+// an operator finds the timeline of a request whose client never asked
+// for tracing.
+func (s *Server) jobRows() [][]string {
+	s.mu.Lock()
+	pruned := append([]prunedJob(nil), s.pruned...)
+	live := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		live = append(live, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	rows := make([][]string, 0, len(pruned)+len(live))
+	for _, p := range pruned {
+		rows = append(rows, []string{
+			p.id, p.session, p.model, string(p.state), p.trace,
+			"", "", "", "", "true",
+		})
+	}
+	for _, j := range live {
+		st := j.status()
+		j.mu.Lock()
+		trace, errMsg := j.trace, j.errMsg
+		j.mu.Unlock()
+		epoch, epochs, loss := "", "", ""
+		if st.Epoch > 0 {
+			epoch = strconv.Itoa(st.Epoch)
+		}
+		if st.Epochs > 0 {
+			epochs = strconv.Itoa(st.Epochs)
+		}
+		if st.State == JobDone {
+			loss = strconv.FormatFloat(st.Loss, 'g', -1, 64)
+		}
+		rows = append(rows, []string{
+			j.id, j.session, st.Model, string(st.State), trace,
+			epoch, epochs, loss, errMsg, "false",
+		})
+	}
+	return rows
+}
+
+// sessionRows lists live client connections, ordered by session id.
+func (s *Server) sessionRows() [][]string {
+	s.mu.Lock()
+	infos := make([]*sessionInfo, 0, len(s.sessions))
+	for _, si := range s.sessions {
+		infos = append(infos, si)
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool {
+		a, b := infos[i].id, infos[j].id
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	rows := make([][]string, 0, len(infos))
+	for _, si := range infos {
+		rows = append(rows, []string{
+			si.id,
+			si.remote,
+			strconv.FormatFloat(time.Since(si.connected).Seconds(), 'f', 1, 64),
+			strconv.FormatInt(si.requests.Load(), 10),
+		})
+	}
+	return rows
+}
+
+// replicationRows reports replication progress. On a primary: one row
+// per connected replica with its acked LSN, lag, and shed count. On a
+// (not yet promoted) replica: one row describing this server's own
+// progress against its primary. Standalone servers have zero rows.
+func (s *Server) replicationRows() [][]string {
+	var rows [][]string
+	if p := s.primPtr.Load(); p != nil {
+		reps := p.Replicas()
+		sort.Slice(reps, func(i, j int) bool { return reps[i].Remote < reps[j].Remote })
+		for _, r := range reps {
+			rows = append(rows, []string{
+				"primary", r.Remote,
+				strconv.FormatUint(r.AppliedLSN, 10),
+				strconv.FormatUint(r.LagLSN, 10),
+				strconv.FormatInt(r.Sheds, 10),
+			})
+		}
+	}
+	if s.cfg.ReplicateFrom != "" && s.dbs.ReadOnly() {
+		rows = append(rows, []string{
+			"replica", s.cfg.ReplicateFrom,
+			strconv.FormatUint(s.dbs.LastLSN(), 10),
+			strconv.FormatUint(uint64(s.reg.Gauge(obs.ReplLagLSN)), 10),
+			"",
+		})
+	}
+	return rows
+}

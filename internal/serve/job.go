@@ -20,6 +20,17 @@ type job struct {
 	sql     string
 	st      *sqlparse.Train
 	detach  bool
+	// trace is the submitting request's trace ID, stamped on every event
+	// and span the job emits; traceGiven records whether the client chose
+	// it (only then is it echoed on the wire, keeping trace-unaware
+	// transcripts byte-identical).
+	trace      string
+	traceGiven bool
+	// created is the submission time — the start of the queue span.
+	created time.Time
+	// events is the server's event ring (nil-safe); finish emits the
+	// terminal job.* event here so every exit path is recorded.
+	events *obs.EventLog
 
 	// ctx is canceled by CANCEL, by the owning session disconnecting
 	// (unless detached), or by server shutdown. The executor checks it
@@ -63,6 +74,7 @@ func newJob(id, session, sql string, st *sqlparse.Train, detach bool, parent con
 		sql:     sql,
 		st:      st,
 		detach:  detach,
+		created: time.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
 		feed:    obs.NewRunFeed(),
@@ -103,9 +115,23 @@ func (j *job) finish(state JobState, rows []executor.EpochRow, errMsg string) {
 	j.errMsg = errMsg
 	j.finishedAt = time.Now()
 	j.mu.Unlock()
+	j.events.Record(obs.Event{Type: jobEventType(state), Trace: j.trace,
+		Detail: "job=" + j.id, Err: errMsg})
 	j.cancel() // release the context's resources in every path
 	j.feed.Close()
 	close(j.done)
+}
+
+// jobEventType maps a terminal job state to its event-log type.
+func jobEventType(state JobState) string {
+	switch state {
+	case JobFailed:
+		return obs.EvJobFailed
+	case JobCanceled:
+		return obs.EvJobCanceled
+	default:
+		return obs.EvJobDone
+	}
 }
 
 // requestCancel cancels the job's context and, when the job has not yet
@@ -136,8 +162,11 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{ID: j.id, Session: j.session, State: j.state}
+	if j.traceGiven {
+		st.Trace = j.trace
+	}
 	if j.state == JobCanceled {
-		return JobStatus{ID: j.id, Session: j.session, State: JobCanceled}
+		return JobStatus{ID: j.id, Session: j.session, State: JobCanceled, Trace: st.Trace}
 	}
 	st.Model = j.model
 	switch j.state {

@@ -37,6 +37,12 @@ type Request struct {
 	// job keeps running after the connection closes. Non-detached jobs are
 	// canceled when their session disconnects.
 	Detach bool `json:"detach,omitempty"`
+	// Trace, when set, is a client-chosen trace ID for this request. The
+	// server stamps it on every event and span the request causes and
+	// echoes it in the response. When empty the server mints one
+	// ("<session>-r<n>") internally but does not echo it, so transcripts
+	// from trace-unaware clients are unchanged.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Response is one server message. Exactly one is written per request.
@@ -59,6 +65,9 @@ type Response struct {
 	Jobs []JobStatus `json:"jobs,omitempty"`
 	// Error carries the failure (type "error").
 	Error *WireError `json:"error,omitempty"`
+	// Trace echoes the request's trace ID — only when the client supplied
+	// one, so trace-unaware transcripts replay byte-identically.
+	Trace string `json:"trace,omitempty"`
 }
 
 // WireError is the protocol's error payload.
@@ -148,6 +157,9 @@ type JobStatus struct {
 	Loss float64 `json:"loss,omitempty"`
 	// Error is the failure message for failed jobs.
 	Error string `json:"error,omitempty"`
+	// Trace is the trace ID of the request that submitted the job — set
+	// only when the submitter supplied one, mirroring Response.Trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // errResponse builds an error response.

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"corgipile/internal/db"
@@ -82,16 +83,27 @@ type Config struct {
 	// CheckpointBytes, when positive, compacts whenever the live log grows
 	// past this size. Either trigger arms the background loop.
 	CheckpointBytes int64
+	// Events, when non-nil, is the event ring the server records into;
+	// nil uses the session's ring or creates a fresh one. The ring backs
+	// corgi_events/corgi_spans and costs nothing when nothing reads it.
+	Events *obs.EventLog
+	// SlowStatement, when positive, arms slow-statement detection:
+	// statements slower than this get a companion "statement.slow" event.
+	SlowStatement time.Duration
+	// ReadyMaxLag is the replication lag (in LSNs) above which a replica
+	// reports not-ready on /readyz (0 demands a fully caught-up replica).
+	ReadyMaxLag uint64
 }
 
 // Server is a running corgiserved instance. Create one with New, stop it
 // with Close; both are safe to call from any goroutine.
 type Server struct {
-	cfg Config
-	ln  net.Listener
-	dbs *db.Session
-	reg *obs.Registry
-	tel *obs.Server
+	cfg    Config
+	ln     net.Listener
+	dbs    *db.Session
+	reg    *obs.Registry
+	tel    *obs.Server
+	events *obs.EventLog
 
 	// catalog serializes db.Session catalog access: RLock for lookups
 	// (predict, train prepare), Lock for mutations (DDL, model install).
@@ -105,6 +117,11 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	jobOrder []string
+	// pruned keeps a bounded summary of retention-pruned jobs so
+	// corgi_jobs can still answer "what happened to j3" after the full
+	// record is gone (the wire status op keeps returning ERR_NOT_FOUND).
+	pruned   []prunedJob
+	sessions map[string]*sessionInfo
 	nextJob  int
 	nextSess int
 	closed   bool
@@ -117,11 +134,37 @@ type Server struct {
 	connsMu sync.Mutex
 
 	// replMu guards the replication roles; they change on PROMOTE.
-	replMu   sync.Mutex
-	replica  *repl.Replica
-	primary  *repl.Primary
+	replMu  sync.Mutex
+	replica *repl.Replica
+	primary *repl.Primary
+	// primPtr mirrors primary for lock-free reads: the corgi_replication
+	// table runs under the catalog read lock and must not take replMu
+	// (PROMOTE holds replMu while taking the catalog write lock — the
+	// reverse order would deadlock).
+	primPtr  atomic.Pointer[repl.Primary]
 	ckptStop chan struct{}
 	ckptDone chan struct{}
+}
+
+// prunedJob is the summary corgi_jobs keeps for a retention-pruned job.
+type prunedJob struct {
+	id      string
+	session string
+	model   string
+	state   JobState
+	trace   string
+}
+
+// maxPrunedSummaries bounds the pruned-job summary list; the oldest
+// summaries fall off first.
+const maxPrunedSummaries = 256
+
+// sessionInfo is one live client connection's entry in corgi_sessions.
+type sessionInfo struct {
+	id        string
+	remote    string
+	connected time.Time
+	requests  atomic.Int64
 }
 
 // New starts a server on cfg.Addr and returns once the listener is bound
@@ -155,17 +198,35 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		ln:     ln,
-		dbs:    sess,
-		reg:    obs.New(),
-		queue:  make(chan *job, cfg.QueueDepth),
-		jobs:   make(map[string]*job),
-		conns:  make(map[net.Conn]struct{}),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:      cfg,
+		ln:       ln,
+		dbs:      sess,
+		reg:      obs.New(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		sessions: make(map[string]*sessionInfo),
+		conns:    make(map[net.Conn]struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 	s.cache.tables = make(map[string]*cachedTable)
+	// Event ring: prefer the config's, else the session's (a caller may
+	// have attached one before handing the session over), else a fresh
+	// default-size ring. The session records statement events into the
+	// same ring, so corgi_events shows one coherent timeline.
+	el := cfg.Events
+	if el == nil {
+		el = sess.Events()
+	}
+	if el == nil {
+		el = obs.NewEventLog(0)
+	}
+	s.events = el
+	sess.WithEvents(el)
+	if cfg.SlowStatement > 0 {
+		el.SetSlowThreshold(cfg.SlowStatement)
+	}
+	s.registerIntrospection()
 	if cfg.Telemetry != "" {
 		// The shared registry aggregates device I/O across all jobs; each
 		// job's own feed serves /run?job=<id>.
@@ -174,6 +235,8 @@ func New(cfg Config) (*Server, error) {
 			Addr:     cfg.Telemetry,
 			Registry: s.reg,
 			Feeds:    s.feedFor,
+			Health:   func() error { return nil },
+			Ready:    s.readyProbe,
 		})
 		if err != nil {
 			ln.Close()
@@ -211,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 			},
 			OnSnapshot: func() { s.cache.invalidate("") },
 			Obs:        s.reg,
+			Events:     s.events,
 		})
 		if err != nil {
 			return fail(err)
@@ -222,8 +286,12 @@ func New(cfg Config) (*Server, error) {
 			return fail(err)
 		}
 		s.primary = p
+		s.primPtr.Store(p)
 	}
-	if sess.Durable() && (cfg.CheckpointEvery > 0 || cfg.CheckpointBytes > 0) {
+	// Durable sessions always run the maintenance loop: it exports the
+	// WAL gauges (size, last LSN, checkpoint age) every tick and compacts
+	// only when a checkpoint trigger is armed.
+	if sess.Durable() {
 		s.ckptStop = make(chan struct{})
 		s.ckptDone = make(chan struct{})
 		go s.checkpointLoop()
@@ -249,6 +317,7 @@ func (s *Server) startPrimary() (*repl.Primary, error) {
 		Session: s.dbs,
 		Locker:  s.catalog.RLocker(),
 		Obs:     s.reg,
+		Events:  s.events,
 	})
 }
 
@@ -272,12 +341,18 @@ func (s *Server) checkpointLoop() {
 	defer close(s.ckptDone)
 	tick := time.NewTicker(500 * time.Millisecond)
 	defer tick.Stop()
+	s.updateWALGauges()
+	armed := s.cfg.CheckpointEvery > 0 || s.cfg.CheckpointBytes > 0
 	last := time.Now()
 	for {
 		select {
 		case <-s.ckptStop:
 			return
 		case now := <-tick.C:
+			s.updateWALGauges()
+			if !armed {
+				continue
+			}
 			due := s.cfg.CheckpointEvery > 0 && now.Sub(last) >= s.cfg.CheckpointEvery
 			if !due && s.cfg.CheckpointBytes > 0 && s.dbs.WALSize() >= s.cfg.CheckpointBytes {
 				due = true
@@ -291,9 +366,41 @@ func (s *Server) checkpointLoop() {
 			last = time.Now()
 			if err == nil {
 				s.reg.Inc(obs.ServeCheckpoints)
+				s.updateWALGauges()
 			}
 		}
 	}
+}
+
+// updateWALGauges exports the WAL health gauges scraped from /metrics:
+// live log size, last durable LSN, and seconds since the last checkpoint
+// committed (time since recovery when none has).
+func (s *Server) updateWALGauges() {
+	s.reg.SetGauge(obs.WALSizeBytes, float64(s.dbs.WALSize()))
+	s.reg.SetGauge(obs.WALLastLSN, float64(s.dbs.LastLSN()))
+	if age, ok := s.dbs.CheckpointAge(); ok {
+		s.reg.SetGauge(obs.WALCheckpointAge, age.Seconds())
+	}
+}
+
+// readyProbe implements /readyz: a replica is ready when its replication
+// lag is within ReadyMaxLag; a primary (or standalone durable server) is
+// ready while its WAL is not poisoned. In-memory servers are always
+// ready.
+func (s *Server) readyProbe() error {
+	if s.dbs.ReadOnly() {
+		lag := uint64(s.reg.Gauge(obs.ReplLagLSN))
+		if lag > s.cfg.ReadyMaxLag {
+			return fmt.Errorf("replica lag %d lsn exceeds ready-max-lag %d", lag, s.cfg.ReadyMaxLag)
+		}
+		return nil
+	}
+	if s.dbs.Durable() {
+		if err := s.dbs.WAL().Poisoned(); err != nil {
+			return fmt.Errorf("wal poisoned: %v", err)
+		}
+	}
+	return nil
 }
 
 // Addr returns the bound listen address.
@@ -385,6 +492,16 @@ func (s *Server) pruneJobsLocked(now time.Time) {
 			(s.cfg.RetainJobAge > 0 && age > s.cfg.RetainJobAge))
 		if drop {
 			finished--
+			j.mu.Lock()
+			s.pruned = append(s.pruned, prunedJob{
+				id: j.id, session: j.session, model: j.model,
+				state: j.state, trace: j.trace,
+			})
+			j.mu.Unlock()
+			if n := len(s.pruned); n > maxPrunedSummaries {
+				s.pruned = append(s.pruned[:0], s.pruned[n-maxPrunedSummaries:]...)
+			}
+			s.events.Emit(obs.EvJobPruned, j.trace, "job="+id)
 			delete(s.jobs, id)
 		} else {
 			keep = append(keep, id)
@@ -415,18 +532,20 @@ func (s *Server) acceptLoop() {
 		s.connsMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connsMu.Unlock()
+		si := &sessionInfo{remote: conn.RemoteAddr().String(), connected: time.Now()}
 		s.mu.Lock()
 		s.nextSess++
-		id := fmt.Sprintf("s%d", s.nextSess)
+		si.id = fmt.Sprintf("s%d", s.nextSess)
+		s.sessions[si.id] = si
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handleSession(id, conn)
+		go s.handleSession(si, conn)
 	}
 }
 
 // submitTrain applies admission control and enqueues a TRAIN job. It
 // returns the job or an error response explaining the rejection.
-func (s *Server) submitTrain(sessID string, st *sqlparse.Train, sql string, detach bool, parent context.Context) (*job, *Response) {
+func (s *Server) submitTrain(sessID string, st *sqlparse.Train, sql string, detach bool, parent context.Context, trace string, traceGiven bool) (*job, *Response) {
 	if s.dbs.ReadOnly() {
 		// Rejecting before admission keeps the queue clean: a replica's
 		// TRAIN would only fail later at the model-install write.
@@ -458,6 +577,8 @@ func (s *Server) submitTrain(sessID string, st *sqlparse.Train, sql string, deta
 		parent = s.ctx
 	}
 	j := newJob(id, sessID, sql, st, detach, parent)
+	j.trace, j.traceGiven = trace, traceGiven
+	j.events = s.events
 	select {
 	case s.queue <- j:
 	default:
@@ -470,6 +591,7 @@ func (s *Server) submitTrain(sessID string, st *sqlparse.Train, sql string, deta
 	s.jobs[id] = j
 	s.jobOrder = append(s.jobOrder, id)
 	s.mu.Unlock()
+	s.events.Emit(obs.EvJobQueued, trace, "job="+id+" model="+strings.ToLower(st.ModelName))
 	return j, nil
 }
 
@@ -501,12 +623,18 @@ func (s *Server) runJob(j *job) {
 	if !j.tryStart() {
 		return // canceled while queued
 	}
+	// The queue span covers submission to worker pickup; the running
+	// event marks the transition the acceptance test polls for.
+	s.events.RecordSpan(j.trace, obs.EvSpanQueue, j.created, time.Since(j.created))
+	s.events.Emit(obs.EvJobRunning, j.trace, "job="+j.id)
 	s.catalog.RLock()
 	pt, err := s.dbs.PrepareTrain(j.st, db.TrainOptions{
 		Ctx:     j.ctx,
 		Obs:     j.reg,
 		Feed:    j.feed,
 		RunName: j.id + " train " + strings.ToLower(j.st.ModelName),
+		Events:  s.events,
+		Trace:   j.trace,
 	})
 	s.catalog.RUnlock()
 	if err != nil {
@@ -532,16 +660,19 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 
+	isp := s.events.StartSpan(j.trace, obs.EvSpanInstall)
 	s.catalog.Lock()
 	entry, err := s.dbs.InstallModel(pt, rows)
 	if err != nil {
 		s.catalog.Unlock()
+		isp.End()
 		j.finish(JobFailed, nil, err.Error())
 		s.writeArtifacts(j)
 		return
 	}
 	s.cache.invalidateModel(entry.Name)
 	s.catalog.Unlock()
+	isp.End()
 
 	j.mu.Lock()
 	j.model = entry.Name

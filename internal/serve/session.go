@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"time"
 
 	"corgipile/internal/db"
+	"corgipile/internal/obs"
 	"corgipile/internal/sqlparse"
 )
 
@@ -17,8 +19,9 @@ import (
 // JSON requests, answers each with exactly one response line (in request
 // order — the protocol has no pipelined or unsolicited replies), and on
 // disconnect cancels every non-detached job the session still owns.
-func (s *Server) handleSession(id string, conn net.Conn) {
+func (s *Server) handleSession(si *sessionInfo, conn net.Conn) {
 	defer s.wg.Done()
+	id := si.id
 	// sessCtx parents the session's non-detached jobs, so tearing the
 	// connection down cancels them even mid-epoch.
 	sessCtx, cancel := context.WithCancel(s.ctx)
@@ -28,6 +31,9 @@ func (s *Server) handleSession(id string, conn net.Conn) {
 		s.connsMu.Lock()
 		delete(s.conns, conn)
 		s.connsMu.Unlock()
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
 		// Complete the queued → canceled transition for jobs a worker has
 		// not picked up yet; running ones stop via the context.
 		for _, j := range s.snapshotJobs() {
@@ -52,7 +58,20 @@ func (s *Server) handleSession(id string, conn net.Conn) {
 			}
 			continue
 		}
-		resp, quit := s.dispatch(id, sessCtx, &req)
+		// Every request gets a trace ID: the client's when supplied, a
+		// minted "<session>-r<n>" otherwise. Minted IDs are visible only
+		// through the introspection tables — the response echoes a trace
+		// only when the client chose one, so trace-unaware transcripts
+		// replay byte-for-byte.
+		reqN := si.requests.Add(1)
+		trace, traceGiven := req.Trace, req.Trace != ""
+		if !traceGiven {
+			trace = fmt.Sprintf("%s-r%d", id, reqN)
+		}
+		resp, quit := s.dispatch(id, sessCtx, &req, trace, traceGiven)
+		if traceGiven {
+			resp.Trace = trace
+		}
 		if enc.Encode(resp) != nil {
 			return
 		}
@@ -66,7 +85,7 @@ func (s *Server) handleSession(id string, conn net.Conn) {
 
 // dispatch routes one request. The second return value asks the caller to
 // close the connection after writing the response.
-func (s *Server) dispatch(sessID string, sessCtx context.Context, req *Request) (*Response, bool) {
+func (s *Server) dispatch(sessID string, sessCtx context.Context, req *Request, trace string, traceGiven bool) (*Response, bool) {
 	switch req.Op {
 	case "hello":
 		return &Response{
@@ -76,18 +95,27 @@ func (s *Server) dispatch(sessID string, sessCtx context.Context, req *Request) 
 			Protocol: ProtocolVersion,
 			Session:  sessID,
 		}, false
-	case "sql":
-		return s.execSQL(sessID, sessCtx, req), false
-	case "train":
-		return s.execTrainOp(sessID, sessCtx, req), false
-	case "predict":
-		return s.execPredictOp(req), false
+	case "sql", "train", "predict":
+		// Statement-bearing ops get a wall-clock "statement" span — the
+		// root of the request's timeline in corgi_spans.
+		esp := s.events.StartSpan(trace, obs.EvSpanStatement)
+		var resp *Response
+		switch req.Op {
+		case "sql":
+			resp = s.execSQL(sessID, sessCtx, req, trace, traceGiven)
+		case "train":
+			resp = s.execTrainOp(sessID, sessCtx, req, trace, traceGiven)
+		default:
+			resp = s.execPredictOp(req, trace)
+		}
+		esp.End()
+		return resp, false
 	case "cancel":
 		return s.execCancel(sessCtx, req), false
 	case "status":
 		return s.execStatus(sessCtx, req), false
 	case "promote":
-		return s.execPromote(), false
+		return s.execPromote(trace), false
 	case "quit":
 		return &Response{OK: true, Type: "bye"}, true
 	default:
@@ -99,27 +127,29 @@ func (s *Server) dispatch(sessID string, sessCtx context.Context, req *Request) 
 // background job, PREDICT takes the cached read path, and everything else
 // (DDL, SHOW, EXPLAIN, SAVE/LOAD/DROP) executes inline under the catalog
 // write lock.
-func (s *Server) execSQL(sessID string, sessCtx context.Context, req *Request) *Response {
+func (s *Server) execSQL(sessID string, sessCtx context.Context, req *Request, trace string, traceGiven bool) *Response {
 	st, err := sqlparse.Parse(req.SQL)
 	if err != nil {
 		return errResponse(ErrParse, "%v", err)
 	}
 	switch st := st.(type) {
 	case *sqlparse.Train:
-		return s.submitAndReply(sessID, sessCtx, st, req)
+		return s.submitAndReply(sessID, sessCtx, st, req, trace, traceGiven)
 	case *sqlparse.Predict:
-		return s.execPredict(st)
+		return s.execPredictTraced(st, trace)
+	case *sqlparse.Select:
+		return s.execSelect(st, trace)
 	case *sqlparse.Promote:
 		// PROMOTE must stop the replication stream, not just clear the
 		// session's read-only latch, so it never takes the inline path.
-		return s.execPromote()
+		return s.execPromote(trace)
 	default:
-		return s.execInline(st)
+		return s.execInline(st, trace)
 	}
 }
 
 // execTrainOp is op "train": like op "sql" but the statement must be TRAIN.
-func (s *Server) execTrainOp(sessID string, sessCtx context.Context, req *Request) *Response {
+func (s *Server) execTrainOp(sessID string, sessCtx context.Context, req *Request, trace string, traceGiven bool) *Response {
 	st, err := sqlparse.Parse(req.SQL)
 	if err != nil {
 		return errResponse(ErrParse, "%v", err)
@@ -128,12 +158,12 @@ func (s *Server) execTrainOp(sessID string, sessCtx context.Context, req *Reques
 	if !ok {
 		return errResponse(ErrBadRequest, "op train requires a TRAIN statement, got %s", stmtKind(st))
 	}
-	return s.submitAndReply(sessID, sessCtx, tr, req)
+	return s.submitAndReply(sessID, sessCtx, tr, req, trace, traceGiven)
 }
 
 // execPredictOp is op "predict": like op "sql" but the statement must be
 // PREDICT.
-func (s *Server) execPredictOp(req *Request) *Response {
+func (s *Server) execPredictOp(req *Request, trace string) *Response {
 	st, err := sqlparse.Parse(req.SQL)
 	if err != nil {
 		return errResponse(ErrParse, "%v", err)
@@ -142,15 +172,69 @@ func (s *Server) execPredictOp(req *Request) *Response {
 	if !ok {
 		return errResponse(ErrBadRequest, "op predict requires a PREDICT statement, got %s", stmtKind(st))
 	}
-	return s.execPredict(pr)
+	return s.execPredictTraced(pr, trace)
+}
+
+// execPredictTraced wraps the cached predict path (which never touches
+// the db session's statement executor) with statement events.
+func (s *Server) execPredictTraced(st *sqlparse.Predict, trace string) *Response {
+	return s.emitStatement(trace, "predict "+strings.ToLower(st.Table), func() *Response {
+		return s.execPredict(st)
+	})
+}
+
+// execSelect answers a general SELECT under the catalog read lock —
+// system tables read live state, base tables decode their snapshot; no
+// mutation happens on this path.
+func (s *Server) execSelect(st *sqlparse.Select, trace string) *Response {
+	s.catalog.RLock()
+	res, err := s.dbs.ExecStatementT(st, trace)
+	s.catalog.RUnlock()
+	if err != nil {
+		return errResponse(ErrExec, "%v", err)
+	}
+	return &Response{
+		OK:      true,
+		Type:    "result",
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Message: res.Message,
+	}
+}
+
+// emitStatement brackets fn with statement.start/finish events (and a
+// statement.slow companion past the armed threshold), recording the
+// response's error code on failure.
+func (s *Server) emitStatement(trace, kind string, fn func() *Response) *Response {
+	s.events.Emit(obs.EvStatementStart, trace, kind)
+	start := time.Now()
+	resp := fn()
+	d := time.Since(start)
+	ev := obs.Event{Type: obs.EvStatementFinish, Trace: trace, Detail: kind,
+		DurMs: float64(d.Nanoseconds()) / 1e6}
+	if resp != nil && !resp.OK && resp.Error != nil {
+		ev.Err = resp.Error.Code
+	}
+	s.events.Record(ev)
+	if s.events.Slow(d) {
+		s.events.Record(obs.Event{Type: obs.EvStatementSlow, Trace: trace,
+			Detail: kind, DurMs: float64(d.Nanoseconds()) / 1e6})
+	}
+	return resp
 }
 
 // submitAndReply enqueues a TRAIN job and acknowledges it. The ack always
 // reports state "queued" — never a racy peek at whether a worker already
 // started it — so transcripts are deterministic. With wait=true the reply
 // is deferred until the job reaches a terminal state.
-func (s *Server) submitAndReply(sessID string, sessCtx context.Context, st *sqlparse.Train, req *Request) *Response {
-	j, errResp := s.submitTrain(sessID, st, req.SQL, req.Detach, sessCtx)
+func (s *Server) submitAndReply(sessID string, sessCtx context.Context, st *sqlparse.Train, req *Request, trace string, traceGiven bool) *Response {
+	return s.emitStatement(trace, "train "+strings.ToLower(st.Table), func() *Response {
+		return s.submitAndReplyInner(sessID, sessCtx, st, req, trace, traceGiven)
+	})
+}
+
+func (s *Server) submitAndReplyInner(sessID string, sessCtx context.Context, st *sqlparse.Train, req *Request, trace string, traceGiven bool) *Response {
+	j, errResp := s.submitTrain(sessID, st, req.SQL, req.Detach, sessCtx, trace, traceGiven)
 	if errResp != nil {
 		return errResp
 	}
@@ -160,12 +244,16 @@ func (s *Server) submitAndReply(sessID string, sessCtx context.Context, st *sqlp
 		}
 		return &Response{OK: true, Type: "job", Job: ptr(j.status())}
 	}
-	return &Response{OK: true, Type: "job", Job: &JobStatus{
+	ack := &JobStatus{
 		ID:      j.id,
 		Session: sessID,
 		Model:   strings.ToLower(st.ModelName),
 		State:   JobQueued,
-	}}
+	}
+	if traceGiven {
+		ack.Trace = trace
+	}
+	return &Response{OK: true, Type: "job", Job: ack}
 }
 
 // execCancel cancels a job by id. Any session may cancel any job (an
@@ -215,9 +303,11 @@ func (s *Server) execStatus(sessCtx context.Context, req *Request) *Response {
 
 // execInline runs a non-TRAIN, non-PREDICT statement under the catalog
 // write lock and invalidates any cached snapshot the statement replaced.
-func (s *Server) execInline(st sqlparse.Statement) *Response {
+// The db layer emits the statement start/finish events, stamped with the
+// request's trace.
+func (s *Server) execInline(st sqlparse.Statement, trace string) *Response {
 	s.catalog.Lock()
-	res, err := s.dbs.ExecStatement(st)
+	res, err := s.dbs.ExecStatementT(st, trace)
 	switch st := st.(type) {
 	case *sqlparse.CreateTable:
 		s.cache.invalidate(strings.ToLower(st.Name))
@@ -253,7 +343,7 @@ func (s *Server) execInline(st sqlparse.Statement) *Response {
 // latch clears, and — when ReplicaListen is configured — the promoted
 // server starts publishing its own replication stream. Idempotent: a
 // second PROMOTE reports the same applied LSN.
-func (s *Server) execPromote() *Response {
+func (s *Server) execPromote(trace string) *Response {
 	s.replMu.Lock()
 	defer s.replMu.Unlock()
 	if s.replica == nil {
@@ -266,13 +356,19 @@ func (s *Server) execPromote() *Response {
 	s.catalog.Lock()
 	s.dbs.SetReadOnly(false)
 	s.catalog.Unlock()
+	// The promoted server no longer replicates: retire the replica-side
+	// lag gauges so /metrics stops exporting stale readings.
+	s.reg.DeleteGauge(obs.ReplAppliedLSN)
+	s.reg.DeleteGauge(obs.ReplLagLSN)
 	if s.cfg.ReplicaListen != "" && s.primary == nil {
 		p, err := s.startPrimary()
 		if err != nil {
 			return errResponse(ErrExec, "promote: start replication listener: %v", err)
 		}
 		s.primary = p
+		s.primPtr.Store(p)
 	}
+	s.events.Emit(obs.EvPromote, trace, fmt.Sprintf("applied_lsn=%d", applied))
 	return &Response{
 		OK:      true,
 		Type:    "result",
@@ -301,6 +397,8 @@ func stmtKind(st sqlparse.Statement) string {
 		return "TRAIN"
 	case *sqlparse.Predict:
 		return "PREDICT"
+	case *sqlparse.Select:
+		return "SELECT"
 	case *sqlparse.Show:
 		return "SHOW"
 	case *sqlparse.Explain:

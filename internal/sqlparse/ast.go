@@ -109,6 +109,37 @@ type Predict struct {
 
 func (*Predict) stmt() {}
 
+// SelectCond is one conjunct of a general SELECT's WHERE clause: column
+// op value, ANDed with its neighbours. Unlike Predicate, values may be
+// strings (state = 'running') as well as numbers (lag_lsn > 0).
+type SelectCond struct {
+	Column string
+	Op     string // = != < <= > >=
+	Value  Value
+}
+
+// Select is a general projection over a base or system table — the
+// introspection read path:
+//
+//	SELECT <cols|*> FROM table [WHERE c op v [AND ...]]
+//	    [ORDER BY col [ASC|DESC]] [LIMIT n]
+//
+// A SELECT whose FROM clause is followed by TRAIN BY or PREDICT BY
+// parses into *Train / *Predict instead (the paper's training dialect).
+type Select struct {
+	// Columns is the projection list; nil means * (all columns).
+	Columns []string
+	Table   string
+	Where   []SelectCond
+	// OrderBy optionally names a sort column ("" = table order).
+	OrderBy string
+	Desc    bool
+	// Limit caps the returned rows; 0 means no limit.
+	Limit int
+}
+
+func (*Select) stmt() {}
+
 // Show is SHOW TABLES or SHOW MODELS.
 type Show struct {
 	// What is "tables" or "models".

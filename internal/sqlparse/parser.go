@@ -195,7 +195,8 @@ func (p *parser) createTable() (Statement, error) {
 
 func (p *parser) selectStmt() (Statement, error) {
 	p.next() // SELECT
-	if _, err := p.expect(tokPunct, "*"); err != nil {
+	cols, err := p.selectColumns()
+	if err != nil {
 		return nil, err
 	}
 	if err := p.keyword("from"); err != nil {
@@ -205,9 +206,9 @@ func (p *parser) selectStmt() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	var where *Predicate
+	var conds []SelectCond
 	if p.accept(tokWord, "where") {
-		where, err = p.predicate()
+		conds, err = p.selectConds()
 		if err != nil {
 			return nil, err
 		}
@@ -218,6 +219,10 @@ func (p *parser) selectStmt() (Statement, error) {
 			return nil, err
 		}
 		modelType, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		where, err := trainPredicate(cols, conds)
 		if err != nil {
 			return nil, err
 		}
@@ -244,21 +249,124 @@ func (p *parser) selectStmt() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
+		where, err := trainPredicate(cols, conds)
+		if err != nil {
+			return nil, err
+		}
 		st := &Predict{Table: table.text, Where: where, Model: model.text}
 		if p.accept(tokWord, "limit") {
-			n, err := p.expect(tokNumber, "")
+			st.Limit, err = p.limit()
 			if err != nil {
 				return nil, err
 			}
-			limit, err := strconv.Atoi(n.text)
-			if err != nil || limit < 0 {
-				return nil, fmt.Errorf("sqlparse: bad LIMIT %q", n.text)
-			}
-			st.Limit = limit
 		}
 		return st, nil
 	}
-	return nil, fmt.Errorf("sqlparse: expected TRAIN BY or PREDICT BY, got %s", p.peek())
+	// No TRAIN/PREDICT suffix: a general SELECT over a base or system
+	// table, with optional ORDER BY and LIMIT.
+	st := &Select{Columns: cols, Table: table.text, Where: conds}
+	if p.accept(tokWord, "order") {
+		if err := p.keyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		st.OrderBy = strings.ToLower(col.text)
+		if p.accept(tokWord, "desc") {
+			st.Desc = true
+		} else {
+			p.accept(tokWord, "asc")
+		}
+	}
+	if p.accept(tokWord, "limit") {
+		if st.Limit, err = p.limit(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.at(tokEOF, "") && !p.at(tokPunct, ";") {
+		return nil, fmt.Errorf("sqlparse: expected TRAIN BY, PREDICT BY, WHERE, ORDER BY, LIMIT or end of statement, got %s", p.peek())
+	}
+	return st, nil
+}
+
+// selectColumns parses the projection list: * or ident[, ident...].
+func (p *parser) selectColumns() ([]string, error) {
+	if p.accept(tokPunct, "*") {
+		return nil, nil
+	}
+	var cols []string
+	for {
+		c, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, strings.ToLower(c.text))
+		if !p.accept(tokPunct, ",") {
+			return cols, nil
+		}
+	}
+}
+
+// selectConds parses "col op value [AND col op value ...]" with string
+// or numeric values.
+func (p *parser) selectConds() ([]SelectCond, error) {
+	var conds []SelectCond
+	for {
+		col, err := p.expect(tokWord, "")
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, SelectCond{Column: strings.ToLower(col.text), Op: op, Value: v})
+		if !p.accept(tokWord, "and") {
+			return conds, nil
+		}
+	}
+}
+
+// limit parses the LIMIT argument (the keyword is already consumed).
+func (p *parser) limit() (int, error) {
+	n, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	limit, err := strconv.Atoi(n.text)
+	if err != nil || limit < 0 {
+		return 0, fmt.Errorf("sqlparse: bad LIMIT %q", n.text)
+	}
+	return limit, nil
+}
+
+// trainPredicate narrows a general WHERE clause to the single numeric
+// label/id predicate the TRAIN BY / PREDICT BY scan path supports, and
+// rejects projections (the training dialect is SELECT * only).
+func trainPredicate(cols []string, conds []SelectCond) (*Predicate, error) {
+	if len(cols) > 0 {
+		return nil, fmt.Errorf("sqlparse: TRAIN/PREDICT requires SELECT *, got a column list")
+	}
+	if len(conds) == 0 {
+		return nil, nil
+	}
+	if len(conds) > 1 {
+		return nil, fmt.Errorf("sqlparse: TRAIN/PREDICT WHERE supports a single condition")
+	}
+	c := conds[0]
+	if c.Column != "label" && c.Column != "id" {
+		return nil, fmt.Errorf("sqlparse: WHERE supports columns label and id, got %q", c.Column)
+	}
+	if !c.Value.IsNum {
+		return nil, fmt.Errorf("sqlparse: WHERE needs a numeric value, got %q", c.Value.Raw)
+	}
+	return &Predicate{Column: c.Column, Op: c.Op, Value: c.Value.Num}, nil
 }
 
 func (p *parser) showStmt() (Statement, error) {
@@ -288,30 +396,6 @@ func (p *parser) dropStmt() (Statement, error) {
 		return nil, err
 	}
 	return &Drop{What: what, Name: name.text}, nil
-}
-
-// predicate parses "column op value" where column is label or id.
-func (p *parser) predicate() (*Predicate, error) {
-	col, err := p.expect(tokWord, "")
-	if err != nil {
-		return nil, err
-	}
-	column := strings.ToLower(col.text)
-	if column != "label" && column != "id" {
-		return nil, fmt.Errorf("sqlparse: WHERE supports columns label and id, got %q", col.text)
-	}
-	op, err := p.comparison()
-	if err != nil {
-		return nil, err
-	}
-	v, err := p.value()
-	if err != nil {
-		return nil, err
-	}
-	if !v.IsNum {
-		return nil, fmt.Errorf("sqlparse: WHERE needs a numeric value, got %q", v.Raw)
-	}
-	return &Predicate{Column: column, Op: op, Value: v.Num}, nil
 }
 
 // comparison parses one of = != < <= > >=.

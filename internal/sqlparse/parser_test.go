@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -224,7 +225,6 @@ func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
 		"SELECT FROM t",
-		"SELECT * FROM t",
 		"SELECT * FROM t TRAIN svm",
 		"CREATE TABLE",
 		"CREATE TABLE t AS SYNTHETIC workload='x'",
@@ -320,6 +320,53 @@ func TestParseWhereErrors(t *testing.T) {
 		`SELECT * FROM t WHERE label ~ 1 TRAIN BY svm`,    // bad operator
 		`SELECT * FROM t WHERE label = 'x' TRAIN BY svm`,  // non-numeric value
 		`SELECT * FROM t WHERE label ! 1 TRAIN BY svm`,    // lone !
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseSelectGeneral(t *testing.T) {
+	st := parseOne(t, `SELECT * FROM corgi_jobs`).(*Select)
+	if st.Table != "corgi_jobs" || st.Columns != nil || st.Where != nil || st.OrderBy != "" || st.Limit != 0 {
+		t.Fatalf("bare select parsed %+v", st)
+	}
+
+	st = parseOne(t, `SELECT id, State FROM corgi_jobs WHERE state = 'running' AND epoch > 3 ORDER BY Id DESC LIMIT 7;`).(*Select)
+	if !reflect.DeepEqual(st.Columns, []string{"id", "state"}) {
+		t.Fatalf("columns = %v", st.Columns)
+	}
+	if len(st.Where) != 2 {
+		t.Fatalf("where = %+v", st.Where)
+	}
+	if c := st.Where[0]; c.Column != "state" || c.Op != "=" || c.Value.Raw != "running" || c.Value.IsNum {
+		t.Fatalf("cond 0 = %+v", c)
+	}
+	if c := st.Where[1]; c.Column != "epoch" || c.Op != ">" || !c.Value.IsNum || c.Value.Num != 3 {
+		t.Fatalf("cond 1 = %+v", c)
+	}
+	if st.OrderBy != "id" || !st.Desc || st.Limit != 7 {
+		t.Fatalf("order/limit = %q desc=%v limit=%d", st.OrderBy, st.Desc, st.Limit)
+	}
+
+	st = parseOne(t, `SELECT * FROM corgi_metrics ORDER BY name ASC`).(*Select)
+	if st.OrderBy != "name" || st.Desc {
+		t.Fatalf("asc order parsed %+v", st)
+	}
+}
+
+func TestParseSelectErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * FROM corgi_jobs DANCE`,                     // trailing garbage
+		`SELECT * FROM corgi_jobs ORDER name`,                // missing BY
+		`SELECT * FROM corgi_jobs LIMIT -1`,                  // negative limit
+		`SELECT * FROM corgi_jobs WHERE`,                     // empty where
+		`SELECT * FROM corgi_jobs WHERE a = 1 AND`,           // dangling AND
+		`SELECT a, FROM corgi_jobs`,                          // dangling comma
+		`SELECT id FROM t TRAIN BY svm`,                      // projection into TRAIN
+		`SELECT * FROM t WHERE a = 1 AND b = 2 TRAIN BY svm`, // multi-cond TRAIN
 	}
 	for _, sql := range bad {
 		if _, err := Parse(sql); err == nil {

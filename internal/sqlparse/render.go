@@ -40,6 +40,35 @@ func Render(st Statement) string {
 			fmt.Fprintf(&b, " LIMIT %d", st.Limit)
 		}
 		return b.String()
+	case *Select:
+		var b strings.Builder
+		cols := "*"
+		if len(st.Columns) > 0 {
+			cols = strings.Join(st.Columns, ", ")
+		}
+		fmt.Fprintf(&b, "SELECT %s FROM %s", cols, st.Table)
+		for i, c := range st.Where {
+			if i == 0 {
+				b.WriteString(" WHERE ")
+			} else {
+				b.WriteString(" AND ")
+			}
+			if c.Value.IsNum {
+				fmt.Fprintf(&b, "%s %s %s", c.Column, c.Op, c.Value.Raw)
+			} else {
+				fmt.Fprintf(&b, "%s %s '%s'", c.Column, c.Op, c.Value.Raw)
+			}
+		}
+		if st.OrderBy != "" {
+			fmt.Fprintf(&b, " ORDER BY %s", st.OrderBy)
+			if st.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+		if st.Limit > 0 {
+			fmt.Fprintf(&b, " LIMIT %d", st.Limit)
+		}
+		return b.String()
 	case *Show:
 		return "SHOW " + strings.ToUpper(st.What)
 	case *Drop:

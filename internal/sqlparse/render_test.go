@@ -30,6 +30,10 @@ func TestRenderRoundTrip(t *testing.T) {
 		`LOAD INTO t FROM '/data/extra.libsvm'`,
 		`CHECKPOINT`,
 		`SELECT * FROM t TRAIN BY svm MODEL m2 WITH resume='m1', max_epoch_num=3`,
+		`SELECT * FROM corgi_jobs`,
+		`SELECT id, state FROM corgi_jobs WHERE state = 'running'`,
+		`SELECT * FROM corgi_events WHERE trace_id = 's1-r2' AND type = 'job.done' ORDER BY seq DESC LIMIT 10`,
+		`SELECT name, value FROM corgi_metrics WHERE value > 0 ORDER BY name`,
 	}
 	for _, sql := range statements {
 		first, err := Parse(sql)

@@ -146,6 +146,7 @@ type WAL struct {
 	failed error  // poison: set on sync failure or failed rollback
 	notify func(WALRecord)
 	reg    *obs.Registry
+	events *obs.EventLog
 }
 
 // OpenWAL opens (creating if absent) the log at path, replays it, truncates
@@ -208,6 +209,26 @@ func (w *WAL) truncated(n int) {
 		w.mu.Unlock()
 		reg.Add(obs.WALReplayTruncated, int64(n))
 	}
+}
+
+// WithEvents attaches a structured event log: poisoning failures (a
+// failed fsync, a failed append rollback) emit a wal.sync_failure event
+// so the introspection plane can explain why the log went read-dead.
+// Returns w for chaining.
+func (w *WAL) WithEvents(el *obs.EventLog) *WAL {
+	w.mu.Lock()
+	w.events = el
+	w.mu.Unlock()
+	return w
+}
+
+// Poisoned returns the error that poisoned the log (a failed sync or
+// rollback), or nil while the log is healthy — the readiness probe's
+// WAL-writability check.
+func (w *WAL) Poisoned() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
 }
 
 // WithNotify registers a hook invoked under the log's lock, in LSN order,
@@ -299,6 +320,9 @@ func (w *WAL) writeLocked(rec WALRecord) error {
 		} else if _, serr := w.f.Seek(w.size, 0); serr != nil {
 			w.failed = fmt.Errorf("append: %v; rollback seek: %v", err, serr)
 		}
+		if w.failed != nil {
+			w.events.Emit(obs.EvWALSyncFailure, "", w.failed.Error())
+		}
 		return fmt.Errorf("storage: wal append: %w", err)
 	}
 	w.size += int64(len(buf))
@@ -321,6 +345,7 @@ func (w *WAL) Sync() error {
 	}
 	if err := w.ws.Sync(); err != nil {
 		w.failed = err
+		w.events.Emit(obs.EvWALSyncFailure, "", err.Error())
 		return fmt.Errorf("storage: wal sync: %w", err)
 	}
 	w.reg.Inc(obs.WALSyncs)

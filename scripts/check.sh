@@ -35,3 +35,9 @@ echo "$plan" | grep -q 'EXPLAIN ANALYZE: model'
 # SIGKILL the primary mid-ingest, PROMOTE, and assert the promoted
 # server's resume TRAIN is byte-identical to single-node crash recovery.
 ./scripts/replication_smoke.sh
+
+# Introspection smoke: boot corgiserved with the event log on, start a
+# detached traced TRAIN, and interrogate the live server with SELECT
+# (corgi_jobs / corgi_metrics / corgi_events) over the wire; probe
+# /healthz, /readyz, and the WAL gauges.
+./scripts/introspect_smoke.sh

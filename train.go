@@ -93,6 +93,12 @@ type TrainConfig struct {
 	// context's error. This is the hook the serving plane uses to stop an
 	// in-flight job (CANCEL, dropped connection); a nil Ctx never cancels.
 	Ctx context.Context
+	// Events, when non-nil, records one span per epoch in the structured
+	// event log, stamped with Trace. A nil Events adds no work and never
+	// touches the Metrics registry's JSONL trace.
+	Events *EventLog
+	// Trace labels this run's event-log spans (free-form request id).
+	Trace string
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -215,6 +221,8 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 				Diag:      cfg.Diag,
 				RunName:   cfg.RunName,
 				Ctx:       cfg.Ctx,
+				Events:    cfg.Events,
+				Trace:     cfg.Trace,
 			},
 		}
 		if mlp, ok := model.(ml.MLP); ok {
@@ -258,6 +266,8 @@ func trainOn(src shuffle.Source, ds *Dataset, cfg TrainConfig, clock *Clock) (*R
 		Feed:      cfg.Feed,
 		RunName:   cfg.RunName,
 		Ctx:       cfg.Ctx,
+		Events:    cfg.Events,
+		Trace:     cfg.Trace,
 	}
 	if mlp, ok := model.(ml.MLP); ok {
 		rc.InitWeights = core.MLPInit(mlp, ds.Features, cfg.Seed)
