@@ -79,6 +79,7 @@ func main() {
 		pClients  = flag.Int("predict-clients", 4, "-serve-load: concurrent predict connections")
 		predicts  = flag.Int("predicts", 2000, "-serve-load: total PREDICT statements")
 		tolerance = flag.Float64("tolerance", 0, "-compare: relative wall-clock slack (0 = default 0.5)")
+		sample    = flag.Duration("sample", 0, "-metrics: sample run metrics into a history store at this interval and print a summary (never on the bench/report paths)")
 		stampTime = flag.String("stamp-time", "", "-hotpath/-faults: RFC 3339 timestamp to stamp the report with (default: now)")
 	)
 	flag.Parse()
@@ -195,20 +196,36 @@ func main() {
 		}
 		opts.Explain = *explain
 		opts.RunDir = *runDir
+		var reg *obs.Registry
+		var hist *obs.History
+		if *serve != "" || *sample > 0 {
+			reg = obs.New()
+			opts.Registry = reg
+		}
+		if *sample > 0 {
+			// History rides only the explicitly instrumented profile path;
+			// the hotpath/faults report runs never sample, so committed
+			// BENCH_*.json baselines are untouched by the feature.
+			hist = obs.NewHistory(obs.HistoryConfig{Interval: *sample})
+		}
 		if *serve != "" {
-			reg := obs.New()
 			feed := obs.NewRunFeed()
-			srv, err := obs.Serve(obs.ServeConfig{Addr: *serve, Registry: reg, Feed: feed})
+			srv, err := obs.Serve(obs.ServeConfig{Addr: *serve, Registry: reg, Feed: feed, History: hist})
 			if err != nil {
 				fatal(err)
 			}
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "corgibench: telemetry on %s\n", srv.URL())
-			opts.Registry = reg
 			opts.Feed = feed
 		}
+		hist.Start(reg)
 		if err := bench.Profile(os.Stdout, opts); err != nil {
 			fatal(err)
+		}
+		if hist != nil {
+			hist.Stop()
+			fmt.Fprintf(os.Stderr, "corgibench: history sampled %d series every %s\n",
+				len(hist.Names()), *sample)
 		}
 		return
 	}

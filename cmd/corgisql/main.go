@@ -49,6 +49,7 @@ func main() {
 	diag := flag.Bool("diag", false, "enable convergence diagnostics on every TRAIN (verdict in the result message and live feed)")
 	runDir := flag.String("run-dir", "", "write durable run artifacts (manifest.json, epochs.jsonl, metrics.prom, plan.json) for the last TRAIN to this directory")
 	eventsOut := flag.String("events", "", "record structured events (statement, checkpoint, recovery) and append them as JSONL to this file")
+	sample := flag.Duration("sample", 0, "sample session metrics into the history store at this interval (queryable via SELECT * FROM corgi_metrics_history)")
 	flag.Parse()
 
 	session := db.NewSession()
@@ -61,7 +62,7 @@ func main() {
 		defer f.Close()
 		session.WithEvents(obs.NewEventLog(0).StreamTo(f))
 	}
-	if *metrics || *traceOut != "" || *serve != "" || *runDir != "" {
+	if *metrics || *traceOut != "" || *serve != "" || *runDir != "" || *sample > 0 {
 		reg := obs.New()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -73,6 +74,13 @@ func main() {
 			reg.StreamTo(f)
 		}
 		session.WithMetrics(reg)
+	}
+	var hist *obs.History
+	if *sample > 0 {
+		hist = obs.NewHistory(obs.HistoryConfig{Interval: *sample}).WithEvents(session.Events())
+		session.WithHistory(hist)
+		hist.Start(session.Metrics())
+		defer hist.Stop()
 	}
 	if *diag {
 		session.WithDiag(&core.DiagConfig{})
@@ -100,7 +108,7 @@ func main() {
 	if *serve != "" {
 		feed := obs.NewRunFeed()
 		session.WithFeed(feed)
-		srv, err := obs.Serve(obs.ServeConfig{Addr: *serve, Registry: session.Metrics(), Feed: feed})
+		srv, err := obs.Serve(obs.ServeConfig{Addr: *serve, Registry: session.Metrics(), Feed: feed, History: hist})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "corgisql:", err)
 			os.Exit(1)

@@ -63,8 +63,21 @@ func main() {
 		synthetic = flag.String("synthetic", "", "train on a generated workload (higgs, susy, ...) instead of -file")
 		scale     = flag.Float64("scale", 0.05, "-synthetic: dataset scale factor")
 		eventsOut = flag.String("events", "", "append structured per-epoch span events as JSONL to this file")
+		sample    = flag.Duration("sample", 0, "sample run metrics into a history store at this interval and print a summary")
 	)
+	var alerts []corgipile.AlertRule
+	flag.Func("alert", "threshold alert rule 'metric>value[ for 30s]' (repeatable; requires -sample)", func(spec string) error {
+		r, err := corgipile.ParseAlertRule(spec)
+		if err != nil {
+			return err
+		}
+		alerts = append(alerts, r)
+		return nil
+	})
 	flag.Parse()
+	if len(alerts) > 0 && *sample <= 0 {
+		fatal(fmt.Errorf("-alert requires -sample (alerts evaluate on history samples)"))
+	}
 	if *file == "" && *synthetic == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -100,7 +113,7 @@ func main() {
 	}
 
 	var reg *corgipile.Metrics
-	if *metrics || *traceOut != "" || *serve != "" || *runDir != "" {
+	if *metrics || *traceOut != "" || *serve != "" || *runDir != "" || *sample > 0 {
 		reg = corgipile.NewMetrics()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -112,10 +125,17 @@ func main() {
 		}
 	}
 	runName := fmt.Sprintf("corgitrain %s/%s", *model, source)
+	var hist *corgipile.History
+	if *sample > 0 {
+		hist = corgipile.NewHistory(corgipile.HistoryConfig{Interval: *sample})
+		for _, r := range alerts {
+			hist.AddRule(r)
+		}
+	}
 	var feed *corgipile.RunFeed
 	if *serve != "" {
 		feed = corgipile.NewRunFeed()
-		srv, err := corgipile.ServeTelemetry(*serve, reg, feed)
+		srv, err := obs.Serve(obs.ServeConfig{Addr: *serve, Registry: reg, Feed: feed, History: hist})
 		if err != nil {
 			fatal(err)
 		}
@@ -154,6 +174,11 @@ func main() {
 		cfg.Events = corgipile.NewEventLog(0).StreamTo(f)
 		cfg.Trace = runName
 	}
+	if hist != nil {
+		// Alert transitions land in the same event log as the epoch spans.
+		hist.WithEvents(cfg.Events)
+		hist.Start(reg)
+	}
 	var res *corgipile.Result
 	if *faults != "" {
 		// Fault injection needs a simulated device under the table; train
@@ -175,6 +200,16 @@ func main() {
 		res, err = corgipile.Train(train, cfg)
 		if err != nil {
 			fatal(err)
+		}
+	}
+	if hist != nil {
+		// One last sample catches counters that moved since the final tick,
+		// then the summary reports what the store saw.
+		hist.Stop()
+		hist.Sample(reg)
+		fmt.Printf("history: %d series sampled every %s\n", len(hist.Names()), *sample)
+		for _, a := range hist.Alerts() {
+			fmt.Printf("alert %s: state=%s fired=%d\n", a.Name, a.State, a.Fired)
 		}
 	}
 	if *metrics {

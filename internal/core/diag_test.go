@@ -303,6 +303,33 @@ func TestTracePurity(t *testing.T) {
 	if !bytes.Equal(base, withNil) {
 		t.Fatal("nil-EventLog run diverged from the base passive trace")
 	}
+
+	// The metrics-history plane: a sampler goroutine reading Snapshot (with
+	// peak tracking armed) must not perturb the trace by a byte either —
+	// History observes the registry, never writes to it.
+	withHist := passiveTraceWithHistory(t, ds)
+	if !bytes.Equal(base, withHist) {
+		t.Fatal("attaching a metrics History sampler changed the JSONL trace")
+	}
+}
+
+// passiveTraceWithHistory is passiveTrace with the metrics-history plane
+// attached: a live sampler ticking at 1ms plus armed peak tracking, the
+// maximal read-side load the history plane can put on a registry.
+func passiveTraceWithHistory(t *testing.T, ds *data.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	reg := obs.New().WithClock(staticClock{}).StreamTo(&buf)
+	reg.EnablePeaks()
+	hist := obs.NewHistory(obs.HistoryConfig{Interval: time.Millisecond})
+	hist.Start(reg)
+	diagRun(t, ds, nil, nil, reg)
+	hist.Stop()
+	hist.Sample(reg)
+	if len(hist.Names()) == 0 {
+		t.Fatal("history sampled nothing during the run")
+	}
+	return buf.Bytes()
 }
 
 // TestLiveGaugesGatedDuringRun: a passive run leaves the live-only buffer

@@ -90,6 +90,9 @@ type Session struct {
 	// reads (corgi_tables, corgi_jobs, ...).
 	events  *obs.EventLog
 	virtual map[string]*VirtualTable
+	// history is the sampled metrics time-series store backing
+	// corgi_metrics_history and corgi_alerts (nil = zero rows).
+	history *obs.History
 	// walOpened is the wall-clock instant OpenWAL finished recovery — the
 	// checkpoint-age baseline until the first CHECKPOINT lands.
 	walOpened time.Time
@@ -158,6 +161,20 @@ func (s *Session) WithEvents(el *obs.EventLog) *Session {
 
 // Events returns the session's event log (nil when none attached).
 func (s *Session) Events() *obs.EventLog { return s.events }
+
+// WithHistory attaches a metrics history store: the corgi_metrics_history
+// and corgi_alerts system tables read sampled series and alert states
+// from it. The session never samples — the owner runs the sampler against
+// whatever registry it exposes. It returns the session. Without a store
+// both tables render zero rows.
+func (s *Session) WithHistory(h *obs.History) *Session {
+	s.history = h
+	return s
+}
+
+// History returns the session's metrics history store (nil when none
+// attached).
+func (s *Session) History() *obs.History { return s.history }
 
 // WithFeed attaches a live run feed: every TRAIN statement publishes one
 // RunStatus update per epoch to it (the telemetry server's /run source).
@@ -477,6 +494,18 @@ func (pt *PreparedTrain) Op() *executor.SGDOp { return pt.op }
 
 // Resumed returns the model this run continued, or nil for a fresh train.
 func (pt *PreparedTrain) Resumed() *ModelEntry { return pt.resume }
+
+// AvgBlockBytes returns the source table's mean block size in bytes. The
+// serving plane multiplies it by the shuffle's block counter to estimate a
+// job's bytes read (per-block I/O is counted on the session registry, not
+// the job's, so the job-level figure is reconstructed).
+func (pt *PreparedTrain) AvgBlockBytes() int64 {
+	n := pt.entry.Table.NumBlocks()
+	if n == 0 {
+		return 0
+	}
+	return pt.entry.Table.SizeBytes() / int64(n)
+}
 
 // resumableKinds are the strategies incremental training supports: each
 // treats the source as an opaque block pool, so restricting it to the

@@ -128,10 +128,20 @@ func (op *TupleShuffleOp) nextAsync() (*data.Tuple, bool, error) {
 			return nil, false, fill.err
 		}
 		op.buf, op.pos = fill.buf, 0
+		op.recordOccupancy()
 	}
 	t := &op.buf[op.pos]
 	op.pos++
 	return t, true, nil
+}
+
+// recordOccupancy reports the buffer fill level on the live-only gauges,
+// mirroring the dataset-level iterator: outside live mode only the peak
+// high-water mark is kept (JobStats.PeakBufferOccupancy), so passive
+// traces are unchanged.
+func (op *TupleShuffleOp) recordOccupancy() {
+	op.Obs.SetLiveGauge(obs.ShuffleBufferTuples, float64(len(op.buf)))
+	op.Obs.SetLiveGauge(obs.ShuffleBufferOccupancy, float64(len(op.buf))/float64(op.Capacity))
 }
 
 // BufferLen returns the number of tuples currently held in the shuffle
@@ -203,6 +213,7 @@ func (op *TupleShuffleOp) refill() error {
 
 	sp.End()
 	op.Obs.Inc(obs.ShuffleRefills)
+	op.recordOccupancy()
 	if op.Clock != nil {
 		op.Obs.AddDuration(obs.ShuffleFillNanos, op.Clock.Now()-fillStart)
 	}

@@ -120,6 +120,14 @@ const (
 	// Serving-plane durability (internal/serve).
 	ServeCheckpoints = "serve.checkpoints" // scheduled auto-checkpoint compactions
 
+	// Serving-plane latency and load (internal/serve). ServePredict is a
+	// duration histogram of wire PREDICT statements, so the history plane
+	// samples serve.predict_p50/_p95/_p99 series; the job gauges are
+	// refreshed by the history sampler's OnSample hook.
+	ServePredict     = "serve.predict"      // histogram: wire PREDICT latency
+	ServeJobsRunning = "serve.jobs_running" // gauge: jobs currently executing
+	ServeJobsQueued  = "serve.jobs_queued"  // gauge: jobs waiting for a worker
+
 	// WAL visibility gauges, refreshed by the serve checkpoint loop so
 	// compaction behavior shows up on /metrics without SQL access.
 	WALSizeBytes     = "wal.size_bytes"             // gauge: live WAL file size
@@ -175,6 +183,13 @@ type Registry struct {
 	spanSeq  int64
 	spans    []int64 // stack of active span ids (parent inference)
 	live     bool
+	// peaks, when EnablePeaks armed it, records the high-water mark of
+	// every gauge set since — including live-only gauges that never land
+	// in the gauges map outside live mode. Peaks are read through Peak
+	// only and never appear in Snapshot or the exporters, so arming them
+	// cannot perturb traces or scrapes. The serving plane arms them on
+	// each job's private registry for JobStats' peak buffer occupancy.
+	peaks map[string]float64
 
 	sink *jsonlSink
 }
@@ -251,7 +266,44 @@ func (r *Registry) SetGauge(name string, v float64) {
 	}
 	r.mu.Lock()
 	r.gauges[name] = v
+	r.trackPeakLocked(name, v)
 	r.mu.Unlock()
+}
+
+// EnablePeaks arms gauge high-water-mark tracking (see Peak).
+func (r *Registry) EnablePeaks() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.peaks == nil {
+		r.peaks = make(map[string]float64)
+	}
+	r.mu.Unlock()
+}
+
+// Peak returns the highest value the named gauge was set to since
+// EnablePeaks, including SetLiveGauge values outside live mode (the gauge
+// itself stays unrecorded then — only the peak is kept). Zero when peaks
+// were never armed or the gauge never set.
+func (r *Registry) Peak(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.peaks[name]
+}
+
+// trackPeakLocked folds v into the gauge's high-water mark when peak
+// tracking is armed. Callers hold r.mu.
+func (r *Registry) trackPeakLocked(name string, v float64) {
+	if r.peaks == nil {
+		return
+	}
+	if cur, ok := r.peaks[name]; !ok || v > cur {
+		r.peaks[name] = v
+	}
 }
 
 // DeleteGauge removes the named gauge from the registry entirely, so it
@@ -302,6 +354,7 @@ func (r *Registry) SetLiveGauge(name string, v float64) {
 	if r.live {
 		r.gauges[name] = v
 	}
+	r.trackPeakLocked(name, v)
 	r.mu.Unlock()
 }
 

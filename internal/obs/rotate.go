@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingFile is a size-capped append writer for long-lived JSONL sinks
+// (the -events FILE sink): when a write would grow the file past the cap,
+// the current file is renamed to FILE.1 (replacing any previous rollover)
+// and a fresh FILE is started. At most two generations exist, so a
+// long-lived server's event log is bounded by ~2× the cap.
+//
+// Rotation costs one rename plus one reopen at the cap boundary — the
+// same cost class as the buffered write the sink was already doing, so
+// event recording stays as non-blocking as the plain-file sink. Lines are
+// never split across generations: the size check runs before the write,
+// so FILE.1 always ends on a line boundary.
+type RotatingFile struct {
+	mu   sync.Mutex
+	path string
+	max  int64
+	f    *os.File
+	size int64
+}
+
+// NewRotatingFile opens (or appends to) path with a rollover cap of
+// maxBytes. A cap ≤ 0 is an error — use os.OpenFile for an unbounded
+// sink.
+func NewRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("obs: rotating file needs a positive size cap, got %d", maxBytes)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	return &RotatingFile{path: path, max: maxBytes, f: f, size: size}, nil
+}
+
+// Write appends p, rolling over to a fresh file first when the append
+// would cross the cap (unless the file is empty: one oversized line still
+// lands somewhere rather than vanishing).
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.size > 0 && r.size+int64(len(p)) > r.max {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked renames the live file aside and starts a fresh one.
+func (r *RotatingFile) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(r.path, r.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(r.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	r.f, r.size = f, 0
+	return nil
+}
+
+// Close closes the live file. Safe to call once; writes after Close fail.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}

@@ -342,6 +342,9 @@ func (p *Primary) stream(c net.Conn, bw *bufio.Writer, sub *subscriber) error {
 				return err
 			}
 			p.cfg.Obs.Inc(obs.ReplHeartbeats)
+			// Acks drive the lag gauges; on a quiet stream only heartbeats
+			// tick, so refresh here too or sampled lag history goes stale.
+			p.updateLag()
 		case <-p.done:
 			return fmt.Errorf("repl: primary closed")
 		}

@@ -148,6 +148,17 @@ func (c *Client) Status(job string, wait bool) (*JobStatus, error) {
 	return resp.Job, nil
 }
 
+// StatusStats fetches one job's status including its resource accounting
+// (queue wait, wall/CPU time, bytes read, tuples, blocks, peak buffer
+// occupancy) in JobStatus.Stats.
+func (c *Client) StatusStats(job string) (*JobStatus, error) {
+	resp, err := c.Do(Request{Op: "status", Job: job, Stats: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
 // Jobs fetches the whole job table in submission order.
 func (c *Client) Jobs() ([]JobStatus, error) {
 	resp, err := c.Do(Request{Op: "status"})

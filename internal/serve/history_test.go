@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"corgipile/internal/obs"
+)
+
+// shortTrain is a TRAIN statement that finishes in well under a second.
+func shortTrain(model string) string {
+	return `SELECT * FROM t TRAIN BY svm MODEL ` + model +
+		` WITH learning_rate=0.05, max_epoch_num=2, seed=7`
+}
+
+func TestJobStatsOverWire(t *testing.T) {
+	srv := testServer(t, Config{})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.Train(shortTrain("m_stats"), true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Fatalf("train finished in state %q", st.State)
+	}
+
+	// Plain status: no stats block, so existing clients and the golden
+	// transcript see an unchanged response shape.
+	plain, err := c.Status(st.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats != nil {
+		t.Fatalf("status without stats=true carried %+v", plain.Stats)
+	}
+
+	full, err := c.StatusStats(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := full.Stats
+	if s == nil {
+		t.Fatal("status with stats=true returned no stats block")
+	}
+	if s.QueueWaitMs < 0 || s.WallMs <= 0 {
+		t.Fatalf("queue_wait_ms=%v wall_ms=%v, want non-negative wait and positive wall", s.QueueWaitMs, s.WallMs)
+	}
+	if s.Tuples <= 0 || s.Blocks <= 0 {
+		t.Fatalf("tuples=%d blocks=%d, want both positive after a 2-epoch train", s.Tuples, s.Blocks)
+	}
+	if s.BytesRead <= 0 {
+		t.Fatalf("bytes_read=%d, want positive (blocks=%d × avg block size)", s.BytesRead, s.Blocks)
+	}
+	if s.CPUMs <= 0 {
+		t.Fatalf("cpu_ms=%v, want positive gradient time", s.CPUMs)
+	}
+	if s.PeakBufferOccupancy <= 0 || s.PeakBufferOccupancy > 1 {
+		t.Fatalf("peak_buffer_occupancy=%v, want in (0,1]", s.PeakBufferOccupancy)
+	}
+
+	// The same accounting surfaces in the corgi_job_stats system table.
+	res, err := c.Exec(`SELECT id, state, tuples, bytes_read FROM corgi_job_stats WHERE id = '` + st.ID + `'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("corgi_job_stats rows = %v, want the finished job", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[1] != string(JobDone) {
+		t.Fatalf("corgi_job_stats state = %q, want done", row[1])
+	}
+	tuples, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil || tuples != s.Tuples {
+		t.Fatalf("corgi_job_stats tuples = %q, want %d", row[2], s.Tuples)
+	}
+}
+
+func TestQueuedJobStatsReportQueueWait(t *testing.T) {
+	// One worker, one slow job: the second submission sits queued, and its
+	// stats block is all queue wait — no wall/CPU figures yet.
+	srv := testServer(t, Config{Workers: 1, SessionMax: 2})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	slow, err := c.Train(longTrain("hog"), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, slow.ID, JobRunning)
+	queued, err := c.Train(longTrain("waiter"), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.StatusStats(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQueued || st.Stats == nil {
+		t.Fatalf("second job state=%q stats=%v, want queued with stats", st.State, st.Stats)
+	}
+	if st.Stats.WallMs != 0 || st.Stats.Tuples != 0 {
+		t.Fatalf("queued job reports execution figures: %+v", st.Stats)
+	}
+	if _, err := c.Cancel(queued.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(slow.ID, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistorySamplingOverWire is the acceptance scenario: with sampling
+// on, the serve.predict quantile series accumulate in the history store
+// while a TRAIN runs, and SELECTing corgi_metrics_history over the wire
+// returns them.
+func TestHistorySamplingOverWire(t *testing.T) {
+	srv := testServer(t, Config{Workers: 2, SampleEvery: 20 * time.Millisecond})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	bg, err := c.Train(longTrain("bg"), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, bg.ID, JobRunning)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Predict(`SELECT * FROM t PREDICT BY warm LIMIT 2`); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var rows [][]string
+	for time.Now().Before(deadline) {
+		res, err := c.Exec(`SELECT name, ts, value FROM corgi_metrics_history WHERE name = 'serve.predict_p95'`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) >= 2 {
+			rows = res.Rows
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(rows) < 2 {
+		t.Fatal("serve.predict_p95 never accumulated history samples")
+	}
+	for _, row := range rows {
+		if ts, err := strconv.ParseInt(row[1], 10, 64); err != nil || ts <= 0 {
+			t.Fatalf("history ts = %q, want positive unix-ms", row[1])
+		}
+	}
+	// The sampler's pre-sample hook refreshes the job gauges, so the
+	// running TRAIN is visible in the sampled series too.
+	res, err := c.Exec(`SELECT value FROM corgi_metrics_history WHERE name = 'serve.jobs_running'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, row := range res.Rows {
+		if row[0] != "0" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("serve.jobs_running never sampled above zero during a live TRAIN")
+	}
+	if _, err := c.Cancel(bg.ID, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeAlertFireResolveOverWire drives an alert through its full
+// lifecycle using only the wire protocol: a rule on the jobs-running
+// gauge fires while a TRAIN runs, resolves after cancel, and both
+// transitions land in corgi_alerts and the event log.
+func TestServeAlertFireResolveOverWire(t *testing.T) {
+	rule, err := obs.ParseAlertRule("serve.jobs_running>0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := testServer(t, Config{
+		Workers:     1,
+		SampleEvery: 20 * time.Millisecond,
+		Alerts:      []obs.AlertRule{rule},
+	})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.Train(longTrain("alerted"), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, JobRunning)
+	waitAlertState(t, c, "serve.jobs_running>0", "firing")
+
+	if _, err := c.Cancel(st.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	waitAlertState(t, c, "serve.jobs_running>0", "ok")
+
+	// Both transitions are structured events in the shared ring.
+	for _, typ := range []string{"alert.firing", "alert.resolved"} {
+		res, err := c.Exec(`SELECT type, detail FROM corgi_events WHERE type = '` + typ + `'`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("no %s event in corgi_events", typ)
+		}
+	}
+}
+
+// waitAlertState polls corgi_alerts over the wire until the named rule
+// reaches the wanted state.
+func waitAlertState(t *testing.T, c *Client, name, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := c.Exec(`SELECT state, fired FROM corgi_alerts WHERE name = '` + name + `'`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) == 1 && res.Rows[0][0] == want {
+			if want == "firing" && res.Rows[0][1] == "0" {
+				t.Fatalf("alert firing with fired=0: %v", res.Rows)
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("alert %q never reached state %q", name, want)
+}
+
+// TestServePredictHistogram pins the serve.predict latency histogram:
+// every predict lands one observation, so the history plane has a
+// quantile series to sample.
+func TestServePredictHistogram(t *testing.T) {
+	srv := testServer(t, Config{SampleEvery: time.Hour})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 4
+	for i := 0; i < n; i++ {
+		if _, err := c.Predict(`SELECT * FROM t PREDICT BY warm LIMIT 1`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := srv.reg.Snapshot()
+	h, ok := snap.Hists[obs.ServePredict]
+	if !ok || h.Count != n {
+		t.Fatalf("serve.predict histogram count = %+v, want %d observations", h, n)
+	}
+	if q := h.Quantile(0.95); q <= 0 {
+		t.Fatalf("serve.predict p95 = %v, want positive", q)
+	}
+}

@@ -40,6 +40,41 @@ func (s *Server) registerIntrospection() {
 		Columns: []string{"role", "remote", "applied_lsn", "lag_lsn", "sheds"},
 		Rows:    s.replicationRows,
 	})
+	s.dbs.RegisterVirtual(db.VirtualTable{
+		Name: "corgi_job_stats",
+		Columns: []string{"id", "state", "queue_wait_ms", "wall_ms", "cpu_ms",
+			"bytes_read", "tuples", "blocks", "peak_buffer_occupancy"},
+		Rows: s.jobStatsRows,
+	})
+}
+
+// jobStatsRows renders per-job resource accounting for live jobs in
+// submission order (pruned jobs keep no stats — the registries are gone).
+func (s *Server) jobStatsRows() [][]string {
+	s.mu.Lock()
+	live := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		live = append(live, s.jobs[id])
+	}
+	s.mu.Unlock()
+	rows := make([][]string, 0, len(live))
+	for _, j := range live {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		st := j.stats()
+		rows = append(rows, []string{
+			j.id, string(state),
+			strconv.FormatFloat(st.QueueWaitMs, 'f', 3, 64),
+			strconv.FormatFloat(st.WallMs, 'f', 3, 64),
+			strconv.FormatFloat(st.CPUMs, 'f', 3, 64),
+			strconv.FormatInt(st.BytesRead, 10),
+			strconv.FormatInt(st.Tuples, 10),
+			strconv.FormatInt(st.Blocks, 10),
+			strconv.FormatFloat(st.PeakBufferOccupancy, 'f', 3, 64),
+		})
+	}
+	return rows
 }
 
 // jobRows snapshots the job table: pruned summaries first (they are the

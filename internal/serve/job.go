@@ -51,6 +51,13 @@ type job struct {
 	rows      []executor.EpochRow
 	breakdown []obs.EpochMetrics
 	errMsg    string
+	// startedAt is when a worker picked the job up (zero while queued);
+	// startedAt − created is the queue wait.
+	startedAt time.Time
+	// blockBytes is the source table's mean block size captured at prepare
+	// time — the multiplier that turns the shuffle's block counter into the
+	// job's estimated bytes read.
+	blockBytes int64
 	// finishedAt is when the job reached its terminal state — the input to
 	// the server's age-based retention pruning.
 	finishedAt time.Time
@@ -68,6 +75,11 @@ func (j *job) breakdownRows() []obs.EpochMetrics {
 // newJob returns a queued job whose context derives from parent.
 func newJob(id, session, sql string, st *sqlparse.Train, detach bool, parent context.Context) *job {
 	ctx, cancel := context.WithCancel(parent)
+	reg := obs.New()
+	// Peaks arm buffer-occupancy high-water tracking for JobStats. The job
+	// registry never enters live mode, so without this the occupancy gauge
+	// (a SetLiveGauge metric) would leave no trace at all.
+	reg.EnablePeaks()
 	return &job{
 		id:      id,
 		session: session,
@@ -78,7 +90,7 @@ func newJob(id, session, sql string, st *sqlparse.Train, detach bool, parent con
 		ctx:     ctx,
 		cancel:  cancel,
 		feed:    obs.NewRunFeed(),
-		reg:     obs.New(),
+		reg:     reg,
 		state:   JobQueued,
 		done:    make(chan struct{}),
 	}
@@ -99,6 +111,7 @@ func (j *job) tryStart() bool {
 		return false
 	}
 	j.state = JobRunning
+	j.startedAt = time.Now()
 	return true
 }
 
@@ -190,3 +203,51 @@ func (j *job) status() JobStatus {
 // roundLoss rounds to six decimals so the JSON encoding is short and
 // byte-stable across replays of the same seeded run.
 func roundLoss(x float64) float64 { return math.Round(x*1e6) / 1e6 }
+
+// statusWith is status plus, when asked, the resource-accounting block.
+func (j *job) statusWith(withStats bool) JobStatus {
+	st := j.status()
+	if withStats {
+		st.Stats = j.stats()
+	}
+	return st
+}
+
+// stats computes the job's resource accounting from its timestamps and
+// private registry. Open-ended figures (queue wait of a queued job, wall
+// time of a running one) report elapsed-so-far.
+func (j *job) stats() *JobStats {
+	j.mu.Lock()
+	started, finished := j.startedAt, j.finishedAt
+	blockBytes := j.blockBytes
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	st := &JobStats{}
+	if started.IsZero() {
+		// Never picked up: everything so far is queue wait. A job canceled
+		// while queued keeps the wait it accrued (finishedAt set, started not).
+		end := time.Now()
+		if terminal {
+			end = finished
+		}
+		st.QueueWaitMs = roundMs(end.Sub(j.created))
+		return st
+	}
+	st.QueueWaitMs = roundMs(started.Sub(j.created))
+	end := time.Now()
+	if terminal {
+		end = finished
+	}
+	st.WallMs = roundMs(end.Sub(started))
+	st.CPUMs = roundMs(time.Duration(j.reg.Counter(obs.SGDGradNanos)))
+	st.Tuples = j.reg.Counter(obs.SGDTuples)
+	st.Blocks = j.reg.Counter(obs.ShuffleBlocks)
+	st.BytesRead = st.Blocks * blockBytes
+	st.PeakBufferOccupancy = j.reg.Peak(obs.ShuffleBufferOccupancy)
+	return st
+}
+
+// roundMs renders a duration as milliseconds with microsecond precision.
+func roundMs(d time.Duration) float64 {
+	return math.Round(float64(d.Nanoseconds())/1e3) / 1e3
+}

@@ -43,6 +43,10 @@ type Request struct {
 	// ("<session>-r<n>") internally but does not echo it, so transcripts
 	// from trace-unaware clients are unchanged.
 	Trace string `json:"trace,omitempty"`
+	// Stats, on status, asks for per-job resource accounting (JobStatus
+	// .Stats). Opt-in: the stats block contains wall-clock figures, so
+	// clients that never ask keep byte-stable transcripts.
+	Stats bool `json:"stats,omitempty"`
 }
 
 // Response is one server message. Exactly one is written per request.
@@ -160,6 +164,36 @@ type JobStatus struct {
 	// Trace is the trace ID of the request that submitted the job — set
 	// only when the submitter supplied one, mirroring Response.Trace.
 	Trace string `json:"trace,omitempty"`
+	// Stats is the job's resource accounting, present only when the status
+	// request set stats=true.
+	Stats *JobStats `json:"stats,omitempty"`
+}
+
+// JobStats is one job's resource accounting, reported on status responses
+// with stats=true and in the corgi_job_stats system table. Figures come
+// from the job's private metrics registry, so concurrent jobs never
+// cross-contaminate.
+type JobStats struct {
+	// QueueWaitMs is the time from submission to worker pickup (for jobs
+	// still queued: time waited so far).
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	// WallMs is the execution wall time: worker pickup to terminal state
+	// (for running jobs: elapsed so far). Zero while queued.
+	WallMs float64 `json:"wall_ms,omitempty"`
+	// CPUMs is the simulated gradient-compute time in milliseconds — the
+	// job's share of the sgd.grad_ns cost-model counter.
+	CPUMs float64 `json:"cpu_ms,omitempty"`
+	// BytesRead estimates table bytes pulled through the shuffle: blocks
+	// read × the source table's mean block size (per-block device I/O is
+	// accounted on the shared session registry, not the job's).
+	BytesRead int64 `json:"bytes_read,omitempty"`
+	// Tuples is the number of tuples the SGD operator consumed.
+	Tuples int64 `json:"tuples,omitempty"`
+	// Blocks is the number of blocks the shuffle pulled into buffers.
+	Blocks int64 `json:"blocks,omitempty"`
+	// PeakBufferOccupancy is the high-water filled fraction of the shuffle
+	// buffer budget (0 when the strategy buffers nothing).
+	PeakBufferOccupancy float64 `json:"peak_buffer_occupancy,omitempty"`
 }
 
 // errResponse builds an error response.

@@ -93,17 +93,30 @@ type Config struct {
 	// ReadyMaxLag is the replication lag (in LSNs) above which a replica
 	// reports not-ready on /readyz (0 demands a fully caught-up replica).
 	ReadyMaxLag uint64
+	// SampleEvery, when positive, attaches a metrics History: every counter,
+	// gauge, and histogram quantile of the server registry is sampled at
+	// this interval into ring series with downsampling tiers, queryable via
+	// corgi_metrics_history, /metrics/history, and corgitop. Off by default —
+	// a server that never samples produces byte-identical passive traces.
+	SampleEvery time.Duration
+	// HistorySlots overrides the per-series ring capacity (default 256).
+	HistorySlots int
+	// Alerts are threshold rules the History evaluates on every sample;
+	// transitions land in the event log and in corgi_alerts//alertz.
+	// Ignored unless SampleEvery is set.
+	Alerts []obs.AlertRule
 }
 
 // Server is a running corgiserved instance. Create one with New, stop it
 // with Close; both are safe to call from any goroutine.
 type Server struct {
-	cfg    Config
-	ln     net.Listener
-	dbs    *db.Session
-	reg    *obs.Registry
-	tel    *obs.Server
-	events *obs.EventLog
+	cfg     Config
+	ln      net.Listener
+	dbs     *db.Session
+	reg     *obs.Registry
+	tel     *obs.Server
+	events  *obs.EventLog
+	history *obs.History
 
 	// catalog serializes db.Session catalog access: RLock for lookups
 	// (predict, train prepare), Lock for mutations (DDL, model install).
@@ -227,16 +240,34 @@ func New(cfg Config) (*Server, error) {
 		el.SetSlowThreshold(cfg.SlowStatement)
 	}
 	s.registerIntrospection()
-	if cfg.Telemetry != "" {
+	if cfg.SampleEvery > 0 {
+		h := obs.NewHistory(obs.HistoryConfig{
+			Interval: cfg.SampleEvery,
+			Slots:    cfg.HistorySlots,
+		}).WithEvents(el)
+		for _, r := range cfg.Alerts {
+			h.AddRule(r)
+		}
+		// The pre-sample hook refreshes the gauges only request handling
+		// would otherwise update, so samples are never a tick stale.
+		h.OnSample(s.refreshSampledGauges)
+		sess.WithHistory(h)
+		s.history = h
+	}
+	if cfg.Telemetry != "" || s.history != nil {
 		// The shared registry aggregates device I/O across all jobs; each
-		// job's own feed serves /run?job=<id>.
+		// job's own feed serves /run?job=<id>. Sampling needs the same
+		// attachment — a history over an unattached registry is empty.
 		s.dbs.WithMetrics(s.reg)
+	}
+	if cfg.Telemetry != "" {
 		tel, err := obs.Serve(obs.ServeConfig{
 			Addr:     cfg.Telemetry,
 			Registry: s.reg,
 			Feeds:    s.feedFor,
 			Health:   func() error { return nil },
 			Ready:    s.readyProbe,
+			History:  s.history,
 		})
 		if err != nil {
 			ln.Close()
@@ -302,7 +333,34 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	s.history.Start(s.reg)
 	return s, nil
+}
+
+// refreshSampledGauges is the History's pre-sample hook: it recomputes the
+// gauges that are otherwise only updated by request handling (job-state
+// counts) or the maintenance tick (WAL health), so every sample reflects
+// the instant it was taken. Runs on the sampler goroutine; takes s.mu only
+// (never the catalog lock), so it cannot deadlock with query paths.
+func (s *Server) refreshSampledGauges() {
+	s.mu.Lock()
+	running, queued := 0, 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case JobRunning:
+			running++
+		case JobQueued:
+			queued++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	s.reg.SetGauge(obs.ServeJobsRunning, float64(running))
+	s.reg.SetGauge(obs.ServeJobsQueued, float64(queued))
+	if s.dbs.Durable() {
+		s.updateWALGauges()
+	}
 }
 
 // startPrimary opens the replication listener over the shared catalog. The
@@ -424,6 +482,7 @@ func (s *Server) Close() error {
 	// Stop the background maintainers and replication roles first: the
 	// checkpoint loop and the replica both take the catalog lock, and the
 	// primary hooks the session's WAL — all must be quiet before teardown.
+	s.history.Stop()
 	if s.ckptStop != nil {
 		close(s.ckptStop)
 		<-s.ckptDone
@@ -644,6 +703,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.epochs = pt.Op().Epochs
 	j.model = strings.ToLower(j.st.ModelName)
+	j.blockBytes = pt.AvgBlockBytes()
 	j.mu.Unlock()
 
 	rows, err := pt.Execute()

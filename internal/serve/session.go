@@ -176,10 +176,15 @@ func (s *Server) execPredictOp(req *Request, trace string) *Response {
 }
 
 // execPredictTraced wraps the cached predict path (which never touches
-// the db session's statement executor) with statement events.
+// the db session's statement executor) with statement events and the
+// serve.predict latency histogram — the series the history plane samples
+// as serve.predict_p50/_p95/_p99.
 func (s *Server) execPredictTraced(st *sqlparse.Predict, trace string) *Response {
 	return s.emitStatement(trace, "predict "+strings.ToLower(st.Table), func() *Response {
-		return s.execPredict(st)
+		start := time.Now()
+		resp := s.execPredict(st)
+		s.reg.Observe(obs.ServePredict, time.Since(start))
+		return resp
 	})
 }
 
@@ -277,7 +282,8 @@ func (s *Server) execCancel(sessCtx context.Context, req *Request) *Response {
 }
 
 // execStatus reports one job (req.Job set; wait=true blocks until it is
-// terminal) or the whole job table in submission order.
+// terminal) or the whole job table in submission order. With stats=true
+// each status carries the job's resource accounting.
 func (s *Server) execStatus(sessCtx context.Context, req *Request) *Response {
 	if req.Job != "" {
 		s.mu.Lock()
@@ -291,12 +297,12 @@ func (s *Server) execStatus(sessCtx context.Context, req *Request) *Response {
 				return r
 			}
 		}
-		return &Response{OK: true, Type: "job", Job: ptr(j.status())}
+		return &Response{OK: true, Type: "job", Job: ptr(j.statusWith(req.Stats))}
 	}
 	jobs := s.snapshotJobs()
 	resp := &Response{OK: true, Type: "status", Jobs: make([]JobStatus, 0, len(jobs))}
 	for _, j := range jobs {
-		resp.Jobs = append(resp.Jobs, j.status())
+		resp.Jobs = append(resp.Jobs, j.statusWith(req.Stats))
 	}
 	return resp
 }

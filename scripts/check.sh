@@ -41,3 +41,10 @@ echo "$plan" | grep -q 'EXPLAIN ANALYZE: model'
 # (corgi_jobs / corgi_metrics / corgi_events) over the wire; probe
 # /healthz, /readyz, and the WAL gauges.
 ./scripts/introspect_smoke.sh
+
+# Metrics-history smoke: boot corgiserved with -sample and an -alert
+# rule, train through injected faults, and assert the time series
+# (corgi_metrics_history / /metrics/history), the firing→resolved alert
+# (corgi_alerts / /alertz / event log), per-job stats (corgi_job_stats),
+# and a corgitop -once frame.
+./scripts/history_smoke.sh

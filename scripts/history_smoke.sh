@@ -1,0 +1,142 @@
+#!/bin/sh
+# Metrics-history-plane end-to-end smoke: boot a real corgiserved with
+# sampling, an alert rule, and a size-capped rotating event sink; create
+# a fault-injected table OVER THE WIRE (so its device reports into the
+# server's registry); train through it with retries; and verify the
+# degradation is observable everywhere the plane surfaces it —
+# corgi_metrics_history / corgi_alerts / corgi_job_stats over SQL,
+# /metrics/history and /alertz over HTTP, corgitop -once, and the
+# alert.firing → alert.resolved bracket in the JSONL event log.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill $servepid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/corgiserved" ./cmd/corgiserved
+go build -o "$workdir/corgitop" ./cmd/corgitop
+
+# The alert threshold is on the jobs-running gauge so the smoke is
+# deterministic: it fires the moment the TRAIN is picked up and resolves
+# when the job reaches a terminal state.
+"$workdir/corgiserved" -listen 127.0.0.1:0 -workers 1 \
+    -telemetry 127.0.0.1:0 -sample 100ms \
+    -alert 'serve.jobs_running>0' \
+    -events "$workdir/events.jsonl" -events-max-size 1MB \
+    >"$workdir/serve.log" 2>&1 &
+servepid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^corgiserved: listening on \([^ ]*\).*/\1/p' "$workdir/serve.log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 $servepid || { cat "$workdir/serve.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "corgiserved never started" >&2; cat "$workdir/serve.log"; exit 1; }
+telurl=$(sed -n 's/^corgiserved: telemetry on //p' "$workdir/serve.log" | head -n 1)
+
+# The flaky table must be created over the wire, after boot: the device
+# registers with the server's live registry, so its fault counters land
+# in the sampled series.
+"$workdir/corgiserved" -connect "$addr" -exec \
+    "CREATE TABLE flaky AS SYNTHETIC(workload='susy', scale=0.1, order='clustered') WITH device='ssd', block_size=32KB, faults='seed=9,read_err=0.05,burst=2'" \
+    >"$workdir/create.txt"
+grep -q '"ok":true' "$workdir/create.txt"
+
+# A long TRAIN through the faults, detached, with retries absorbing the
+# injected transient errors. retries=6 gives 7 attempts per block read:
+# the plan's bursts are 2 long, so exceeding the budget needs 5 further
+# independent 5% faults — it cannot realistically fail while we probe.
+printf '%s\n' \
+    '{"op":"train","sql":"SELECT * FROM flaky TRAIN BY svm MODEL survivor WITH learning_rate=0.05, max_epoch_num=1000000, retries=6, seed=7","detach":true}' \
+    >"$workdir/start.txt"
+"$workdir/corgiserved" -connect "$addr" -replay "$workdir/start.txt" >"$workdir/start_out.txt"
+grep -q '"id":"j1"' "$workdir/start_out.txt"
+
+# The alert (no `for` clause) fires on the first sample that sees the
+# job running; corgi_alerts shows the transition over the wire. (The
+# rule name's '>' arrives JSON-escaped as >, so match the metric.)
+ok=""
+for _ in $(seq 1 50); do
+    "$workdir/corgiserved" -connect "$addr" \
+        -exec "SELECT name, state, fired FROM corgi_alerts WHERE state = 'firing'" >"$workdir/alerts.txt"
+    if grep -q 'serve.jobs_running' "$workdir/alerts.txt"; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$ok" ] || { echo "alert never fired" >&2; cat "$workdir/alerts.txt" "$workdir/serve.log"; exit 1; }
+
+# The acceptance query: the sampled time series is SQL-visible while the
+# TRAIN is live, and the injected faults show up as a sampled series too.
+# (Job-private counters like sgd.tuples live in the job's own registry —
+# the shared sampled registry carries the serve gauges and device I/O.)
+ok=""
+for _ in $(seq 1 50); do
+    "$workdir/corgiserved" -connect "$addr" \
+        -exec "SELECT name, ts, value FROM corgi_metrics_history WHERE name = 'serve.jobs_running' ORDER BY ts DESC LIMIT 4" \
+        >"$workdir/history.txt"
+    if grep -q 'serve.jobs_running' "$workdir/history.txt"; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$ok" ] || { echo "no sampled history over the wire" >&2; cat "$workdir/history.txt"; exit 1; }
+"$workdir/corgiserved" -connect "$addr" \
+    -exec "SELECT name FROM corgi_metrics_history WHERE name = 'io.fault.transient' LIMIT 1" >"$workdir/faulthist.txt"
+grep -q 'io.fault.transient' "$workdir/faulthist.txt"
+
+# Per-job resource accounting: the running job reports wall time and
+# tuple/block progress in corgi_job_stats.
+"$workdir/corgiserved" -connect "$addr" \
+    -exec "SELECT id, state, wall_ms, tuples FROM corgi_job_stats WHERE id = 'j1'" >"$workdir/jobstats.txt"
+grep -q '"j1","running"' "$workdir/jobstats.txt"
+
+# The HTTP plane serves the same store: /metrics/history with a name
+# filter and /alertz with the firing rule.
+curl -sf "$telurl/metrics/history?name=serve.jobs_running&since=5m" >"$workdir/http_history.json"
+grep -q '"serve.jobs_running"' "$workdir/http_history.json"
+grep -q '"resolution"' "$workdir/http_history.json"
+curl -sf "$telurl/alertz" >"$workdir/http_alertz.json"
+grep -q '"state": "firing"' "$workdir/http_alertz.json"
+
+# corgitop renders one frame from the same endpoints.
+"$workdir/corgitop" -connect "$telurl" -once >"$workdir/top.txt"
+grep -q 'corgitop' "$workdir/top.txt"
+grep -q 'serve.jobs_running' "$workdir/top.txt"
+grep -q 'firing' "$workdir/top.txt"
+
+# Cancel the job: the gauge drops to zero and the alert resolves.
+printf '%s\n' '{"op":"cancel","job":"j1","wait":true}' >"$workdir/cancel.txt"
+"$workdir/corgiserved" -connect "$addr" -replay "$workdir/cancel.txt" >"$workdir/cancel_out.txt"
+grep -q '"state":"canceled"' "$workdir/cancel_out.txt"
+ok=""
+for _ in $(seq 1 50); do
+    "$workdir/corgiserved" -connect "$addr" \
+        -exec "SELECT name, fired FROM corgi_alerts WHERE state = 'ok'" >"$workdir/resolved.txt"
+    if grep -q 'serve.jobs_running' "$workdir/resolved.txt"; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$ok" ] || { echo "alert never resolved after cancel" >&2; cat "$workdir/resolved.txt"; exit 1; }
+
+# Both transitions are in the event ring and the JSONL sink.
+"$workdir/corgiserved" -connect "$addr" \
+    -exec "SELECT type FROM corgi_events WHERE type = 'alert.firing'" >"$workdir/ev_firing.txt"
+grep -q 'alert.firing' "$workdir/ev_firing.txt"
+"$workdir/corgiserved" -connect "$addr" \
+    -exec "SELECT type FROM corgi_events WHERE type = 'alert.resolved'" >"$workdir/ev_resolved.txt"
+grep -q 'alert.resolved' "$workdir/ev_resolved.txt"
+grep -q '"type":"alert.firing"' "$workdir/events.jsonl"
+grep -q '"type":"alert.resolved"' "$workdir/events.jsonl"
+
+kill $servepid 2>/dev/null || true
+wait $servepid 2>/dev/null || true
+
+echo "history smoke: OK"
